@@ -1,0 +1,83 @@
+// Command outline runs (repeated) machine outlining over a textual machine
+// program — the analog of the paper artifact's `llc
+// -outline-repeat-count=N` step applied to prebuilt bitcode.
+//
+// Usage:
+//
+//	outline -outline-repeat-count=5 program.mir
+//	outline -analyze program.mir
+//
+// Input is the textual MIR format (see internal/mir); output is the
+// transformed program on stdout and a size report on stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"outliner/internal/llir"
+	"outliner/internal/mir"
+	"outliner/internal/outline"
+)
+
+func main() {
+	var (
+		rounds  = flag.Int("outline-repeat-count", 5, "rounds of repeated machine outlining")
+		analyze = flag.Bool("analyze", false, "print the repeating-pattern report instead of transforming")
+		flat    = flag.Bool("flat-cost", false, "ablation: flat outlining cost model")
+		quiet   = flag.Bool("q", false, "suppress the transformed program (stats only)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: outline [flags] program.mir")
+		flag.Usage()
+		os.Exit(2)
+	}
+	text, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := mir.Parse(string(text))
+	if err != nil {
+		fatal(err)
+	}
+	if err := prog.Verify(llir.RuntimeSyms); err != nil {
+		fatal(fmt.Errorf("input: %w", err))
+	}
+
+	if *analyze {
+		pats := outline.Analyze(prog, outline.Options{})
+		fmt.Fprintf(os.Stderr, "%d profitable repeating patterns\n", len(pats))
+		for _, p := range pats {
+			fmt.Println(p.Listing())
+		}
+		return
+	}
+
+	before := prog.CodeSize()
+	stats, err := outline.Outline(prog, outline.Options{
+		Rounds:        *rounds,
+		FlatCostModel: *flat,
+		Verify:        true,
+		ExternSyms:    llir.RuntimeSyms,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	after := prog.CodeSize()
+	if !*quiet {
+		fmt.Print(prog.String())
+	}
+	fmt.Fprintf(os.Stderr, "code size: %d -> %d bytes (%.1f%% saving)\n",
+		before, after, 100*(1-float64(after)/float64(before)))
+	for _, r := range stats.Rounds {
+		fmt.Fprintf(os.Stderr, "  round %d: %d sequences, %d functions, %d outlined bytes\n",
+			r.Round, r.SequencesOutlined, r.FunctionsCreated, r.OutlinedBytes)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "outline:", err)
+	os.Exit(1)
+}

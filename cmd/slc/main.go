@@ -1,0 +1,168 @@
+// Command slc is the SwiftLite compiler driver: it compiles .sl files
+// through the whole pipeline (frontend → SIR → LLIR → machine code), with
+// the paper's knobs exposed as flags, and can run the result on the
+// simulated machine.
+//
+// Usage:
+//
+//	slc [flags] file.sl [file2.sl ...]
+//
+// Each input file becomes its own module (its base name is the module name),
+// mirroring the multi-module structure of a real app.
+//
+// Examples:
+//
+//	slc -run prog.sl                      # compile + execute
+//	slc -rounds 5 -emit mir prog.sl       # outlined machine code to stdout
+//	slc -rounds 0 -size prog.sl           # size report without outlining
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"outliner/internal/exec"
+	"outliner/internal/frontend"
+	"outliner/internal/llir"
+	"outliner/internal/outline"
+	"outliner/internal/pipeline"
+)
+
+func main() {
+	var (
+		rounds   = flag.Int("rounds", 5, "rounds of repeated machine outlining (0 disables)")
+		whole    = flag.Bool("whole-program", true, "use the whole-program pipeline (IR link before codegen)")
+		emit     = flag.String("emit", "", "emit an artifact to stdout: sir | llir | mir | sizes | patterns")
+		run      = flag.Bool("run", false, "execute main after compiling")
+		entry    = flag.String("entry", "main", "entry function for -run")
+		flat     = flag.Bool("flat-cost", false, "ablation: flat outlining cost model")
+		maxSteps = flag.Int64("max-steps", 500_000_000, "interpreter step limit for -run")
+		showOutl = flag.Bool("outline-stats", false, "print per-round outlining statistics")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: slc [flags] file.sl ...")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var sources []pipeline.Source
+	for _, path := range flag.Args() {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), ".sl")
+		sources = append(sources, pipeline.Source{
+			Name:  name,
+			Files: map[string]string{filepath.Base(path): string(text)},
+		})
+	}
+
+	cfg := pipeline.Config{
+		WholeProgram:       *whole,
+		OutlineRounds:      *rounds,
+		SILOutline:         true,
+		SpecializeClosures: true,
+		MergeFunctions:     true,
+		PreserveDataLayout: true,
+		SplitGCMetadata:    true,
+		FlatOutlineCost:    *flat,
+		Verify:             true,
+	}
+	res, err := pipeline.Build(sources, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *showOutl && res.Outline != nil {
+		for _, r := range res.Outline.Rounds {
+			fmt.Fprintf(os.Stderr, "round %d: %d sequences -> %d functions (%d bytes), saved %d bytes\n",
+				r.Round, r.SequencesOutlined, r.FunctionsCreated, r.OutlinedBytes, r.BytesSaved)
+		}
+	}
+
+	switch *emit {
+	case "sir", "llir":
+		// IR-stage dumps compile the first module standalone (IR is a
+		// per-module artifact before the link).
+		for _, src := range sources {
+			sm, err := pipeline.CompileToSIR(src, cfg, importsFor(sources, src))
+			if err != nil {
+				fatal(err)
+			}
+			if *emit == "sir" {
+				fmt.Print(sm.String())
+				continue
+			}
+			lm, err := llir.FromSIR(sm)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(lm.String())
+		}
+	case "mir":
+		fmt.Print(res.Prog.String())
+	case "sizes":
+		fmt.Println(res.Image.Summary())
+		for _, s := range res.Image.LargestCodeSymbols(15) {
+			fmt.Printf("  %8d  %s\n", s.Size, s.Name)
+		}
+	case "patterns":
+		pats := outline.Analyze(res.Prog, outline.Options{})
+		for i, p := range pats {
+			if i >= 20 {
+				fmt.Printf("... and %d more patterns\n", len(pats)-20)
+				break
+			}
+			fmt.Println(p.Listing())
+		}
+	case "":
+	default:
+		fatal(fmt.Errorf("unknown -emit kind %q", *emit))
+	}
+
+	if !*run {
+		if *emit == "" {
+			fmt.Fprintln(os.Stderr, res.Image.Summary())
+		}
+		return
+	}
+	m, err := exec.New(res.Prog, exec.Options{MaxSteps: *maxSteps})
+	if err != nil {
+		fatal(err)
+	}
+	out, err := m.Run(*entry)
+	fmt.Print(out)
+	if err != nil {
+		fatal(err)
+	}
+	st := m.Stats()
+	fmt.Fprintf(os.Stderr, "executed %d instructions (%d calls, %.2f%% in outlined functions)\n",
+		st.DynamicInsts, st.Calls, 100*float64(st.OutlinedInsts)/float64(st.DynamicInsts))
+	_ = llir.RuntimeSyms
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "slc:", err)
+	os.Exit(1)
+}
+
+// importsFor exposes every other module's declarations to src.
+func importsFor(all []pipeline.Source, src pipeline.Source) *frontend.Imports {
+	var others []*frontend.File
+	for _, o := range all {
+		if o.Name == src.Name {
+			continue
+		}
+		files, err := pipeline.ParseSource(o)
+		if err != nil {
+			fatal(err)
+		}
+		others = append(others, files...)
+	}
+	return frontend.NewImports(others...)
+}

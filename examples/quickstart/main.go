@@ -1,0 +1,95 @@
+// Quickstart: compile a small SwiftLite program with and without the
+// paper's optimization, compare sizes, inspect the top repeating machine
+// patterns, and execute both binaries to confirm identical behaviour.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"outliner"
+)
+
+const src = `
+class Account {
+  var owner: String
+  var balance: Int
+  init(owner: String, balance: Int) {
+    self.owner = owner
+    self.balance = balance
+  }
+  func deposit(amount: Int) -> Int {
+    self.balance = self.balance + amount
+    return self.balance
+  }
+}
+
+func settle(a: Account, b: Account, amount: Int) -> Int {
+  let fromA = a.deposit(amount: 0 - amount)
+  let toB = b.deposit(amount: amount)
+  return fromA + toB
+}
+
+func main() {
+  let alice = Account(owner: "alice", balance: 100)
+  let bob = Account(owner: "bob", balance: 50)
+  print(settle(a: alice, b: bob, amount: 30))
+  print(settle(a: bob, b: alice, amount: 10))
+  print(alice.balance)
+  print(bob.balance)
+}
+`
+
+func main() {
+	mods := []outliner.Module{{Name: "Bank", Files: map[string]string{"bank.sl": src}}}
+
+	baseline, err := outliner.Build(mods, outliner.DefaultPipeline())
+	if err != nil {
+		log.Fatal(err)
+	}
+	optimized, err := outliner.Build(mods, outliner.Production())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("baseline  (default pipeline):      %5d bytes of code\n", baseline.CodeSize)
+	fmt.Printf("optimized (whole-program, 5 rounds): %3d bytes of code (%.1f%% smaller)\n",
+		optimized.CodeSize,
+		100*(1-float64(optimized.CodeSize)/float64(baseline.CodeSize)))
+	for _, r := range optimized.Rounds {
+		if r.SequencesOutlined == 0 {
+			break
+		}
+		fmt.Printf("  round %d: outlined %d sequences into %d functions\n",
+			r.Round, r.SequencesOutlined, r.FunctionsCreated)
+	}
+
+	fmt.Println("\ntop repeating machine patterns (before outlining):")
+	plain, err := outliner.Build(mods, outliner.Options{WholeProgram: true, SplitGCMetadata: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, p := range plain.Patterns() {
+		if i == 3 {
+			break
+		}
+		fmt.Print(p.Listing)
+	}
+
+	outA, err := baseline.Run("main")
+	if err != nil {
+		log.Fatal(err)
+	}
+	outB, err := optimized.Run("main")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbaseline output:\n%s", outA)
+	if outA == outB {
+		fmt.Println("optimized binary behaves identically ✓")
+	} else {
+		log.Fatalf("outputs differ!\noptimized:\n%s", outB)
+	}
+}

@@ -1,0 +1,92 @@
+// wholeapp builds the synthetic UberRider-like application under both
+// pipelines, reports the size ledger, runs a core span on two device models
+// under the cycle simulator, and prints the outlining round-by-round story —
+// the whole paper in one program.
+//
+//	go run ./examples/wholeapp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"outliner/internal/appgen"
+	"outliner/internal/binimg"
+	"outliner/internal/exec"
+	"outliner/internal/mir"
+	"outliner/internal/perf"
+	"outliner/internal/pipeline"
+)
+
+func main() {
+	const scale = 0.5
+	fmt.Println("building the synthetic UberRider app at scale", scale, "...")
+
+	baseline, err := appgen.BuildApp(appgen.UberRider, scale, pipeline.Default)
+	if err != nil {
+		log.Fatal(err)
+	}
+	optimized, err := appgen.BuildApp(appgen.UberRider, scale, pipeline.OSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nsize ledger:")
+	fmt.Printf("  default pipeline:        %s\n", baseline.Image.Summary())
+	fmt.Printf("  whole-program, 5 rounds: %s\n", optimized.Image.Summary())
+	fmt.Printf("  code saving: %.1f%%  (paper: 23%% on the real app)\n",
+		100*(1-float64(optimized.CodeSize())/float64(baseline.CodeSize())))
+
+	fmt.Println("\noutlining rounds (diminishing returns, §V-B):")
+	for _, r := range optimized.Outline.Rounds {
+		fmt.Printf("  round %d: %5d sequences -> %4d functions, %6d bytes saved\n",
+			r.Round, r.SequencesOutlined, r.FunctionsCreated, r.BytesSaved)
+	}
+
+	fmt.Println("\nbiggest code symbols in the optimized image:")
+	for _, s := range optimized.Image.LargestCodeSymbols(5) {
+		fmt.Printf("  %7s  %s\n", binimg.FormatSize(s.Size), s.Name)
+	}
+
+	// Behaviour equivalence end to end.
+	outA := mustRun(baseline.Prog, "main")
+	outB := mustRun(optimized.Prog, "main")
+
+	if outA != outB {
+		log.Fatalf("pipelines disagree: %q vs %q", outA, outB)
+	}
+	fmt.Printf("\napp output (both pipelines): %s", outA)
+
+	// A core span on an old and a new phone.
+	fmt.Println("\nspan1 under the cycle model (P50-style single sample):")
+	for _, dev := range []perf.Device{perf.Devices[0], perf.Devices[len(perf.Devices)-1]} {
+		rb := simulate(baseline, dev)
+		ro := simulate(optimized, dev)
+		fmt.Printf("  %-12s baseline %.3fms, optimized %.3fms (ratio %.3f; <1 = faster)\n",
+			dev.Name, rb.Seconds*1000, ro.Seconds*1000, ro.Seconds/rb.Seconds)
+	}
+}
+
+func mustRun(prog *mir.Program, entry string) string {
+	m, err := exec.New(prog, exec.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := m.Run(entry)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return out
+}
+
+func simulate(res *pipeline.Result, dev perf.Device) perf.Result {
+	sim := perf.New(dev, perf.OSes[2])
+	m, err := exec.New(res.Prog, exec.Options{Trace: sim.Observe})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.Run("span1"); err != nil {
+		log.Fatal(err)
+	}
+	return sim.Finish()
+}

@@ -1,0 +1,3 @@
+module outliner
+
+go 1.22

@@ -1,0 +1,106 @@
+package appgen
+
+import (
+	"testing"
+
+	"outliner/internal/exec"
+	"outliner/internal/pipeline"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(UberRider, 0.3)
+	b := Generate(UberRider, 0.3)
+	if len(a) != len(b) {
+		t.Fatalf("module counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].ObjC != b[i].ObjC {
+			t.Fatalf("module %d metadata differs", i)
+		}
+		for name, text := range a[i].Files {
+			if b[i].Files[name] != text {
+				t.Fatalf("module %s file %s differs between runs", a[i].Name, name)
+			}
+		}
+	}
+}
+
+func TestGenerateScaleGrows(t *testing.T) {
+	small := Generate(UberRider, 0.3)
+	large := Generate(UberRider, 1.0)
+	if len(large) <= len(small) {
+		t.Errorf("scale 1.0 (%d modules) not larger than 0.3 (%d)", len(large), len(small))
+	}
+}
+
+func TestProfilesHaveObjCModules(t *testing.T) {
+	mods := Generate(UberEats, 1.0) // 66% Swift -> expect several ObjC modules
+	objc := 0
+	for _, m := range mods {
+		if m.ObjC {
+			objc++
+		}
+	}
+	if objc == 0 {
+		t.Error("UberEats generated no Objective-C modules")
+	}
+}
+
+// The synthetic app must compile through both pipelines, run, and produce
+// identical output; the whole-program outlined build must be smaller.
+func TestAppBuildsRunsAndShrinks(t *testing.T) {
+	const scale = 0.25 // keep the test fast
+
+	baseCfg := pipeline.Config{WholeProgram: true, SplitGCMetadata: true,
+		PreserveDataLayout: true, Verify: true}
+	optCfg := pipeline.OSize
+	optCfg.Verify = true
+
+	base, err := BuildApp(UberRider, scale, baseCfg)
+	if err != nil {
+		t.Fatalf("base build: %v", err)
+	}
+	opt, err := BuildApp(UberRider, scale, optCfg)
+	if err != nil {
+		t.Fatalf("optimized build: %v", err)
+	}
+
+	runOut := func(res *pipeline.Result) string {
+		m, err := exec.New(res.Prog, exec.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := m.Run("main")
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out
+	}
+	if got, want := runOut(opt), runOut(base); got != want {
+		t.Fatalf("optimized app output %q differs from baseline %q", got, want)
+	}
+
+	saving := 1 - float64(opt.CodeSize())/float64(base.CodeSize())
+	t.Logf("code: %d -> %d bytes (%.1f%% saving), outlined %d sequences into %d functions",
+		base.CodeSize(), opt.CodeSize(), saving*100,
+		opt.Outline.TotalSequences(), opt.Outline.TotalFunctions())
+	if saving < 0.05 {
+		t.Errorf("whole-program outlining saved only %.2f%%; expected a substantial cut", saving*100)
+	}
+}
+
+// Spans must exist and be runnable as entry points (Figure 13 needs them).
+func TestSpansRunnable(t *testing.T) {
+	cfg := pipeline.Config{WholeProgram: true, SplitGCMetadata: true, PreserveDataLayout: true}
+	res, err := BuildApp(UberRider, 0.2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := exec.New(res.Prog, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run("span1"); err != nil {
+		t.Fatalf("span1: %v", err)
+	}
+}

@@ -1,0 +1,75 @@
+package appgen
+
+import (
+	"fmt"
+
+	"outliner/internal/frontend"
+	"outliner/internal/llir"
+	"outliner/internal/pipeline"
+)
+
+// CompileModules lowers generated modules to per-module LLIR, applying the
+// Objective-C flavour to modules marked ObjC: their reference-counting calls
+// become objc_retain/objc_release and their GC module flag carries the clang
+// identity — the §VI-2 mixed-compiler situation.
+func CompileModules(mods []Module, cfg pipeline.Config) ([]*llir.Module, error) {
+	parsed := make([][]*frontend.File, len(mods))
+	for i, m := range mods {
+		src := pipeline.Source{Name: m.Name, Files: m.Files}
+		files, err := pipeline.ParseSource(src)
+		if err != nil {
+			return nil, fmt.Errorf("appgen: module %s: %w", m.Name, err)
+		}
+		parsed[i] = files
+	}
+	var out []*llir.Module
+	for i, m := range mods {
+		var others []*frontend.File
+		for j, files := range parsed {
+			if j != i {
+				others = append(others, files...)
+			}
+		}
+		lm, err := pipeline.CompileToLLIR(pipeline.Source{Name: m.Name, Files: m.Files},
+			cfg, frontend.NewImports(others...))
+		if err != nil {
+			return nil, fmt.Errorf("appgen: module %s: %w", m.Name, err)
+		}
+		if m.ObjC {
+			applyObjCFlavour(lm)
+		}
+		out = append(out, lm)
+	}
+	return out, nil
+}
+
+// applyObjCFlavour rewrites a module as if clang had produced it.
+func applyObjCFlavour(m *llir.Module) {
+	m.Metadata["Objective-C Garbage Collection"] = "clang abi-v11.0 bits-0x17"
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Insts {
+				in := &b.Insts[i]
+				if in.Op != llir.Call {
+					continue
+				}
+				switch in.Sym {
+				case llir.RTRetain:
+					in.Sym = llir.RTObjCRetain
+				case llir.RTRelease:
+					in.Sym = llir.RTObjCRelease
+				}
+			}
+		}
+	}
+}
+
+// BuildApp generates, compiles, and links an app profile at the given scale
+// under cfg.
+func BuildApp(p Profile, scale float64, cfg pipeline.Config) (*pipeline.Result, error) {
+	mods, err := CompileModules(Generate(p, scale), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return pipeline.BuildFromLLIR(mods, cfg)
+}

@@ -1,0 +1,186 @@
+package appgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"outliner/internal/isa"
+	"outliner/internal/mir"
+)
+
+// GenerateClangLike produces a C++-compiler-shaped SwiftLite corpus for the
+// §VII-E generality experiment: no reference counting (plain functions, no
+// classes), deep call graphs, switch-like dispatch chains, and heavy
+// calling-convention traffic — the shapes the paper observed when outlining
+// clang itself ("register movement to set up calling conventions often
+// appeared as top outlining candidates").
+func GenerateClangLike(seed int64, nModules int) []Module {
+	rng := rand.New(rand.NewSource(seed))
+	var mods []Module
+	var allFuncs []vendorFunc
+	for mi := 0; mi < nModules; mi++ {
+		name := fmt.Sprintf("CC%02d", mi)
+		var b strings.Builder
+		n := 10 + rng.Intn(8)
+		for fi := 0; fi < n; fi++ {
+			fname := fmt.Sprintf("cc%02d_visit%d", mi, fi)
+			nArgs := 2 + rng.Intn(4)
+			params := make([]string, nArgs)
+			for i := range params {
+				params[i] = fmt.Sprintf("a%d: Int", i)
+			}
+			fmt.Fprintf(&b, "\nfunc %s(%s) -> Int {\n  var acc = a0 + %d\n", fname, strings.Join(params, ", "), rng.Intn(911))
+			// Dispatch chain (switch-on-kind shape).
+			arms := 2 + rng.Intn(4)
+			for k := 0; k < arms; k++ {
+				fmt.Fprintf(&b, "  if acc %% %d == %d {\n", arms+2, k)
+				if len(allFuncs) > 0 && rng.Intn(2) == 0 {
+					callee := allFuncs[rng.Intn(len(allFuncs))]
+					args := make([]string, callee.nArgs)
+					for i := range args {
+						args[i] = fmt.Sprintf("a%d: acc + %d", i, rng.Intn(7))
+					}
+					fmt.Fprintf(&b, "    acc = acc + %s(%s)\n", callee.name, strings.Join(args, ", "))
+				} else {
+					fmt.Fprintf(&b, "    acc = acc * %d + a1 - %d\n", 3+rng.Intn(97), rng.Intn(53))
+				}
+				fmt.Fprintf(&b, "  }\n")
+			}
+			fmt.Fprintf(&b, "  return acc %% %d\n}\n", 1009+rng.Intn(90000))
+			allFuncs = append(allFuncs, vendorFunc{name: fname, module: name, nArgs: nArgs})
+		}
+		mods = append(mods, Module{Name: name, Files: map[string]string{name + ".sl": b.String()}})
+	}
+	// Entry point touching everything once (compiler-style batch run).
+	var b strings.Builder
+	b.WriteString("\nfunc main() {\n  var total = 0\n")
+	for i, f := range allFuncs {
+		if i%3 != 0 {
+			continue
+		}
+		args := make([]string, f.nArgs)
+		for j := range args {
+			args[j] = fmt.Sprintf("a%d: total %% 89 + %d", j, j)
+		}
+		fmt.Fprintf(&b, "  total = total + %s(%s)\n", f.name, strings.Join(args, ", "))
+	}
+	b.WriteString("  print(total)\n}\n")
+	mods = append(mods, Module{Name: "Driver", Files: map[string]string{"Driver.sl": b.String()}})
+	return mods
+}
+
+// GenerateKernelLike fabricates a kernel-shaped machine program directly at
+// the MIR level. Kernel code is C compiled with stack-protector hardening:
+// the paper calls out "the function epilogue to check stack smashing attack"
+// as a dominant repeating pattern, which only exists at the machine level —
+// so this corpus is generated post-codegen, mirroring the artifact's use of
+// prebuilt kernel bitcode.
+func GenerateKernelLike(seed int64, nFuncs int) *mir.Program {
+	rng := rand.New(rand.NewSource(seed))
+	prog := mir.NewProgram()
+
+	// The __stack_chk cookie global and failure handler.
+	prog.AddGlobal(&mir.Global{Name: "__stack_chk_guard", Module: "kernel", Words: []int64{0x5ca1ab1e}})
+	chkFail := &mir.Function{Name: "__stack_chk_fail", Module: "kernel"}
+	chkFail.Blocks = []*mir.Block{{Label: "entry", Insts: []isa.Inst{{Op: isa.BRK, Imm: 86}}}}
+	prog.AddFunc(chkFail)
+
+	helperNames := []string{"kmalloc", "kfree", "mutex_lock", "mutex_unlock", "printk", "copy_from_user"}
+	for _, h := range helperNames {
+		f := &mir.Function{Name: h, Module: "kernel"}
+		f.Blocks = []*mir.Block{{Label: "entry", Insts: []isa.Inst{
+			isa.MoveRR(isa.X0, isa.X0),
+			{Op: isa.RET},
+		}}}
+		prog.AddFunc(f)
+	}
+
+	// Callee-saved pair choices vary per function, like real register
+	// allocation does — keeping prologues from being byte-identical
+	// everywhere.
+	csPairs := [][2]isa.Reg{{isa.X19, isa.X20}, {isa.X21, isa.X22}, {isa.X23, isa.X24}, {isa.X25, isa.X26}}
+	for fi := 0; fi < nFuncs; fi++ {
+		f := &mir.Function{Name: fmt.Sprintf("sys_handler_%04d", fi), Module: "kernel"}
+		entry := &mir.Block{Label: "entry"}
+		frame := int64(48 + 16*rng.Intn(5))
+		cs := csPairs[rng.Intn(len(csPairs))]
+
+		// Prologue with stack-protector setup: load the cookie, stash it in
+		// the frame.
+		cookieSlot := int64(32 + 8*rng.Intn(2))
+		entry.Insts = append(entry.Insts,
+			isa.Inst{Op: isa.STPpre, Rd: isa.FP, Rd2: isa.LR, Rn: isa.SP, Imm: -frame},
+			isa.Inst{Op: isa.STPui, Rd: cs[0], Rd2: cs[1], Rn: isa.SP, Imm: 16},
+			isa.Inst{Op: isa.ADDri, Rd: isa.FP, Rn: isa.SP, Imm: 0},
+			isa.Inst{Op: isa.ADR, Rd: isa.X8, Sym: "__stack_chk_guard"},
+			isa.Inst{Op: isa.LDRui, Rd: isa.X9, Rn: isa.X8, Imm: 0},
+			isa.Inst{Op: isa.STRui, Rd: isa.X9, Rn: isa.SP, Imm: cookieSlot},
+		)
+		// Body: register shuffling and helper calls (kernel C shapes).
+		steps := 4 + rng.Intn(10)
+		tmp := []isa.Reg{isa.X9, isa.X10, isa.X11, isa.X12, isa.X13}
+		for s := 0; s < steps; s++ {
+			t := tmp[rng.Intn(len(tmp))]
+			switch rng.Intn(6) {
+			case 0:
+				entry.Insts = append(entry.Insts,
+					isa.MoveRR(isa.X0, cs[0]),
+					isa.Inst{Op: isa.BL, Sym: helperNames[rng.Intn(len(helperNames))]},
+					isa.MoveRR(cs[0], isa.X0),
+				)
+			case 1:
+				entry.Insts = append(entry.Insts,
+					isa.MoveRR(isa.X0, cs[1]),
+					isa.Inst{Op: isa.MOVZ, Rd: isa.X1, Imm: int64(rng.Intn(4096))},
+					isa.Inst{Op: isa.BL, Sym: helperNames[rng.Intn(len(helperNames))]},
+				)
+			case 2:
+				entry.Insts = append(entry.Insts,
+					isa.Inst{Op: isa.ADDri, Rd: cs[0], Rn: cs[0], Imm: int64(1 + rng.Intn(512))},
+					isa.Inst{Op: isa.ANDrs, Rd: cs[1], Rn: cs[1], Rm: cs[0]},
+				)
+			case 3:
+				entry.Insts = append(entry.Insts,
+					isa.Inst{Op: isa.LSLri, Rd: t, Rn: cs[0], Imm: int64(rng.Intn(8))},
+					isa.Inst{Op: isa.EORrs, Rd: cs[1], Rn: cs[1], Rm: t},
+					isa.Inst{Op: isa.SUBri, Rd: t, Rn: t, Imm: int64(rng.Intn(64))},
+				)
+			case 4:
+				entry.Insts = append(entry.Insts,
+					isa.Inst{Op: isa.MOVZ, Rd: t, Imm: int64(rng.Intn(65536))},
+					isa.Inst{Op: isa.MUL, Rd: cs[0], Rn: cs[0], Rm: t},
+				)
+			default:
+				slot := int64(40 + 8*rng.Intn(2))
+				entry.Insts = append(entry.Insts,
+					isa.Inst{Op: isa.LDRui, Rd: t, Rn: isa.SP, Imm: slot},
+					isa.Inst{Op: isa.ADDri, Rd: t, Rn: t, Imm: int64(rng.Intn(4096))},
+					isa.Inst{Op: isa.STRui, Rd: t, Rn: isa.SP, Imm: slot},
+				)
+			}
+		}
+		// Epilogue with the stack-smashing check: reload the stashed cookie,
+		// compare with the global, branch to __stack_chk_fail on mismatch.
+		// This exact sequence repeats across every kernel function.
+		entry.Insts = append(entry.Insts,
+			isa.Inst{Op: isa.LDRui, Rd: isa.X9, Rn: isa.SP, Imm: cookieSlot},
+			isa.Inst{Op: isa.ADR, Rd: isa.X8, Sym: "__stack_chk_guard"},
+			isa.Inst{Op: isa.LDRui, Rd: isa.X10, Rn: isa.X8, Imm: 0},
+			isa.Inst{Op: isa.CMPrs, Rn: isa.X9, Rm: isa.X10},
+			isa.Inst{Op: isa.Bcc, Cond: isa.NE, Sym: "chk_fail"},
+		)
+		good := &mir.Block{Label: "good", Insts: []isa.Inst{
+			{Op: isa.LDPui, Rd: cs[0], Rd2: cs[1], Rn: isa.SP, Imm: 16},
+			{Op: isa.LDPpost, Rd: isa.FP, Rd2: isa.LR, Rn: isa.SP, Imm: frame},
+			{Op: isa.RET},
+		}}
+		fail := &mir.Block{Label: "chk_fail", Insts: []isa.Inst{
+			{Op: isa.BL, Sym: "__stack_chk_fail"},
+			{Op: isa.BRK, Imm: 86},
+		}}
+		f.Blocks = []*mir.Block{entry, good, fail}
+		prog.AddFunc(f)
+	}
+	return prog
+}

@@ -1,0 +1,98 @@
+package binimg
+
+import (
+	"strings"
+	"testing"
+
+	"outliner/internal/isa"
+	"outliner/internal/mir"
+)
+
+func sampleProgram() *mir.Program {
+	p := mir.NewProgram()
+	mk := func(name string, n int) *mir.Function {
+		b := &mir.Block{Label: "entry"}
+		for i := 0; i < n-1; i++ {
+			b.Insts = append(b.Insts, isa.Inst{Op: isa.NOP})
+		}
+		b.Insts = append(b.Insts, isa.Inst{Op: isa.RET})
+		return &mir.Function{Name: name, Blocks: []*mir.Block{b}}
+	}
+	p.AddFunc(mk("big", 100))
+	p.AddFunc(mk("small", 3))
+	p.AddFunc(mk("medium", 10))
+	p.AddGlobal(&mir.Global{Name: "g1", Words: []int64{1, 2, 3}})
+	p.AddGlobal(&mir.Global{Name: "g2", Words: []int64{4}})
+	return p
+}
+
+func TestBuildSizes(t *testing.T) {
+	img := Build(sampleProgram())
+	if img.CodeSize != (100+3+10)*4 {
+		t.Errorf("code size = %d", img.CodeSize)
+	}
+	if img.DataSize != 32 {
+		t.Errorf("data size = %d", img.DataSize)
+	}
+	if img.SymCount != 5 {
+		t.Errorf("symbols = %d", img.SymCount)
+	}
+	if img.TotalSize <= img.CodeSize+img.DataSize {
+		t.Error("total must include header and symbol overhead")
+	}
+	if img.TotalSize%PageSize != 0 {
+		t.Errorf("total size %d not page aligned", img.TotalSize)
+	}
+	if img.DataOffset <= img.CodeOffset {
+		t.Error("sections out of order")
+	}
+}
+
+func TestSymbolsAddressOrdered(t *testing.T) {
+	img := Build(sampleProgram())
+	addr := -1
+	for _, s := range img.Symbols {
+		if !s.Code {
+			continue
+		}
+		if s.Addr <= addr {
+			t.Errorf("symbol %s at %d not after %d", s.Name, s.Addr, addr)
+		}
+		addr = s.Addr
+	}
+}
+
+func TestLargestCodeSymbols(t *testing.T) {
+	img := Build(sampleProgram())
+	top := img.LargestCodeSymbols(2)
+	if len(top) != 2 || top[0].Name != "big" || top[1].Name != "medium" {
+		t.Errorf("top = %+v", top)
+	}
+	all := img.LargestCodeSymbols(100)
+	if len(all) != 3 {
+		t.Errorf("len = %d", len(all))
+	}
+}
+
+func TestFormatSize(t *testing.T) {
+	cases := []struct {
+		n    int
+		want string
+	}{
+		{100, "100B"},
+		{2048, "2.00KB"},
+		{145_700_000, "138.95MB"},
+	}
+	for _, c := range cases {
+		if got := FormatSize(c.n); got != c.want {
+			t.Errorf("FormatSize(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := Build(sampleProgram()).Summary()
+	if !strings.Contains(s, "code") || !strings.Contains(s, "symbols") {
+		t.Errorf("summary = %q", s)
+	}
+}

@@ -1,0 +1,55 @@
+package clone
+
+import (
+	"testing"
+
+	"outliner/internal/pipeline"
+)
+
+func TestDetectExactReplicas(t *testing.T) {
+	src := pipeline.Source{Name: "M", Files: map[string]string{"m.sl": `
+func a1(x: Int) -> Int { return x * 2 + 7 }
+func a2(y: Int) -> Int { return y * 2 + 7 }
+func b(x: Int) -> Int { return x * 3 + 7 }
+func c(x: Int) -> Int { return x - 1 }
+`}}
+	frac, err := DetectFraction([]pipeline.Source{src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a1 and a2 are alpha-equivalent replicas: 2 of 4 functions.
+	if frac < 0.49 || frac > 0.51 {
+		t.Errorf("fraction = %.2f, want 0.5", frac)
+	}
+}
+
+func TestDetectNoClones(t *testing.T) {
+	src := pipeline.Source{Name: "M", Files: map[string]string{"m.sl": `
+func a(x: Int) -> Int { return x * 2 }
+func b(x: Int) -> Int { return x * 3 }
+`}}
+	frac, err := DetectFraction([]pipeline.Source{src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac != 0 {
+		t.Errorf("fraction = %.2f, want 0", frac)
+	}
+}
+
+func TestLiteralsDistinguishClones(t *testing.T) {
+	// Identical shape but different constants: PMD-style replica detection
+	// does NOT count these (that is exactly why the paper found <1% at the
+	// source level while the machine level repeats massively).
+	src := pipeline.Source{Name: "M", Files: map[string]string{"m.sl": `
+func a(x: Int) -> Int { return x * 2 + 1 }
+func b(x: Int) -> Int { return x * 2 + 2 }
+`}}
+	frac, err := DetectFraction([]pipeline.Source{src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac != 0 {
+		t.Errorf("fraction = %.2f, want 0", frac)
+	}
+}

@@ -1,0 +1,282 @@
+package codegen
+
+import (
+	"fmt"
+	"sort"
+
+	"outliner/internal/isa"
+)
+
+// allocation is the result of register allocation.
+type allocation struct {
+	regOf     map[vreg]isa.Reg
+	spillSlot map[vreg]int
+	numSpills int
+	usedCS    []isa.Reg // callee-saved registers the function writes
+	hasCalls  bool
+}
+
+// operand roles: which vinst fields are written and read, per opcode.
+func vinstDefs(in *vinst) []vreg {
+	switch in.op {
+	case isa.MOVZ, isa.ORRrs, isa.ANDrs, isa.EORrs, isa.ADDrs, isa.ADDri,
+		isa.SUBrs, isa.SUBri, isa.MUL, isa.SDIV, isa.MSUB, isa.LSLri,
+		isa.LSRri, isa.ASRri, isa.CSET, isa.LDRui, isa.ADR:
+		return []vreg{in.rd}
+	}
+	return nil
+}
+
+func vinstUses(in *vinst) []vreg {
+	switch in.op {
+	case isa.ORRrs, isa.ANDrs, isa.EORrs, isa.ADDrs, isa.SUBrs, isa.MUL, isa.SDIV, isa.CMPrs:
+		return []vreg{in.rn, in.rm}
+	case isa.MSUB:
+		return []vreg{in.rn, in.rm, in.rd2}
+	case isa.ADDri, isa.SUBri, isa.LSLri, isa.LSRri, isa.ASRri, isa.CMPri, isa.LDRui:
+		return []vreg{in.rn}
+	case isa.STRui:
+		return []vreg{in.rd, in.rn}
+	case isa.CBZ, isa.CBNZ, isa.BLR:
+		return []vreg{in.rn}
+	}
+	return nil
+}
+
+func isCallOp(op isa.Op) bool { return op == isa.BL || op == isa.BLR }
+
+// interval is a live interval over linearized instruction positions.
+type interval struct {
+	v          vreg
+	start, end int
+	crossCall  bool
+}
+
+// allocateRegisters runs a Poletto-style linear scan. Values live across
+// calls go to callee-saved registers (producing the STP/LDP prologue
+// patterns of the paper's Listings 7-8); short-lived values use caller-saved
+// temporaries; overflow spills to the stack.
+func allocateRegisters(f interface{ String() string }, blocks []*vblock) (*allocation, error) {
+	alloc := &allocation{
+		regOf:     make(map[vreg]isa.Reg),
+		spillSlot: make(map[vreg]int),
+	}
+
+	// Linearize and record positions.
+	type pos struct{ b, i int }
+	var linear []pos
+	blockStart := make([]int, len(blocks))
+	blockEnd := make([]int, len(blocks))
+	labels := make(map[string]bool, len(blocks))
+	labelIdx := make(map[string]int, len(blocks))
+	for bi, b := range blocks {
+		labels[b.label] = true
+		labelIdx[b.label] = bi
+	}
+	var callPositions []int
+	for bi, b := range blocks {
+		blockStart[bi] = len(linear)
+		for ii := range b.insts {
+			if isCallOp(b.insts[ii].op) {
+				callPositions = append(callPositions, len(linear))
+			}
+			linear = append(linear, pos{bi, ii})
+		}
+		blockEnd[bi] = len(linear) - 1
+	}
+	alloc.hasCalls = len(callPositions) > 0
+
+	// Per-block use/def sets over virtual registers.
+	useSet := make([]map[vreg]bool, len(blocks))
+	defSet := make([]map[vreg]bool, len(blocks))
+	for bi, b := range blocks {
+		useSet[bi] = make(map[vreg]bool)
+		defSet[bi] = make(map[vreg]bool)
+		for ii := range b.insts {
+			in := &b.insts[ii]
+			for _, u := range vinstUses(in) {
+				if u > 0 && !defSet[bi][u] {
+					useSet[bi][u] = true
+				}
+			}
+			for _, d := range vinstDefs(in) {
+				if d > 0 {
+					defSet[bi][d] = true
+				}
+			}
+		}
+	}
+
+	// Backward liveness to a fixed point.
+	liveIn := make([]map[vreg]bool, len(blocks))
+	liveOut := make([]map[vreg]bool, len(blocks))
+	for i := range blocks {
+		liveIn[i] = make(map[vreg]bool)
+		liveOut[i] = make(map[vreg]bool)
+	}
+	succIdx := make([][]int, len(blocks))
+	for bi, b := range blocks {
+		for _, s := range b.succs(labels) {
+			succIdx[bi] = append(succIdx[bi], labelIdx[s])
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for bi := len(blocks) - 1; bi >= 0; bi-- {
+			out := make(map[vreg]bool)
+			for _, s := range succIdx[bi] {
+				for v := range liveIn[s] {
+					out[v] = true
+				}
+			}
+			in := make(map[vreg]bool, len(out))
+			for v := range out {
+				if !defSet[bi][v] {
+					in[v] = true
+				}
+			}
+			for v := range useSet[bi] {
+				in[v] = true
+			}
+			if len(out) != len(liveOut[bi]) || len(in) != len(liveIn[bi]) {
+				liveOut[bi], liveIn[bi] = out, in
+				changed = true
+			}
+		}
+	}
+
+	// Build intervals.
+	ivals := make(map[vreg]*interval)
+	touch := func(v vreg, p int) {
+		if v <= 0 {
+			return
+		}
+		iv, ok := ivals[v]
+		if !ok {
+			ivals[v] = &interval{v: v, start: p, end: p}
+			return
+		}
+		if p < iv.start {
+			iv.start = p
+		}
+		if p > iv.end {
+			iv.end = p
+		}
+	}
+	for bi, b := range blocks {
+		for ii := range b.insts {
+			p := blockStart[bi] + ii
+			in := &b.insts[ii]
+			for _, d := range vinstDefs(in) {
+				touch(d, p)
+			}
+			for _, u := range vinstUses(in) {
+				touch(u, p)
+			}
+		}
+		for v := range liveIn[bi] {
+			touch(v, blockStart[bi])
+		}
+		for v := range liveOut[bi] {
+			touch(v, blockEnd[bi])
+		}
+	}
+	for _, c := range callPositions {
+		for _, iv := range ivals {
+			if iv.start < c && c < iv.end {
+				iv.crossCall = true
+			}
+		}
+	}
+
+	sorted := make([]*interval, 0, len(ivals))
+	for _, iv := range ivals {
+		sorted = append(sorted, iv)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].start != sorted[j].start {
+			return sorted[i].start < sorted[j].start
+		}
+		return sorted[i].v < sorted[j].v
+	})
+
+	// Register pools.
+	var temps []isa.Reg
+	for r := isa.FirstTemp; r <= isa.LastTemp; r++ {
+		temps = append(temps, r)
+	}
+	var saved []isa.Reg
+	for r := isa.FirstCalleeSaved; r <= isa.LastCalleeSaved; r++ {
+		if r.IsAllocatable() {
+			saved = append(saved, r)
+		}
+	}
+
+	type activeEntry struct {
+		iv  *interval
+		reg isa.Reg
+	}
+	var active []activeEntry
+	free := make(map[isa.Reg]bool)
+	for _, r := range temps {
+		free[r] = true
+	}
+	for _, r := range saved {
+		free[r] = true
+	}
+	usedCS := make(map[isa.Reg]bool)
+
+	expire := func(p int) {
+		kept := active[:0]
+		for _, ae := range active {
+			if ae.iv.end < p {
+				free[ae.reg] = true
+			} else {
+				kept = append(kept, ae)
+			}
+		}
+		active = kept
+	}
+	takeFrom := func(pool []isa.Reg) (isa.Reg, bool) {
+		for _, r := range pool {
+			if free[r] {
+				free[r] = false
+				return r, true
+			}
+		}
+		return 0, false
+	}
+
+	for _, iv := range sorted {
+		expire(iv.start)
+		var reg isa.Reg
+		var ok bool
+		if iv.crossCall {
+			reg, ok = takeFrom(saved)
+		} else {
+			if reg, ok = takeFrom(temps); !ok {
+				reg, ok = takeFrom(saved)
+			}
+		}
+		if !ok {
+			// Spill the current interval.
+			alloc.spillSlot[iv.v] = alloc.numSpills
+			alloc.numSpills++
+			continue
+		}
+		if reg.IsCalleeSaved() {
+			usedCS[reg] = true
+		}
+		alloc.regOf[iv.v] = reg
+		active = append(active, activeEntry{iv: iv, reg: reg})
+	}
+
+	for r := range usedCS {
+		alloc.usedCS = append(alloc.usedCS, r)
+	}
+	sort.Slice(alloc.usedCS, func(i, j int) bool { return alloc.usedCS[i] < alloc.usedCS[j] })
+	if len(alloc.regOf)+len(alloc.spillSlot) != len(ivals) {
+		return nil, fmt.Errorf("allocation bookkeeping mismatch")
+	}
+	return alloc, nil
+}

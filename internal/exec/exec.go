@@ -1,0 +1,668 @@
+// Package exec interprets machine programs (internal/mir) with a simulated
+// Swift-like runtime: reference-counted heap objects, arrays, string
+// constants, and print routines. It is the reproduction's stand-in for
+// running AArch64 binaries on hardware.
+//
+// The interpreter is faithful to the parts that matter for the paper:
+//   - the link register / BL / RET discipline the outlining strategies
+//     manipulate (outlined code must execute identically),
+//   - real code addresses, so instruction-cache behaviour can be modeled by
+//     internal/perf from the PC trace,
+//   - the error-channel register convention of throwing functions.
+//
+// Correctness of transformations is checked by executing programs before and
+// after outlining and comparing outputs — the strongest test the repo has.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"outliner/internal/isa"
+	"outliner/internal/mir"
+)
+
+// Memory layout constants (byte addresses; everything is 8-byte words).
+const (
+	globalsBase = int64(1) << 16 // 64KiB: data section
+	heapBase    = int64(1) << 28 // 256MiB: bump-allocated heap
+	stackBase   = int64(1) << 34 // stack grows down from stackBase+stackSize
+	stackSize   = int64(4) << 20
+	codeBase    = int64(1) << 36 // instruction addresses
+	rtBase      = int64(1) << 40 // runtime entry pseudo-addresses
+)
+
+// Options configures a run.
+type Options struct {
+	// MaxSteps bounds executed instructions (0 = default 500M).
+	MaxSteps int64
+	// Trace receives one event per executed instruction when non-nil.
+	Trace func(ev Event)
+}
+
+// Event describes one executed instruction for tracing (consumed by the
+// performance model).
+type Event struct {
+	PC      int64 // code address
+	Size    int   // instruction bytes
+	Op      isa.Op
+	Branch  bool  // control transfer occurred (incl. taken conditionals)
+	Target  int64 // branch/call target when Branch
+	MemAddr int64 // nonzero for loads/stores: the data address
+	IsLoad  bool
+	IsStore bool
+	// SP is the stack pointer value after the instruction (debug aid for
+	// frame-discipline analysis).
+	SP int64
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	DynamicInsts int64
+	Calls        int64
+	Branches     int64
+	Taken        int64
+	Loads        int64
+	Stores       int64
+	HeapAllocs   int64
+	HeapWords    int64
+	// OutlinedInsts counts dynamic instructions executed inside outlined
+	// functions (the paper reports ~3%).
+	OutlinedInsts int64
+}
+
+// Machine interprets one program.
+type Machine struct {
+	prog *mir.Program
+	opts Options
+
+	code      []codeInst
+	addrOf    map[symKey]int64 // block label within function -> address
+	funcEntry map[string]int64
+	funcOf    []int // code index -> function index (for outlined accounting)
+	outlined  []bool
+
+	globals     []int64
+	globalAddrs map[string]int64
+
+	heap       []int64
+	heapNext   int64
+	allocSizes map[int64]int64 // block base addr -> word count
+
+	stack []int64
+
+	regs  [int(isa.NumRegs)]int64
+	fLess bool
+	fEq   bool
+
+	out   strings.Builder
+	stats Stats
+}
+
+type symKey struct {
+	fn    int
+	label string
+}
+
+type codeInst struct {
+	in   isa.Inst
+	fn   int
+	addr int64
+	next int64 // address of the next instruction (fallthrough)
+}
+
+// runtime entry points, each with a fixed pseudo-address.
+var runtimeEntries = []string{
+	"swift_retain", "swift_release", "swift_allocObject", "swift_allocArray",
+	"swift_arrayAppend", "print_int", "print_bool", "print_str",
+	"objc_retain", "objc_release",
+}
+
+// RuntimeAddrs maps runtime symbol names to their pseudo-addresses.
+func runtimeAddr(name string) (int64, bool) {
+	for i, n := range runtimeEntries {
+		if n == name {
+			return rtBase + int64(i)*8, true
+		}
+	}
+	return 0, false
+}
+
+// New lays out the program (code addresses, globals) and returns a machine
+// ready to Run.
+func New(prog *mir.Program, opts Options) (*Machine, error) {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 500_000_000
+	}
+	m := &Machine{
+		prog:        prog,
+		opts:        opts,
+		addrOf:      make(map[symKey]int64),
+		funcEntry:   make(map[string]int64),
+		globalAddrs: make(map[string]int64),
+		allocSizes:  make(map[int64]int64),
+		heapNext:    heapBase,
+		stack:       make([]int64, stackSize/8),
+	}
+
+	// Lay out code.
+	addr := codeBase
+	for fi, f := range prog.Funcs {
+		m.funcEntry[f.Name] = addr
+		m.outlined = append(m.outlined, f.Outlined)
+		for _, b := range f.Blocks {
+			m.addrOf[symKey{fn: fi, label: b.Label}] = addr
+			for _, in := range b.Insts {
+				size := int64(in.Size())
+				m.code = append(m.code, codeInst{in: in, fn: fi, addr: addr, next: addr + size})
+				m.funcOf = append(m.funcOf, fi)
+				addr += size
+			}
+		}
+	}
+
+	// Lay out globals in program order (the order the linker decided —
+	// §VI-3's data-locality experiments depend on this).
+	off := int64(0)
+	for _, g := range prog.Globals {
+		m.globalAddrs[g.Name] = globalsBase + off
+		m.globals = append(m.globals, g.Words...)
+		off += int64(len(g.Words)) * 8
+	}
+	return m, nil
+}
+
+// addrIndex maps a code address to its instruction index.
+func (m *Machine) addrIndex(addr int64) (int, error) {
+	// Instructions are 4 or 8 bytes; binary search by address.
+	lo, hi := 0, len(m.code)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		a := m.code[mid].addr
+		if a == addr {
+			return mid, nil
+		}
+		if a < addr {
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return 0, fmt.Errorf("exec: jump to non-instruction address %#x", addr)
+}
+
+// Output returns everything printed so far.
+func (m *Machine) Output() string { return m.out.String() }
+
+// Stats returns execution statistics.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Run executes function name (no arguments) until it returns. Returns the
+// accumulated output.
+func (m *Machine) Run(name string) (string, error) {
+	entry, ok := m.funcEntry[name]
+	if !ok {
+		return "", fmt.Errorf("exec: no function %q", name)
+	}
+	const haltAddr = codeBase - 8
+	m.regs[isa.LR] = haltAddr
+	m.regs[isa.SP] = stackBase + stackSize
+	m.regs[isa.XZR] = 0
+
+	idx, err := m.addrIndex(entry)
+	if err != nil {
+		return "", err
+	}
+	steps := int64(0)
+	for {
+		if steps >= m.opts.MaxSteps {
+			return m.Output(), fmt.Errorf("exec: step limit (%d) exceeded — runaway loop?", m.opts.MaxSteps)
+		}
+		steps++
+		ci := &m.code[idx]
+		nextAddr, err := m.step(ci)
+		if err != nil {
+			return m.Output(), fmt.Errorf("exec: at %#x (%s in @%s): %w",
+				ci.addr, ci.in, m.prog.Funcs[ci.fn].Name, err)
+		}
+		m.stats.DynamicInsts++
+		if m.outlined[ci.fn] {
+			m.stats.OutlinedInsts++
+		}
+		if nextAddr == haltAddr {
+			return m.Output(), nil
+		}
+		if nextAddr == ci.next {
+			idx++
+			if idx >= len(m.code) || m.code[idx].addr != nextAddr {
+				i, err := m.addrIndex(nextAddr)
+				if err != nil {
+					return m.Output(), err
+				}
+				idx = i
+			}
+			continue
+		}
+		// Control transfer (possibly to a runtime entry).
+		for {
+			if nextAddr >= rtBase {
+				ret, err := m.runtimeCall(nextAddr)
+				if err != nil {
+					return m.Output(), err
+				}
+				nextAddr = ret
+				continue
+			}
+			break
+		}
+		if nextAddr == haltAddr {
+			return m.Output(), nil
+		}
+		i, err := m.addrIndex(nextAddr)
+		if err != nil {
+			return m.Output(), err
+		}
+		idx = i
+	}
+}
+
+func (m *Machine) get(r isa.Reg) int64 {
+	if r == isa.XZR {
+		return 0
+	}
+	return m.regs[r]
+}
+
+func (m *Machine) set(r isa.Reg, v int64) {
+	if r == isa.XZR {
+		return
+	}
+	m.regs[r] = v
+}
+
+// load/store with segment resolution.
+func (m *Machine) load(addr int64) (int64, error) {
+	w, err := m.slot(addr)
+	if err != nil {
+		return 0, err
+	}
+	return *w, nil
+}
+
+func (m *Machine) store(addr, v int64) error {
+	w, err := m.slot(addr)
+	if err != nil {
+		return err
+	}
+	*w = v
+	return nil
+}
+
+func (m *Machine) slot(addr int64) (*int64, error) {
+	if addr%8 != 0 {
+		return nil, fmt.Errorf("unaligned access at %#x", addr)
+	}
+	switch {
+	case addr >= globalsBase && addr < globalsBase+int64(len(m.globals))*8:
+		return &m.globals[(addr-globalsBase)/8], nil
+	case addr >= heapBase && addr < m.heapNext:
+		return &m.heap[(addr-heapBase)/8], nil
+	case addr >= stackBase && addr < stackBase+stackSize:
+		return &m.stack[(addr-stackBase)/8], nil
+	}
+	return nil, fmt.Errorf("bad memory access at %#x", addr)
+}
+
+// alloc bump-allocates n words and returns the block address.
+func (m *Machine) alloc(words int64) (int64, error) {
+	if words < 0 || words > 1<<24 {
+		return 0, fmt.Errorf("bad allocation size %d words", words)
+	}
+	addr := m.heapNext
+	m.heap = append(m.heap, make([]int64, words)...)
+	m.heapNext += words * 8
+	m.allocSizes[addr] = words
+	m.stats.HeapAllocs++
+	m.stats.HeapWords += words
+	return addr, nil
+}
+
+// step executes one instruction, returning the next PC address.
+func (m *Machine) step(ci *codeInst) (int64, error) {
+	in := ci.in
+	ev := Event{PC: ci.addr, Size: in.Size(), Op: in.Op}
+	next := ci.next
+	defer func() {
+		if m.opts.Trace != nil {
+			ev.SP = m.regs[isa.SP]
+			m.opts.Trace(ev)
+		}
+	}()
+
+	branchTo := func(addr int64) {
+		ev.Branch = true
+		ev.Target = addr
+		next = addr
+	}
+	labelAddr := func(sym string) (int64, bool) {
+		if a, ok := m.addrOf[symKey{fn: ci.fn, label: sym}]; ok {
+			return a, true
+		}
+		return 0, false
+	}
+	symbolAddr := func(sym string) (int64, error) {
+		if a, ok := m.funcEntry[sym]; ok {
+			return a, nil
+		}
+		if a, ok := runtimeAddr(sym); ok {
+			return a, nil
+		}
+		return 0, fmt.Errorf("unknown symbol %q", sym)
+	}
+
+	switch in.Op {
+	case isa.MOVZ:
+		m.set(in.Rd, in.Imm)
+	case isa.ORRrs:
+		m.set(in.Rd, m.get(in.Rn)|m.get(in.Rm))
+	case isa.ANDrs:
+		m.set(in.Rd, m.get(in.Rn)&m.get(in.Rm))
+	case isa.EORrs:
+		m.set(in.Rd, m.get(in.Rn)^m.get(in.Rm))
+	case isa.ADDrs:
+		m.set(in.Rd, m.get(in.Rn)+m.get(in.Rm))
+	case isa.ADDri:
+		m.set(in.Rd, m.get(in.Rn)+in.Imm)
+	case isa.SUBrs:
+		m.set(in.Rd, m.get(in.Rn)-m.get(in.Rm))
+	case isa.SUBri:
+		m.set(in.Rd, m.get(in.Rn)-in.Imm)
+	case isa.MUL:
+		m.set(in.Rd, m.get(in.Rn)*m.get(in.Rm))
+	case isa.SDIV:
+		d := m.get(in.Rm)
+		if d == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		m.set(in.Rd, m.get(in.Rn)/d)
+	case isa.MSUB:
+		m.set(in.Rd, m.get(in.Rd2)-m.get(in.Rn)*m.get(in.Rm))
+	case isa.LSLri:
+		m.set(in.Rd, m.get(in.Rn)<<uint(in.Imm))
+	case isa.LSRri:
+		m.set(in.Rd, int64(uint64(m.get(in.Rn))>>uint(in.Imm)))
+	case isa.ASRri:
+		m.set(in.Rd, m.get(in.Rn)>>uint(in.Imm))
+	case isa.CMPrs:
+		a, b := m.get(in.Rn), m.get(in.Rm)
+		m.fLess, m.fEq = a < b, a == b
+	case isa.CMPri:
+		a := m.get(in.Rn)
+		m.fLess, m.fEq = a < in.Imm, a == in.Imm
+	case isa.CSET:
+		v := int64(0)
+		if m.condHolds(in.Cond) {
+			v = 1
+		}
+		m.set(in.Rd, v)
+	case isa.LDRui:
+		addr := m.get(in.Rn) + in.Imm
+		v, err := m.load(addr)
+		if err != nil {
+			return 0, err
+		}
+		m.set(in.Rd, v)
+		ev.MemAddr, ev.IsLoad = addr, true
+		m.stats.Loads++
+	case isa.STRui:
+		addr := m.get(in.Rn) + in.Imm
+		if err := m.store(addr, m.get(in.Rd)); err != nil {
+			return 0, err
+		}
+		ev.MemAddr, ev.IsStore = addr, true
+		m.stats.Stores++
+	case isa.LDPui:
+		addr := m.get(in.Rn) + in.Imm
+		v1, err := m.load(addr)
+		if err != nil {
+			return 0, err
+		}
+		v2, err := m.load(addr + 8)
+		if err != nil {
+			return 0, err
+		}
+		m.set(in.Rd, v1)
+		m.set(in.Rd2, v2)
+		ev.MemAddr, ev.IsLoad = addr, true
+		m.stats.Loads++
+	case isa.STPui:
+		addr := m.get(in.Rn) + in.Imm
+		if err := m.store(addr, m.get(in.Rd)); err != nil {
+			return 0, err
+		}
+		if err := m.store(addr+8, m.get(in.Rd2)); err != nil {
+			return 0, err
+		}
+		ev.MemAddr, ev.IsStore = addr, true
+		m.stats.Stores++
+	case isa.STPpre:
+		base := m.get(in.Rn) + in.Imm // Imm is negative
+		if err := m.store(base, m.get(in.Rd)); err != nil {
+			return 0, err
+		}
+		if err := m.store(base+8, m.get(in.Rd2)); err != nil {
+			return 0, err
+		}
+		m.set(in.Rn, base)
+		ev.MemAddr, ev.IsStore = base, true
+		m.stats.Stores++
+	case isa.LDPpost:
+		base := m.get(in.Rn)
+		v1, err := m.load(base)
+		if err != nil {
+			return 0, err
+		}
+		v2, err := m.load(base + 8)
+		if err != nil {
+			return 0, err
+		}
+		m.set(in.Rd, v1)
+		m.set(in.Rd2, v2)
+		m.set(in.Rn, base+in.Imm)
+		ev.MemAddr, ev.IsLoad = base, true
+		m.stats.Loads++
+	case isa.STRpre:
+		base := m.get(in.Rn) + in.Imm
+		if err := m.store(base, m.get(in.Rd)); err != nil {
+			return 0, err
+		}
+		m.set(in.Rn, base)
+		ev.MemAddr, ev.IsStore = base, true
+		m.stats.Stores++
+	case isa.LDRpost:
+		base := m.get(in.Rn)
+		v, err := m.load(base)
+		if err != nil {
+			return 0, err
+		}
+		m.set(in.Rd, v)
+		m.set(in.Rn, base+in.Imm)
+		ev.MemAddr, ev.IsLoad = base, true
+		m.stats.Loads++
+	case isa.ADR:
+		if a, ok := m.globalAddrs[in.Sym]; ok {
+			m.set(in.Rd, a)
+		} else if a, ok := m.funcEntry[in.Sym]; ok {
+			m.set(in.Rd, a)
+		} else if a, ok := runtimeAddr(in.Sym); ok {
+			m.set(in.Rd, a)
+		} else {
+			return 0, fmt.Errorf("unknown symbol %q", in.Sym)
+		}
+	case isa.B:
+		if a, ok := labelAddr(in.Sym); ok {
+			branchTo(a)
+		} else {
+			a, err := symbolAddr(in.Sym) // tail call
+			if err != nil {
+				return 0, err
+			}
+			branchTo(a)
+		}
+		m.stats.Branches++
+		m.stats.Taken++
+	case isa.Bcc:
+		m.stats.Branches++
+		if m.condHolds(in.Cond) {
+			a, ok := labelAddr(in.Sym)
+			if !ok {
+				return 0, fmt.Errorf("unknown label %q", in.Sym)
+			}
+			branchTo(a)
+			m.stats.Taken++
+		}
+	case isa.CBZ, isa.CBNZ:
+		m.stats.Branches++
+		v := m.get(in.Rn)
+		if (in.Op == isa.CBZ && v == 0) || (in.Op == isa.CBNZ && v != 0) {
+			a, ok := labelAddr(in.Sym)
+			if !ok {
+				return 0, fmt.Errorf("unknown label %q", in.Sym)
+			}
+			branchTo(a)
+			m.stats.Taken++
+		}
+	case isa.BL:
+		a, err := symbolAddr(in.Sym)
+		if err != nil {
+			return 0, err
+		}
+		m.set(isa.LR, ci.next)
+		branchTo(a)
+		m.stats.Calls++
+	case isa.BLR:
+		m.set(isa.LR, ci.next)
+		branchTo(m.get(in.Rn))
+		m.stats.Calls++
+	case isa.RET:
+		branchTo(m.get(isa.LR))
+		m.stats.Branches++
+		m.stats.Taken++
+	case isa.BRK:
+		return 0, fmt.Errorf("trap (BRK #%d)", in.Imm)
+	case isa.NOP:
+	default:
+		return 0, fmt.Errorf("unimplemented opcode %s", isa.OpName(in.Op))
+	}
+	return next, nil
+}
+
+func (m *Machine) condHolds(c isa.Cond) bool {
+	switch c {
+	case isa.EQ:
+		return m.fEq
+	case isa.NE:
+		return !m.fEq
+	case isa.LT:
+		return m.fLess
+	case isa.LE:
+		return m.fLess || m.fEq
+	case isa.GT:
+		return !m.fLess && !m.fEq
+	case isa.GE:
+		return !m.fLess
+	}
+	return false
+}
+
+// runtimeCall executes the runtime entry at addr and returns the return
+// address (the caller's LR).
+func (m *Machine) runtimeCall(addr int64) (int64, error) {
+	name := runtimeEntries[(addr-rtBase)/8]
+	x0 := m.regs[isa.X0]
+	switch name {
+	case "swift_retain", "objc_retain":
+		if n, ok := m.allocSizes[x0]; ok && n > 0 {
+			m.heap[(x0-heapBase)/8]++
+		}
+	case "swift_release", "objc_release":
+		if n, ok := m.allocSizes[x0]; ok && n > 0 {
+			m.heap[(x0-heapBase)/8]--
+		}
+	case "swift_allocObject":
+		// x0 = field count; block = [refcount, fields...]
+		p, err := m.alloc(1 + x0)
+		if err != nil {
+			return 0, err
+		}
+		m.heap[(p-heapBase)/8] = 1
+		m.regs[isa.X0] = p
+	case "swift_allocArray":
+		// x0 = length; block = [refcount, length, elems...]
+		p, err := m.alloc(2 + x0)
+		if err != nil {
+			return 0, err
+		}
+		m.heap[(p-heapBase)/8] = 1
+		m.heap[(p-heapBase)/8+1] = x0
+		m.regs[isa.X0] = p
+	case "swift_arrayAppend":
+		arr, elem := x0, m.regs[isa.X1]
+		n, err := m.load(arr + 8)
+		if err != nil {
+			return 0, fmt.Errorf("append to bad array %#x: %w", arr, err)
+		}
+		p, err := m.alloc(2 + n + 1)
+		if err != nil {
+			return 0, err
+		}
+		base := (p - heapBase) / 8
+		m.heap[base] = 1
+		m.heap[base+1] = n + 1
+		for i := int64(0); i < n; i++ {
+			v, err := m.load(arr + 16 + 8*i)
+			if err != nil {
+				return 0, err
+			}
+			m.heap[base+2+i] = v
+		}
+		m.heap[base+2+n] = elem
+		m.regs[isa.X0] = p
+	case "print_int":
+		fmt.Fprintf(&m.out, "%d\n", x0)
+	case "print_bool":
+		if x0 != 0 {
+			m.out.WriteString("true\n")
+		} else {
+			m.out.WriteString("false\n")
+		}
+	case "print_str":
+		n, err := m.load(x0)
+		if err != nil {
+			return 0, fmt.Errorf("print_str of bad pointer %#x: %w", x0, err)
+		}
+		var sb strings.Builder
+		for i := int64(0); i < n; i++ {
+			ch, err := m.load(x0 + 8 + 8*i)
+			if err != nil {
+				return 0, err
+			}
+			sb.WriteRune(rune(ch))
+		}
+		m.out.WriteString(sb.String())
+		m.out.WriteByte('\n')
+	default:
+		return 0, fmt.Errorf("unknown runtime entry %q", name)
+	}
+	return m.regs[isa.LR], nil
+}
+
+// Describe returns "func+offset" for a code address (debugging aid).
+func (m *Machine) Describe(addr int64) string {
+	idx, err := m.addrIndex(addr)
+	if err != nil {
+		return fmt.Sprintf("%#x(?)", addr)
+	}
+	ci := m.code[idx]
+	return fmt.Sprintf("%s: %s", m.prog.Funcs[ci.fn].Name, ci.in)
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"outliner/internal/appgen"
+	"outliner/internal/pipeline"
+)
+
+// BuildTimeResult reproduces §VII-C: the default pipeline is fast; the
+// whole-program pipeline pays for llvm-link + whole-program opt + llc; each
+// extra outlining round adds progressively less. (The paper: 21 min default,
+// 53 min new pipeline without outlining, 66 min with five rounds.)
+type BuildTimeResult struct {
+	DefaultDur  time.Duration
+	WholeNoOut  time.Duration
+	WholeRounds []time.Duration // index = rounds (1..5)
+	Stages      map[string]time.Duration
+}
+
+// RunBuildTime measures wall-clock build times on the synthetic app.
+func RunBuildTime(w io.Writer, scale float64) (*BuildTimeResult, error) {
+	res := &BuildTimeResult{Stages: map[string]time.Duration{}}
+
+	timeBuild := func(cfg pipeline.Config) (time.Duration, *pipeline.Result, error) {
+		start := time.Now()
+		r, err := appgen.BuildApp(appgen.UberRider, scale, cfg)
+		return time.Since(start), r, err
+	}
+
+	d, _, err := timeBuild(baselineConfig())
+	if err != nil {
+		return nil, err
+	}
+	res.DefaultDur = d
+
+	noOut := optimizedConfig()
+	noOut.OutlineRounds = 0
+	d, r, err := timeBuild(noOut)
+	if err != nil {
+		return nil, err
+	}
+	res.WholeNoOut = d
+	for k, v := range r.Timings {
+		res.Stages[k] = v
+	}
+
+	for rounds := 1; rounds <= 5; rounds++ {
+		cfg := optimizedConfig()
+		cfg.OutlineRounds = rounds
+		d, _, err := timeBuild(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.WholeRounds = append(res.WholeRounds, d)
+	}
+
+	fmt.Fprintln(w, "BUILD TIME (§VII-C): wall-clock on this machine, synthetic app")
+	fmt.Fprintln(w, "(paper shape: default << whole-program; rounds add diminishing time)")
+	fmt.Fprintln(w)
+	rows := [][]string{
+		{"configuration", "time"},
+		{"default pipeline (per-module, 1 round)", res.DefaultDur.Round(time.Millisecond).String()},
+		{"whole-program, no outlining", res.WholeNoOut.Round(time.Millisecond).String()},
+	}
+	for i, d := range res.WholeRounds {
+		rows = append(rows, []string{
+			fmt.Sprintf("whole-program, %d round(s)", i+1),
+			d.Round(time.Millisecond).String(),
+		})
+	}
+	table(w, rows)
+	fmt.Fprintln(w, "\nwhole-program stage breakdown (no outlining):")
+	srows := [][]string{{"stage", "time"}}
+	for _, k := range sortedKeys(res.Stages) {
+		srows = append(srows, []string{k, res.Stages[k].Round(time.Millisecond).String()})
+	}
+	table(w, srows)
+	return res, nil
+}

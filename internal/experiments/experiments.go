@@ -1,0 +1,157 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VII) on the reproduction's substrate: the synthetic apps of
+// internal/appgen, the SwiftLite benchmark suite under testdata/benchmarks,
+// and the clang-like / kernel-like corpora. Each experiment returns a
+// structured result and renders a text report; cmd/experiments exposes them
+// as subcommands and bench_test.go as benchmarks.
+//
+// Absolute numbers differ from the paper (the substrate is a simulator and
+// the app is synthetic); what must match is the shape: who wins, by roughly
+// what factor, and where the curves bend. EXPERIMENTS.md records both sides.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"outliner/internal/appgen"
+	"outliner/internal/exec"
+	"outliner/internal/perf"
+	"outliner/internal/pipeline"
+)
+
+// Scale is the app-size knob every experiment takes; 1.0 is the full
+// synthetic app (hundreds of functions), smaller values keep CI fast.
+const DefaultScale = 0.6
+
+// BenchmarksDir locates testdata/benchmarks relative to the repo root.
+func BenchmarksDir() string {
+	for _, dir := range []string{"testdata/benchmarks", "../testdata/benchmarks", "../../testdata/benchmarks"} {
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir
+		}
+	}
+	return "testdata/benchmarks"
+}
+
+// LoadBenchmarks reads all .sl files in the benchmark suite.
+func LoadBenchmarks() (map[string]string, error) {
+	dir := BenchmarksDir()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: benchmark dir: %w", err)
+	}
+	out := make(map[string]string)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".sl") {
+			continue
+		}
+		text, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		out[strings.TrimSuffix(e.Name(), ".sl")] = string(text)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: no benchmarks found in %s", dir)
+	}
+	return out, nil
+}
+
+// buildBench compiles one single-module benchmark with the given outlining
+// rounds (whole-program pipeline, as the artifact's run.sh does with llc).
+func buildBench(name, text string, rounds int) (*pipeline.Result, error) {
+	cfg := pipeline.Config{
+		WholeProgram:       true,
+		OutlineRounds:      rounds,
+		SILOutline:         true,
+		SpecializeClosures: true,
+		MergeFunctions:     true,
+		PreserveDataLayout: true,
+		SplitGCMetadata:    true,
+	}
+	return pipeline.Build([]pipeline.Source{{Name: name, Files: map[string]string{name + ".sl": text}}}, cfg)
+}
+
+// runOnDevice executes entry under the perf model and returns (output, perf
+// result).
+func runOnDevice(res *pipeline.Result, entry string, dev perf.Device, osm perf.OS, maxSteps int64) (string, perf.Result, error) {
+	sim := perf.New(dev, osm)
+	m, err := exec.New(res.Prog, exec.Options{MaxSteps: maxSteps, Trace: sim.Observe})
+	if err != nil {
+		return "", perf.Result{}, err
+	}
+	out, err := m.Run(entry)
+	if err != nil {
+		return out, perf.Result{}, err
+	}
+	return out, sim.Finish(), nil
+}
+
+// buildApp builds an app profile with and without the paper's optimization.
+func buildApp(p appgen.Profile, scale float64, optimized bool) (*pipeline.Result, error) {
+	cfg := baselineConfig()
+	if optimized {
+		cfg = optimizedConfig()
+	}
+	return appgen.BuildApp(p, scale, cfg)
+}
+
+// baselineConfig is the default iOS pipeline with Swift 5.2 semantics:
+// per-module compilation and one round of per-module outlining (-Osize).
+func baselineConfig() pipeline.Config {
+	return pipeline.Config{
+		OutlineRounds:      1,
+		SILOutline:         true,
+		SpecializeClosures: true,
+	}
+}
+
+// optimizedConfig is the paper's production pipeline: whole program, five
+// rounds of repeated machine outlining, both linker fixes.
+func optimizedConfig() pipeline.Config {
+	cfg := pipeline.OSize
+	return cfg
+}
+
+// percent formats a fraction as a percentage string.
+func percent(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// table renders rows of columns with aligned widths.
+func table(w io.Writer, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, len(rows[0]))
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			fmt.Fprintf(w, "%-*s", widths[i]+2, c)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Grid dimensions, exposed for tests.
+func appgenSpans() int           { return appgen.UberRider.Spans }
+func perfDevices() []perf.Device { return perf.Devices }
+func perfOSes() []perf.OS        { return perf.OSes }

@@ -1,0 +1,429 @@
+package frontend
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind classifies SwiftLite types.
+type TypeKind uint8
+
+// Type kinds.
+const (
+	TInt TypeKind = iota
+	TBool
+	TString
+	TVoid
+	TClass    // named reference type
+	TArray    // [Elem]
+	TFunc     // (params) -> ret, possibly throws
+	TOptional // Inner?
+	TGeneric  // a type parameter, resolved during specialization
+)
+
+// Type is a SwiftLite type. Types are interned by value semantics: compare
+// with Equal, print with String.
+type Type struct {
+	Kind   TypeKind
+	Name   string  // class name or generic parameter name
+	Elem   *Type   // array element / optional inner
+	Params []*Type // function parameters
+	Ret    *Type   // function result
+	Throws bool
+}
+
+// Convenience singletons.
+var (
+	IntType    = &Type{Kind: TInt}
+	BoolType   = &Type{Kind: TBool}
+	StringType = &Type{Kind: TString}
+	VoidType   = &Type{Kind: TVoid}
+)
+
+// ClassType returns the type of class name.
+func ClassType(name string) *Type { return &Type{Kind: TClass, Name: name} }
+
+// ArrayType returns [elem].
+func ArrayType(elem *Type) *Type { return &Type{Kind: TArray, Elem: elem} }
+
+// OptionalType returns elem?.
+func OptionalType(elem *Type) *Type { return &Type{Kind: TOptional, Elem: elem} }
+
+// Equal reports structural type equality.
+func (t *Type) Equal(u *Type) bool {
+	if t == nil || u == nil {
+		return t == u
+	}
+	if t.Kind != u.Kind || t.Name != u.Name || t.Throws != u.Throws {
+		return false
+	}
+	if !t.Elem.Equal(u.Elem) || !t.Ret.Equal(u.Ret) {
+		return false
+	}
+	if len(t.Params) != len(u.Params) {
+		return false
+	}
+	for i := range t.Params {
+		if !t.Params[i].Equal(u.Params[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsRef reports whether values of the type are reference counted at runtime.
+// The nil literal's type (an optional with no inner type) counts as a
+// reference.
+func (t *Type) IsRef() bool {
+	if t == nil {
+		return false
+	}
+	switch t.Kind {
+	case TClass, TArray, TString, TFunc:
+		return true
+	case TOptional:
+		return t.Elem == nil || t.Elem.IsRef()
+	}
+	return false
+}
+
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case TInt:
+		return "Int"
+	case TBool:
+		return "Bool"
+	case TString:
+		return "String"
+	case TVoid:
+		return "Void"
+	case TClass, TGeneric:
+		return t.Name
+	case TArray:
+		return "[" + t.Elem.String() + "]"
+	case TOptional:
+		return t.Elem.String() + "?"
+	case TFunc:
+		parts := make([]string, len(t.Params))
+		for i, p := range t.Params {
+			parts[i] = p.String()
+		}
+		s := "(" + strings.Join(parts, ", ") + ")"
+		if t.Throws {
+			s += " throws"
+		}
+		return s + " -> " + t.Ret.String()
+	}
+	return fmt.Sprintf("type(%d)", t.Kind)
+}
+
+// ---- Declarations ----
+
+// File is a parsed source file.
+type File struct {
+	Name    string
+	Funcs   []*FuncDecl
+	Classes []*ClassDecl
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type *Type
+}
+
+// FuncDecl is a function (or method, when attached to a class).
+type FuncDecl struct {
+	Name     string
+	Generics []string // generic parameter names
+	Params   []Param
+	Ret      *Type // VoidType when absent
+	Throws   bool
+	Body     *BlockStmt
+	Line     int
+
+	// Class is the enclosing class for methods and inits, "" for free
+	// functions. IsInit marks initializers.
+	Class  string
+	IsInit bool
+}
+
+// FieldDecl is a stored property of a class.
+type FieldDecl struct {
+	Name string
+	Type *Type
+}
+
+// ClassDecl is a class: fields, one optional initializer, methods.
+type ClassDecl struct {
+	Name    string
+	Fields  []FieldDecl
+	Init    *FuncDecl
+	Methods []*FuncDecl
+	Line    int
+}
+
+// FieldIndex returns the index of a field or -1.
+func (c *ClassDecl) FieldIndex(name string) int {
+	for i, f := range c.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ---- Statements ----
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is a braced statement list.
+type BlockStmt struct {
+	Stmts []Stmt
+}
+
+// VarStmt declares a let/var binding.
+type VarStmt struct {
+	Name    string
+	Mutable bool
+	Type    *Type // nil = inferred
+	Init    Expr
+	Line    int
+}
+
+// AssignStmt assigns to a variable, field, or element.
+type AssignStmt struct {
+	LHS  Expr // IdentExpr, FieldExpr, or IndexExpr
+	RHS  Expr
+	Line int
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	E    Expr
+	Line int
+}
+
+// IfStmt is if/else; when Bind != "", it is an `if let Bind = Cond` form and
+// Cond has optional type.
+type IfStmt struct {
+	Bind string
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt, or nil
+	Line int
+}
+
+// WhileStmt loops while Cond holds.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+	Line int
+}
+
+// ForStmt is `for Var in Lo ..< Hi`.
+type ForStmt struct {
+	Var  string
+	Lo   Expr
+	Hi   Expr
+	Body *BlockStmt
+	Line int
+}
+
+// ReturnStmt returns (optionally) a value.
+type ReturnStmt struct {
+	E    Expr // nil for bare return
+	Line int
+}
+
+// ThrowStmt throws an Int error code.
+type ThrowStmt struct {
+	E    Expr
+	Line int
+}
+
+// DoCatchStmt runs Body; on a thrown error, runs Catch with `error: Int`
+// bound to the error code.
+type DoCatchStmt struct {
+	Body  *BlockStmt
+	Catch *BlockStmt
+	Line  int
+}
+
+// BreakStmt / ContinueStmt control loops.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt continues the enclosing loop.
+type ContinueStmt struct{ Line int }
+
+func (*BlockStmt) stmtNode()    {}
+func (*VarStmt) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*ThrowStmt) stmtNode()    {}
+func (*DoCatchStmt) stmtNode()  {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// ---- Expressions ----
+
+// Expr is an expression node. Every expression carries its checked type
+// after sema (via SetType/TypeOf).
+type Expr interface {
+	exprNode()
+	TypeOf() *Type
+	SetType(*Type)
+}
+
+type exprBase struct{ typ *Type }
+
+func (b *exprBase) exprNode()       {}
+func (b *exprBase) TypeOf() *Type   { return b.typ }
+func (b *exprBase) SetType(t *Type) { b.typ = t }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Value int64
+	Line  int
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	exprBase
+	Value bool
+	Line  int
+}
+
+// StringLit is a string literal.
+type StringLit struct {
+	exprBase
+	Value string
+	Line  int
+}
+
+// NilLit is nil.
+type NilLit struct {
+	exprBase
+	Line int
+}
+
+// IdentExpr references a variable, parameter, or function.
+type IdentExpr struct {
+	exprBase
+	Name string
+	Line int
+
+	// Filled by sema: FuncSym is set when the identifier denotes a named
+	// function used as a value.
+	FuncSym string
+}
+
+// SelfExpr references self inside methods.
+type SelfExpr struct {
+	exprBase
+	Line int
+}
+
+// UnaryExpr is -x or !x.
+type UnaryExpr struct {
+	exprBase
+	Op   TokKind // TokMinus or TokNot
+	X    Expr
+	Line int
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	exprBase
+	Op   TokKind
+	L, R Expr
+	Line int
+}
+
+// CallKind says what a CallExpr resolved to during type checking.
+type CallKind uint8
+
+// Call kinds.
+const (
+	CallUnresolved CallKind = iota
+	CallFunc                // direct call of a named (possibly specialized) function
+	CallInit                // ClassName(args)
+	CallBuiltin             // print / append / Array
+	CallClosure             // call through a function-typed value
+)
+
+// CallExpr calls a free function, a class initializer, or a builtin.
+// TypeArgs carry explicit generic instantiations (f<Int>(x)).
+type CallExpr struct {
+	exprBase
+	Fn       Expr // IdentExpr (function/class/builtin) or arbitrary (closure value)
+	TypeArgs []*Type
+	Args     []Expr
+	// Try marks `try f(...)`.
+	Try  bool
+	Line int
+
+	// Filled by sema.
+	Kind        CallKind
+	ResolvedSym string // mangled callee for CallFunc/CallInit, builtin name for CallBuiltin
+	Throws      bool   // callee throws
+}
+
+// MethodCallExpr calls obj.method(args) — also s.count-style accessors when
+// parenthesized forms are absent are parsed as FieldExpr.
+type MethodCallExpr struct {
+	exprBase
+	Recv   Expr
+	Method string
+	Args   []Expr
+	Try    bool
+	Line   int
+
+	// Filled by sema.
+	ResolvedSym string
+	Throws      bool
+}
+
+// FieldExpr is obj.field (including array/string `count`).
+type FieldExpr struct {
+	exprBase
+	Recv  Expr
+	Field string
+	Line  int
+}
+
+// IndexExpr is a[i] or s[i].
+type IndexExpr struct {
+	exprBase
+	Recv  Expr
+	Index Expr
+	Line  int
+}
+
+// ArrayLit is [e1, e2, ...].
+type ArrayLit struct {
+	exprBase
+	Elems []Expr
+	Line  int
+}
+
+// ClosureExpr is { (params) -> Ret in stmts }.
+type ClosureExpr struct {
+	exprBase
+	Params []Param
+	Ret    *Type
+	Body   *BlockStmt
+	Line   int
+
+	// Captures is filled by sema: the outer locals the closure reads.
+	Captures []string
+}

@@ -1,0 +1,169 @@
+package frontend
+
+// CloneFunc deep-copies a function declaration. Generic specialization
+// type-checks each instantiation on its own copy of the body, so checked
+// types never leak between instantiations.
+func CloneFunc(f *FuncDecl) *FuncDecl {
+	nf := *f
+	nf.Params = append([]Param(nil), f.Params...)
+	nf.Generics = append([]string(nil), f.Generics...)
+	nf.Body = cloneBlock(f.Body)
+	return &nf
+}
+
+func cloneBlock(b *BlockStmt) *BlockStmt {
+	if b == nil {
+		return nil
+	}
+	nb := &BlockStmt{Stmts: make([]Stmt, len(b.Stmts))}
+	for i, s := range b.Stmts {
+		nb.Stmts[i] = cloneStmt(s)
+	}
+	return nb
+}
+
+func cloneStmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case *BlockStmt:
+		return cloneBlock(s)
+	case *VarStmt:
+		n := *s
+		n.Init = cloneExpr(s.Init)
+		return &n
+	case *AssignStmt:
+		n := *s
+		n.LHS = cloneExpr(s.LHS)
+		n.RHS = cloneExpr(s.RHS)
+		return &n
+	case *ExprStmt:
+		n := *s
+		n.E = cloneExpr(s.E)
+		return &n
+	case *IfStmt:
+		n := *s
+		n.Cond = cloneExpr(s.Cond)
+		n.Then = cloneBlock(s.Then)
+		if s.Else != nil {
+			n.Else = cloneStmt(s.Else)
+		}
+		return &n
+	case *WhileStmt:
+		n := *s
+		n.Cond = cloneExpr(s.Cond)
+		n.Body = cloneBlock(s.Body)
+		return &n
+	case *ForStmt:
+		n := *s
+		n.Lo = cloneExpr(s.Lo)
+		n.Hi = cloneExpr(s.Hi)
+		n.Body = cloneBlock(s.Body)
+		return &n
+	case *ReturnStmt:
+		n := *s
+		if s.E != nil {
+			n.E = cloneExpr(s.E)
+		}
+		return &n
+	case *ThrowStmt:
+		n := *s
+		n.E = cloneExpr(s.E)
+		return &n
+	case *DoCatchStmt:
+		n := *s
+		n.Body = cloneBlock(s.Body)
+		n.Catch = cloneBlock(s.Catch)
+		return &n
+	case *BreakStmt:
+		n := *s
+		return &n
+	case *ContinueStmt:
+		n := *s
+		return &n
+	}
+	panic("frontend: unknown statement in clone")
+}
+
+func cloneExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case *IntLit:
+		n := *e
+		n.exprBase = exprBase{}
+		return &n
+	case *BoolLit:
+		n := *e
+		n.exprBase = exprBase{}
+		return &n
+	case *StringLit:
+		n := *e
+		n.exprBase = exprBase{}
+		return &n
+	case *NilLit:
+		n := *e
+		n.exprBase = exprBase{}
+		return &n
+	case *IdentExpr:
+		n := *e
+		n.exprBase = exprBase{}
+		return &n
+	case *SelfExpr:
+		n := *e
+		n.exprBase = exprBase{}
+		return &n
+	case *UnaryExpr:
+		n := *e
+		n.exprBase = exprBase{}
+		n.X = cloneExpr(e.X)
+		return &n
+	case *BinaryExpr:
+		n := *e
+		n.exprBase = exprBase{}
+		n.L = cloneExpr(e.L)
+		n.R = cloneExpr(e.R)
+		return &n
+	case *CallExpr:
+		n := *e
+		n.exprBase = exprBase{}
+		n.Fn = cloneExpr(e.Fn)
+		n.TypeArgs = append([]*Type(nil), e.TypeArgs...)
+		n.Args = cloneExprs(e.Args)
+		return &n
+	case *MethodCallExpr:
+		n := *e
+		n.exprBase = exprBase{}
+		n.Recv = cloneExpr(e.Recv)
+		n.Args = cloneExprs(e.Args)
+		return &n
+	case *FieldExpr:
+		n := *e
+		n.exprBase = exprBase{}
+		n.Recv = cloneExpr(e.Recv)
+		return &n
+	case *IndexExpr:
+		n := *e
+		n.exprBase = exprBase{}
+		n.Recv = cloneExpr(e.Recv)
+		n.Index = cloneExpr(e.Index)
+		return &n
+	case *ArrayLit:
+		n := *e
+		n.exprBase = exprBase{}
+		n.Elems = cloneExprs(e.Elems)
+		return &n
+	case *ClosureExpr:
+		n := *e
+		n.exprBase = exprBase{}
+		n.Params = append([]Param(nil), e.Params...)
+		n.Body = cloneBlock(e.Body)
+		n.Captures = append([]string(nil), e.Captures...)
+		return &n
+	}
+	panic("frontend: unknown expression in clone")
+}
+
+func cloneExprs(es []Expr) []Expr {
+	out := make([]Expr, len(es))
+	for i, e := range es {
+		out[i] = cloneExpr(e)
+	}
+	return out
+}

@@ -1,0 +1,808 @@
+package frontend
+
+import "fmt"
+
+// Parser builds the AST for one SwiftLite file.
+type Parser struct {
+	file string
+	toks []Token
+	pos  int
+
+	// noBraceDepth > 0 while parsing if/while/for headers, where a bare `{`
+	// belongs to the statement body, not to a closure literal.
+	noBraceDepth int
+}
+
+// ParseFile lexes and parses src.
+func ParseFile(file, src string) (*File, error) {
+	toks, err := NewLexer(file, src).Lex()
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{file: file, toks: toks}
+	return p.parseFile()
+}
+
+func (p *Parser) cur() Token        { return p.toks[p.pos] }
+func (p *Parser) at(k TokKind) bool { return p.cur().Kind == k }
+
+func (p *Parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) accept(k TokKind) bool {
+	if p.at(k) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if !p.at(k) {
+		return p.cur(), p.errf("expected %q, found %s", tokNames[k], p.cur())
+	}
+	return p.advance(), nil
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return &Error{File: p.file, Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) parseFile() (*File, error) {
+	f := &File{Name: p.file}
+	for !p.at(TokEOF) {
+		switch p.cur().Kind {
+		case TokFunc:
+			fn, err := p.parseFunc("", false)
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+		case TokClass:
+			cd, err := p.parseClass()
+			if err != nil {
+				return nil, err
+			}
+			f.Classes = append(f.Classes, cd)
+		default:
+			return nil, p.errf("expected func or class at top level, found %s", p.cur())
+		}
+	}
+	return f, nil
+}
+
+func (p *Parser) parseFunc(class string, isInit bool) (*FuncDecl, error) {
+	fn := &FuncDecl{Class: class, IsInit: isInit, Line: p.cur().Line}
+	if isInit {
+		if _, err := p.expect(TokInit); err != nil {
+			return nil, err
+		}
+		fn.Name = "init"
+	} else {
+		if _, err := p.expect(TokFunc); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		fn.Name = name.Text
+	}
+	if p.accept(TokLt) {
+		for {
+			g, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			fn.Generics = append(fn.Generics, g.Text)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokGt); err != nil {
+			return nil, err
+		}
+	}
+	params, err := p.parseParamList(fn.Generics)
+	if err != nil {
+		return nil, err
+	}
+	fn.Params = params
+	if p.accept(TokThrows) {
+		fn.Throws = true
+	}
+	fn.Ret = VoidType
+	if p.accept(TokArrow) {
+		rt, err := p.parseType(fn.Generics)
+		if err != nil {
+			return nil, err
+		}
+		fn.Ret = rt
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) parseParamList(generics []string) ([]Param, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var params []Param
+	for !p.at(TokRParen) {
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		ty, err := p.parseType(generics)
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, Param{Name: name.Text, Type: ty})
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return params, nil
+}
+
+func (p *Parser) parseClass() (*ClassDecl, error) {
+	cd := &ClassDecl{Line: p.cur().Line}
+	if _, err := p.expect(TokClass); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	cd.Name = name.Text
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	for !p.at(TokRBrace) {
+		switch p.cur().Kind {
+		case TokVar, TokLet:
+			p.advance()
+			fname, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokColon); err != nil {
+				return nil, err
+			}
+			ty, err := p.parseType(nil)
+			if err != nil {
+				return nil, err
+			}
+			cd.Fields = append(cd.Fields, FieldDecl{Name: fname.Text, Type: ty})
+		case TokInit:
+			if cd.Init != nil {
+				return nil, p.errf("class %s has multiple initializers", cd.Name)
+			}
+			fn, err := p.parseFunc(cd.Name, true)
+			if err != nil {
+				return nil, err
+			}
+			cd.Init = fn
+		case TokFunc:
+			fn, err := p.parseFunc(cd.Name, false)
+			if err != nil {
+				return nil, err
+			}
+			cd.Methods = append(cd.Methods, fn)
+		default:
+			return nil, p.errf("expected field, init, or method in class %s, found %s", cd.Name, p.cur())
+		}
+	}
+	_, err = p.expect(TokRBrace)
+	return cd, err
+}
+
+func (p *Parser) parseType(generics []string) (*Type, error) {
+	var base *Type
+	switch {
+	case p.at(TokIdent):
+		name := p.advance().Text
+		switch name {
+		case "Int":
+			base = IntType
+		case "Bool":
+			base = BoolType
+		case "String":
+			base = StringType
+		case "Void":
+			base = VoidType
+		default:
+			if contains(generics, name) {
+				base = &Type{Kind: TGeneric, Name: name}
+			} else {
+				base = ClassType(name)
+			}
+		}
+	case p.at(TokLBracket):
+		p.advance()
+		elem, err := p.parseType(generics)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		base = ArrayType(elem)
+	case p.at(TokLParen):
+		p.advance()
+		ft := &Type{Kind: TFunc, Ret: VoidType}
+		for !p.at(TokRParen) {
+			pt, err := p.parseType(generics)
+			if err != nil {
+				return nil, err
+			}
+			ft.Params = append(ft.Params, pt)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		if p.accept(TokThrows) {
+			ft.Throws = true
+		}
+		if _, err := p.expect(TokArrow); err != nil {
+			return nil, err
+		}
+		rt, err := p.parseType(generics)
+		if err != nil {
+			return nil, err
+		}
+		ft.Ret = rt
+		base = ft
+	default:
+		return nil, p.errf("expected type, found %s", p.cur())
+	}
+	for p.accept(TokQuestion) {
+		base = OptionalType(base)
+	}
+	return base, nil
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- Statements ----
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{}
+	for !p.at(TokRBrace) {
+		if p.at(TokEOF) {
+			return nil, p.errf("unterminated block")
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, st)
+	}
+	_, err := p.expect(TokRBrace)
+	return blk, err
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case TokLet, TokVar:
+		mutable := p.cur().Kind == TokVar
+		line := p.advance().Line
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		var ty *Type
+		if p.accept(TokColon) {
+			ty, err = p.parseType(nil)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokAssign); err != nil {
+			return nil, err
+		}
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &VarStmt{Name: name.Text, Mutable: mutable, Type: ty, Init: init, Line: line}, nil
+
+	case TokIf:
+		return p.parseIf()
+
+	case TokWhile:
+		line := p.advance().Line
+		p.noBraceDepth++
+		cond, err := p.parseExpr()
+		p.noBraceDepth--
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: line}, nil
+
+	case TokFor:
+		line := p.advance().Line
+		v, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokIn); err != nil {
+			return nil, err
+		}
+		p.noBraceDepth++
+		lo, err := p.parseExpr()
+		if err != nil {
+			p.noBraceDepth--
+			return nil, err
+		}
+		if _, err := p.expect(TokRangeUpto); err != nil {
+			p.noBraceDepth--
+			return nil, err
+		}
+		hi, err := p.parseExpr()
+		p.noBraceDepth--
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Var: v.Text, Lo: lo, Hi: hi, Body: body, Line: line}, nil
+
+	case TokReturn:
+		line := p.advance().Line
+		// A bare return is followed by a token that cannot start an
+		// expression in statement position.
+		if p.at(TokRBrace) || p.at(TokEOF) {
+			return &ReturnStmt{Line: line}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{E: e, Line: line}, nil
+
+	case TokThrow:
+		line := p.advance().Line
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ThrowStmt{E: e, Line: line}, nil
+
+	case TokDo:
+		line := p.advance().Line
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokCatch); err != nil {
+			return nil, err
+		}
+		catch, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &DoCatchStmt{Body: body, Catch: catch, Line: line}, nil
+
+	case TokBreak:
+		line := p.advance().Line
+		return &BreakStmt{Line: line}, nil
+
+	case TokContinue:
+		line := p.advance().Line
+		return &ContinueStmt{Line: line}, nil
+	}
+
+	// Assignment or expression statement.
+	line := p.cur().Line
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(TokAssign) {
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{LHS: lhs, RHS: rhs, Line: line}, nil
+	}
+	return &ExprStmt{E: lhs, Line: line}, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	line := p.advance().Line // consume `if`
+	var bind string
+	if p.at(TokLet) {
+		p.advance()
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		bind = name.Text
+		if _, err := p.expect(TokAssign); err != nil {
+			return nil, err
+		}
+	}
+	p.noBraceDepth++
+	cond, err := p.parseExpr()
+	p.noBraceDepth--
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Bind: bind, Cond: cond, Then: then, Line: line}
+	if p.accept(TokElse) {
+		if p.at(TokIf) {
+			els, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+	}
+	return st, nil
+}
+
+// ---- Expressions ----
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokOr) {
+		line := p.advance().Line
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: TokOr, L: l, R: r, Line: line}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokAnd) {
+		line := p.advance().Line
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: TokAnd, L: l, R: r, Line: line}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case TokEq, TokNe, TokLt, TokLe, TokGt, TokGe:
+		op := p.cur().Kind
+		line := p.advance().Line
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: op, L: l, R: r, Line: line}, nil
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokPlus) || p.at(TokMinus) {
+		op := p.cur().Kind
+		line := p.advance().Line
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r, Line: line}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokStar) || p.at(TokSlash) || p.at(TokPercent) {
+		op := p.cur().Kind
+		line := p.advance().Line
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r, Line: line}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.cur().Kind {
+	case TokMinus, TokNot:
+		op := p.cur().Kind
+		line := p.advance().Line
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: op, X: x, Line: line}, nil
+	case TokTry:
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		switch call := x.(type) {
+		case *CallExpr:
+			call.Try = true
+		case *MethodCallExpr:
+			call.Try = true
+		default:
+			return nil, p.errf("try must precede a call")
+		}
+		return x, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case TokLParen:
+			line := p.cur().Line
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			e = &CallExpr{Fn: e, Args: args, Line: line}
+		case TokLBracket:
+			line := p.advance().Line
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{Recv: e, Index: idx, Line: line}
+		case TokDot:
+			p.advance()
+			name, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if p.at(TokLParen) {
+				line := p.cur().Line
+				args, err := p.parseArgs()
+				if err != nil {
+					return nil, err
+				}
+				e = &MethodCallExpr{Recv: e, Method: name.Text, Args: args, Line: line}
+			} else {
+				e = &FieldExpr{Recv: e, Field: name.Text, Line: name.Line}
+			}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *Parser) parseArgs() ([]Expr, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	saveNoBrace := p.noBraceDepth
+	p.noBraceDepth = 0 // closures are fine inside parentheses
+	defer func() { p.noBraceDepth = saveNoBrace }()
+	for !p.at(TokRParen) {
+		// Optional argument label: `ident:` followed by an expression.
+		if p.at(TokIdent) && p.toks[p.pos+1].Kind == TokColon {
+			p.advance()
+			p.advance()
+		}
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokInt:
+		p.advance()
+		return &IntLit{Value: t.Int, Line: t.Line}, nil
+	case TokTrue, TokFalse:
+		p.advance()
+		return &BoolLit{Value: t.Kind == TokTrue, Line: t.Line}, nil
+	case TokString:
+		p.advance()
+		return &StringLit{Value: t.Text, Line: t.Line}, nil
+	case TokNil:
+		p.advance()
+		return &NilLit{Line: t.Line}, nil
+	case TokSelf:
+		p.advance()
+		return &SelfExpr{Line: t.Line}, nil
+	case TokIdent:
+		p.advance()
+		e := &IdentExpr{Name: t.Text, Line: t.Line}
+		// Explicit generic instantiation: ident<T, U>(...). Backtrack if the
+		// angle bracket turns out to be a comparison.
+		if p.at(TokLt) {
+			save := p.pos
+			if typeArgs, ok := p.tryTypeArgs(); ok && p.at(TokLParen) {
+				args, err := p.parseArgs()
+				if err != nil {
+					return nil, err
+				}
+				return &CallExpr{Fn: e, TypeArgs: typeArgs, Args: args, Line: t.Line}, nil
+			}
+			p.pos = save
+		}
+		return e, nil
+	case TokLParen:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(TokRParen)
+		return e, err
+	case TokLBracket:
+		p.advance()
+		lit := &ArrayLit{Line: t.Line}
+		for !p.at(TokRBracket) {
+			el, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			lit.Elems = append(lit.Elems, el)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		_, err := p.expect(TokRBracket)
+		return lit, err
+	case TokLBrace:
+		if p.noBraceDepth > 0 {
+			return nil, p.errf("closure literal not allowed here")
+		}
+		return p.parseClosure()
+	}
+	return nil, p.errf("expected expression, found %s", t)
+}
+
+// tryTypeArgs attempts to parse `<T, U>`; on failure the caller restores pos.
+func (p *Parser) tryTypeArgs() ([]*Type, bool) {
+	if !p.accept(TokLt) {
+		return nil, false
+	}
+	var args []*Type
+	for {
+		ty, err := p.parseType(nil)
+		if err != nil {
+			return nil, false
+		}
+		args = append(args, ty)
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if !p.accept(TokGt) {
+		return nil, false
+	}
+	return args, true
+}
+
+func (p *Parser) parseClosure() (Expr, error) {
+	line := p.cur().Line
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	cl := &ClosureExpr{Line: line, Ret: VoidType}
+	params, err := p.parseParamList(nil)
+	if err != nil {
+		return nil, err
+	}
+	cl.Params = params
+	if p.accept(TokArrow) {
+		rt, err := p.parseType(nil)
+		if err != nil {
+			return nil, err
+		}
+		cl.Ret = rt
+	}
+	if _, err := p.expect(TokIn); err != nil {
+		return nil, err
+	}
+	body := &BlockStmt{}
+	for !p.at(TokRBrace) {
+		if p.at(TokEOF) {
+			return nil, p.errf("unterminated closure")
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		body.Stmts = append(body.Stmts, st)
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	cl.Body = body
+	return cl, nil
+}

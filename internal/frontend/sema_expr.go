@@ -1,0 +1,444 @@
+package frontend
+
+func (c *checker) checkExpr(e Expr, sc *scope, ctx *fnCtx) error {
+	switch e := e.(type) {
+	case *IntLit:
+		e.SetType(IntType)
+		return nil
+	case *BoolLit:
+		e.SetType(BoolType)
+		return nil
+	case *StringLit:
+		e.SetType(StringType)
+		return nil
+	case *NilLit:
+		e.SetType(&Type{Kind: TOptional}) // nil type: optional with no inner
+		return nil
+
+	case *SelfExpr:
+		if ctx.class == nil {
+			return c.errf(e.Line, "self outside a class")
+		}
+		if ctx.closure != nil {
+			return c.errf(e.Line, "self capture in closures is not supported")
+		}
+		e.SetType(ClassType(ctx.class.Name))
+		return nil
+
+	case *IdentExpr:
+		if b, _, ok := lookup(sc, e.Name); ok {
+			if crossesClosure(sc, e.Name) && ctx.closure != nil {
+				if !contains(ctx.closure.Captures, e.Name) {
+					ctx.closure.Captures = append(ctx.closure.Captures, e.Name)
+				}
+			}
+			e.SetType(b.typ)
+			return nil
+		}
+		// A named function used as a value.
+		if fn, ok := c.prog.Funcs[e.Name]; ok && fn.Class == "" {
+			e.FuncSym = e.Name
+			e.SetType(funcType(fn))
+			return nil
+		}
+		if fn := c.importedFunc(e.Name); fn != nil {
+			e.FuncSym = e.Name
+			e.SetType(funcType(fn))
+			return nil
+		}
+		if _, ok := c.generics[e.Name]; ok {
+			return c.errf(e.Line, "generic function %s needs explicit type arguments", e.Name)
+		}
+		return c.errf(e.Line, "undefined name %s", e.Name)
+
+	case *UnaryExpr:
+		if err := c.checkExpr(e.X, sc, ctx); err != nil {
+			return err
+		}
+		switch e.Op {
+		case TokMinus:
+			if e.X.TypeOf().Kind != TInt {
+				return c.errf(e.Line, "unary - needs Int, got %s", e.X.TypeOf())
+			}
+			e.SetType(IntType)
+		case TokNot:
+			if e.X.TypeOf().Kind != TBool {
+				return c.errf(e.Line, "! needs Bool, got %s", e.X.TypeOf())
+			}
+			e.SetType(BoolType)
+		default:
+			return c.errf(e.Line, "bad unary operator")
+		}
+		return nil
+
+	case *BinaryExpr:
+		if err := c.checkExpr(e.L, sc, ctx); err != nil {
+			return err
+		}
+		if err := c.checkExpr(e.R, sc, ctx); err != nil {
+			return err
+		}
+		lt, rt := e.L.TypeOf(), e.R.TypeOf()
+		switch e.Op {
+		case TokPlus, TokMinus, TokStar, TokSlash, TokPercent:
+			if lt.Kind != TInt || rt.Kind != TInt {
+				return c.errf(e.Line, "arithmetic needs Int operands, got %s and %s", lt, rt)
+			}
+			e.SetType(IntType)
+		case TokLt, TokLe, TokGt, TokGe:
+			if lt.Kind != TInt || rt.Kind != TInt {
+				return c.errf(e.Line, "comparison needs Int operands, got %s and %s", lt, rt)
+			}
+			e.SetType(BoolType)
+		case TokEq, TokNe:
+			ok := (lt.Kind == TInt && rt.Kind == TInt) ||
+				(lt.Kind == TBool && rt.Kind == TBool) ||
+				(lt.IsRef() && rt.IsRef() && (assignable(lt, rt) || assignable(rt, lt))) ||
+				(lt.Kind == TOptional && isNilType(rt)) ||
+				(isNilType(lt) && rt.Kind == TOptional)
+			if !ok {
+				return c.errf(e.Line, "cannot compare %s with %s", lt, rt)
+			}
+			e.SetType(BoolType)
+		case TokAnd, TokOr:
+			if lt.Kind != TBool || rt.Kind != TBool {
+				return c.errf(e.Line, "logical operator needs Bool operands, got %s and %s", lt, rt)
+			}
+			e.SetType(BoolType)
+		default:
+			return c.errf(e.Line, "bad binary operator")
+		}
+		return nil
+
+	case *ArrayLit:
+		if len(e.Elems) == 0 {
+			return c.errf(e.Line, "empty array literal needs a type; use Array<T>(0)")
+		}
+		for _, el := range e.Elems {
+			if err := c.checkExpr(el, sc, ctx); err != nil {
+				return err
+			}
+		}
+		et := e.Elems[0].TypeOf()
+		for _, el := range e.Elems[1:] {
+			if !assignable(et, el.TypeOf()) {
+				return c.errf(e.Line, "mixed array literal: %s vs %s", et, el.TypeOf())
+			}
+		}
+		e.SetType(ArrayType(et))
+		return nil
+
+	case *IndexExpr:
+		if err := c.checkExpr(e.Recv, sc, ctx); err != nil {
+			return err
+		}
+		if err := c.checkExpr(e.Index, sc, ctx); err != nil {
+			return err
+		}
+		if e.Index.TypeOf().Kind != TInt {
+			return c.errf(e.Line, "index must be Int, got %s", e.Index.TypeOf())
+		}
+		switch rt := e.Recv.TypeOf(); rt.Kind {
+		case TArray:
+			e.SetType(rt.Elem)
+		case TString:
+			e.SetType(IntType) // code unit
+		default:
+			return c.errf(e.Line, "cannot index %s", rt)
+		}
+		return nil
+
+	case *FieldExpr:
+		if err := c.checkExpr(e.Recv, sc, ctx); err != nil {
+			return err
+		}
+		rt := e.Recv.TypeOf()
+		if e.Field == "count" && (rt.Kind == TArray || rt.Kind == TString) {
+			e.SetType(IntType)
+			return nil
+		}
+		if rt.Kind != TClass {
+			return c.errf(e.Line, "no field %s on %s", e.Field, rt)
+		}
+		cd := c.prog.Classes[rt.Name]
+		idx := cd.FieldIndex(e.Field)
+		if idx < 0 {
+			return c.errf(e.Line, "class %s has no field %s", rt.Name, e.Field)
+		}
+		e.SetType(cd.Fields[idx].Type)
+		return nil
+
+	case *MethodCallExpr:
+		if err := c.checkExpr(e.Recv, sc, ctx); err != nil {
+			return err
+		}
+		rt := e.Recv.TypeOf()
+		if rt.Kind != TClass {
+			return c.errf(e.Line, "no method %s on %s", e.Method, rt)
+		}
+		cd := c.prog.Classes[rt.Name]
+		var m *FuncDecl
+		for _, cand := range cd.Methods {
+			if cand.Name == e.Method {
+				m = cand
+				break
+			}
+		}
+		if m == nil {
+			return c.errf(e.Line, "class %s has no method %s", rt.Name, e.Method)
+		}
+		if err := c.checkArgs(e.Args, paramTypes(m.Params), e.Line, sc, ctx); err != nil {
+			return err
+		}
+		if err := c.checkTry(e.Try, m.Throws, m.Name, e.Line, ctx); err != nil {
+			return err
+		}
+		e.ResolvedSym = MangleMethod(rt.Name, e.Method)
+		e.Throws = m.Throws
+		e.SetType(m.Ret)
+		return nil
+
+	case *CallExpr:
+		return c.checkCall(e, sc, ctx)
+
+	case *ClosureExpr:
+		if ctx.closure != nil {
+			return c.errf(e.Line, "nested closures are not supported")
+		}
+		for _, p := range e.Params {
+			if err := c.validType(p.Type, e.Line); err != nil {
+				return err
+			}
+		}
+		if err := c.validType(e.Ret, e.Line); err != nil {
+			return err
+		}
+		body := &scope{parent: sc, vars: make(map[string]binding), closureBoundary: true}
+		for _, p := range e.Params {
+			body.define(p.Name, binding{typ: p.Type})
+		}
+		inner := &fnCtx{fn: ctx.fn, ret: e.Ret, class: nil, closure: e}
+		for _, st := range e.Body.Stmts {
+			if err := c.checkStmt(st, body, inner); err != nil {
+				return err
+			}
+		}
+		// Capture types must resolve in the defining scope.
+		for _, name := range e.Captures {
+			if _, _, ok := lookup(sc, name); !ok {
+				return c.errf(e.Line, "closure captures unknown variable %s", name)
+			}
+		}
+		ft := &Type{Kind: TFunc, Ret: e.Ret}
+		for _, p := range e.Params {
+			ft.Params = append(ft.Params, p.Type)
+		}
+		e.SetType(ft)
+		return nil
+	}
+	return c.errf(0, "sema: unknown expression %T", e)
+}
+
+func paramTypes(ps []Param) []*Type {
+	out := make([]*Type, len(ps))
+	for i, p := range ps {
+		out[i] = p.Type
+	}
+	return out
+}
+
+func funcType(fn *FuncDecl) *Type {
+	return &Type{Kind: TFunc, Params: paramTypes(fn.Params), Ret: fn.Ret, Throws: fn.Throws}
+}
+
+func (c *checker) checkArgs(args []Expr, params []*Type, line int, sc *scope, ctx *fnCtx) error {
+	if len(args) != len(params) {
+		return c.errf(line, "call expects %d arguments, got %d", len(params), len(args))
+	}
+	for i, a := range args {
+		if err := c.checkExpr(a, sc, ctx); err != nil {
+			return err
+		}
+		if !assignable(params[i], a.TypeOf()) {
+			return c.errf(line, "argument %d: cannot pass %s as %s", i+1, a.TypeOf(), params[i])
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkTry(hasTry, throws bool, name string, line int, ctx *fnCtx) error {
+	if throws && !hasTry {
+		return c.errf(line, "call to throwing %s needs try", name)
+	}
+	if !throws && hasTry {
+		return c.errf(line, "try on non-throwing %s", name)
+	}
+	if hasTry && !ctx.canThrow {
+		return c.errf(line, "try outside a throwing context (add throws or wrap in do/catch)")
+	}
+	return nil
+}
+
+func (c *checker) checkCall(e *CallExpr, sc *scope, ctx *fnCtx) error {
+	ident, _ := e.Fn.(*IdentExpr)
+	if ident != nil {
+		// Builtins.
+		switch ident.Name {
+		case "print":
+			if len(e.TypeArgs) != 0 {
+				return c.errf(e.Line, "print takes no type arguments")
+			}
+			if len(e.Args) != 1 {
+				return c.errf(e.Line, "print takes one argument")
+			}
+			if err := c.checkExpr(e.Args[0], sc, ctx); err != nil {
+				return err
+			}
+			switch e.Args[0].TypeOf().Kind {
+			case TInt, TBool, TString:
+			default:
+				return c.errf(e.Line, "print supports Int, Bool, and String, got %s", e.Args[0].TypeOf())
+			}
+			e.Kind = CallBuiltin
+			e.ResolvedSym = "print"
+			e.SetType(VoidType)
+			return c.checkTry(e.Try, false, "print", e.Line, ctx)
+
+		case "append":
+			if len(e.Args) != 2 {
+				return c.errf(e.Line, "append takes (array, element)")
+			}
+			if err := c.checkExpr(e.Args[0], sc, ctx); err != nil {
+				return err
+			}
+			if err := c.checkExpr(e.Args[1], sc, ctx); err != nil {
+				return err
+			}
+			at := e.Args[0].TypeOf()
+			if at.Kind != TArray {
+				return c.errf(e.Line, "append needs an array, got %s", at)
+			}
+			if !assignable(at.Elem, e.Args[1].TypeOf()) {
+				return c.errf(e.Line, "cannot append %s to %s", e.Args[1].TypeOf(), at)
+			}
+			e.Kind = CallBuiltin
+			e.ResolvedSym = "append"
+			e.SetType(at)
+			return c.checkTry(e.Try, false, "append", e.Line, ctx)
+
+		case "Array":
+			if len(e.TypeArgs) != 1 {
+				return c.errf(e.Line, "Array needs one type argument: Array<T>(n)")
+			}
+			if err := c.validType(e.TypeArgs[0], e.Line); err != nil {
+				return err
+			}
+			if len(e.Args) != 1 {
+				return c.errf(e.Line, "Array<T> takes a count")
+			}
+			if err := c.checkExpr(e.Args[0], sc, ctx); err != nil {
+				return err
+			}
+			if e.Args[0].TypeOf().Kind != TInt {
+				return c.errf(e.Line, "Array count must be Int")
+			}
+			e.Kind = CallBuiltin
+			e.ResolvedSym = "Array"
+			e.SetType(ArrayType(e.TypeArgs[0]))
+			return c.checkTry(e.Try, false, "Array", e.Line, ctx)
+		}
+
+		// Class initializer.
+		if cd, ok := c.prog.Classes[ident.Name]; ok {
+			var params []*Type
+			throws := false
+			if cd.Init != nil {
+				params = paramTypes(cd.Init.Params)
+				throws = cd.Init.Throws
+			} else if len(cd.Fields) > 0 {
+				// Default memberwise initializer.
+				for _, f := range cd.Fields {
+					params = append(params, f.Type)
+				}
+			}
+			if err := c.checkArgs(e.Args, params, e.Line, sc, ctx); err != nil {
+				return err
+			}
+			if err := c.checkTry(e.Try, throws, ident.Name+".init", e.Line, ctx); err != nil {
+				return err
+			}
+			e.Kind = CallInit
+			e.ResolvedSym = MangleMethod(ident.Name, "init")
+			e.Throws = throws
+			e.SetType(ClassType(ident.Name))
+			return nil
+		}
+
+		// Generic instantiation.
+		if tmpl, ok := c.generics[ident.Name]; ok {
+			sym, err := c.instantiate(tmpl, e.TypeArgs, e.Line)
+			if err != nil {
+				return err
+			}
+			inst := c.prog.Funcs[sym]
+			if err := c.checkArgs(e.Args, paramTypes(inst.Params), e.Line, sc, ctx); err != nil {
+				return err
+			}
+			if err := c.checkTry(e.Try, inst.Throws, sym, e.Line, ctx); err != nil {
+				return err
+			}
+			e.Kind = CallFunc
+			e.ResolvedSym = sym
+			e.Throws = inst.Throws
+			e.SetType(inst.Ret)
+			return nil
+		}
+
+		// Direct call of a named function, unless a local shadows the name.
+		if _, _, isLocal := lookup(sc, ident.Name); !isLocal {
+			fn, ok := c.prog.Funcs[ident.Name]
+			if !ok || fn.Class != "" {
+				if imp := c.importedFunc(ident.Name); imp != nil {
+					fn, ok = imp, true
+				} else {
+					ok = false
+				}
+			}
+			if ok {
+				if len(e.TypeArgs) != 0 {
+					return c.errf(e.Line, "%s is not generic", ident.Name)
+				}
+				if err := c.checkArgs(e.Args, paramTypes(fn.Params), e.Line, sc, ctx); err != nil {
+					return err
+				}
+				if err := c.checkTry(e.Try, fn.Throws, ident.Name, e.Line, ctx); err != nil {
+					return err
+				}
+				e.Kind = CallFunc
+				e.ResolvedSym = ident.Name
+				e.Throws = fn.Throws
+				e.SetType(fn.Ret)
+				return nil
+			}
+		}
+	}
+
+	// Call through a function-typed value (closure or function reference).
+	if err := c.checkExpr(e.Fn, sc, ctx); err != nil {
+		return err
+	}
+	ft := e.Fn.TypeOf()
+	if ft.Kind != TFunc {
+		return c.errf(e.Line, "cannot call a value of type %s", ft)
+	}
+	if err := c.checkArgs(e.Args, ft.Params, e.Line, sc, ctx); err != nil {
+		return err
+	}
+	if err := c.checkTry(e.Try, ft.Throws, "function value", e.Line, ctx); err != nil {
+		return err
+	}
+	e.Kind = CallClosure
+	e.Throws = ft.Throws
+	e.SetType(ft.Ret)
+	return nil
+}

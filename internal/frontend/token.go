@@ -1,0 +1,134 @@
+// Package frontend implements SwiftLite, the Swift-like source language of
+// the reproduction: lexer, parser, AST, and type checker. SwiftLite keeps
+// exactly the feature set the paper blames for machine-code repetition —
+// reference-counted classes, closures, generics with specialization,
+// throwing initializers with try expressions — while staying small enough to
+// compile through the whole pipeline.
+package frontend
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokString
+
+	// Keywords.
+	TokFunc
+	TokClass
+	TokInit
+	TokVar
+	TokLet
+	TokIf
+	TokElse
+	TokWhile
+	TokFor
+	TokIn
+	TokReturn
+	TokThrow
+	TokThrows
+	TokTry
+	TokDo
+	TokCatch
+	TokBreak
+	TokContinue
+	TokTrue
+	TokFalse
+	TokNil
+	TokSelf
+
+	// Punctuation and operators.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokColon
+	TokDot
+	TokArrow     // ->
+	TokRangeUpto // ..<
+	TokAssign    // =
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokEq       // ==
+	TokNe       // !=
+	TokLt       // <
+	TokLe       // <=
+	TokGt       // >
+	TokGe       // >=
+	TokAnd      // &&
+	TokOr       // ||
+	TokNot      // !
+	TokQuestion // ?
+)
+
+var keywords = map[string]TokKind{
+	"func": TokFunc, "class": TokClass, "init": TokInit, "var": TokVar,
+	"let": TokLet, "if": TokIf, "else": TokElse, "while": TokWhile,
+	"for": TokFor, "in": TokIn, "return": TokReturn, "throw": TokThrow,
+	"throws": TokThrows, "try": TokTry, "do": TokDo, "catch": TokCatch,
+	"break": TokBreak, "continue": TokContinue, "true": TokTrue,
+	"false": TokFalse, "nil": TokNil, "self": TokSelf,
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string // identifier or string literal contents
+	Int  int64  // integer literal value
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent:
+		return fmt.Sprintf("ident(%s)", t.Text)
+	case TokInt:
+		return fmt.Sprintf("int(%d)", t.Int)
+	case TokString:
+		return fmt.Sprintf("string(%q)", t.Text)
+	case TokEOF:
+		return "eof"
+	default:
+		return tokNames[t.Kind]
+	}
+}
+
+var tokNames = map[TokKind]string{
+	TokFunc: "func", TokClass: "class", TokInit: "init", TokVar: "var",
+	TokLet: "let", TokIf: "if", TokElse: "else", TokWhile: "while",
+	TokFor: "for", TokIn: "in", TokReturn: "return", TokThrow: "throw",
+	TokThrows: "throws", TokTry: "try", TokDo: "do", TokCatch: "catch",
+	TokBreak: "break", TokContinue: "continue", TokTrue: "true",
+	TokFalse: "false", TokNil: "nil", TokSelf: "self",
+	TokLParen: "(", TokRParen: ")", TokLBrace: "{", TokRBrace: "}",
+	TokLBracket: "[", TokRBracket: "]", TokComma: ",", TokColon: ":",
+	TokDot: ".", TokArrow: "->", TokRangeUpto: "..<", TokAssign: "=",
+	TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/",
+	TokPercent: "%", TokEq: "==", TokNe: "!=", TokLt: "<", TokLe: "<=",
+	TokGt: ">", TokGe: ">=", TokAnd: "&&", TokOr: "||", TokNot: "!",
+	TokQuestion: "?",
+}
+
+// Error is a positioned front-end diagnostic.
+type Error struct {
+	File string
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Line, e.Col, e.Msg)
+}

@@ -1,0 +1,183 @@
+// Package irlink merges per-module LLIR into one whole-program module — the
+// llvm-link analog of the paper's new build pipeline (§V-A, Figure 10).
+//
+// It reproduces both practical challenges of §VI:
+//
+//   - Metadata conflicts (§VI-2): Swift- and Clang-produced modules carry
+//     different "Objective-C Garbage Collection" module flags. The default
+//     whole-value comparison fails the link; the upstreamed fix splits the
+//     flag into attributes and compares only the relevant ones.
+//   - Data layout (§VI-3): by default the merged module orders globals
+//     by name across all modules, destroying programmer-driven data
+//     affinity and causing page-fault regressions. PreserveModuleOrder
+//     keeps each module's globals grouped in original order.
+package irlink
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"outliner/internal/llir"
+)
+
+// Options configures the merge.
+type Options struct {
+	// SplitGCMetadata enables the upstreamed fix: the GC module flag is
+	// split into attributes and only compatible attributes are compared.
+	// Without it, any two modules whose flags differ refuse to link.
+	SplitGCMetadata bool
+	// PreserveModuleOrder keeps each input module's globals contiguous and
+	// in their original order (the paper's data-layout fix). When false,
+	// globals are sorted by name across modules, interleaving unrelated
+	// modules' data.
+	PreserveModuleOrder bool
+	// MergedName names the output module.
+	MergedName string
+}
+
+// GCFlagKey is the module flag whose conflict §VI-2 describes.
+const GCFlagKey = "Objective-C Garbage Collection"
+
+// Link merges modules. Function and global names must be unique across
+// modules (the system linker would reject duplicate strong symbols anyway).
+func Link(modules []*llir.Module, opts Options) (*llir.Module, error) {
+	if opts.MergedName == "" {
+		opts.MergedName = "merged"
+	}
+	out := llir.NewModule(opts.MergedName)
+
+	if err := mergeMetadata(out, modules, opts); err != nil {
+		return nil, err
+	}
+
+	for _, m := range modules {
+		for _, f := range m.Funcs {
+			if prev := out.Func(f.Name); prev != nil {
+				return nil, fmt.Errorf("irlink: duplicate symbol %q (modules %s and %s)",
+					f.Name, prev.Module, f.Module)
+			}
+			out.AddFunc(f)
+		}
+	}
+
+	seen := make(map[string]string)
+	if opts.PreserveModuleOrder {
+		for _, m := range modules {
+			for _, g := range m.Globals {
+				if prev, dup := seen[g.Name]; dup {
+					return nil, fmt.Errorf("irlink: duplicate global %q (modules %s and %s)", g.Name, prev, g.Module)
+				}
+				seen[g.Name] = g.Module
+				out.Globals = append(out.Globals, g)
+			}
+		}
+		return out, nil
+	}
+	// Default llvm-link-like behaviour: a global ordering that ignores
+	// module affinity, interleaving data from unrelated modules onto the
+	// same pages. (Real llvm-link emits globals in an internal merge order
+	// with no relation to the programmer's module grouping; we model that
+	// with a deterministic name-hash order, which is equally
+	// affinity-destroying and reproducible.)
+	for _, m := range modules {
+		for _, g := range m.Globals {
+			if prev, dup := seen[g.Name]; dup {
+				return nil, fmt.Errorf("irlink: duplicate global %q (modules %s and %s)", g.Name, prev, g.Module)
+			}
+			seen[g.Name] = g.Module
+			out.Globals = append(out.Globals, g)
+		}
+	}
+	sort.Slice(out.Globals, func(i, j int) bool {
+		hi, hj := nameHash(out.Globals[i].Name), nameHash(out.Globals[j].Name)
+		if hi != hj {
+			return hi < hj
+		}
+		return out.Globals[i].Name < out.Globals[j].Name
+	})
+	return out, nil
+}
+
+// nameHash is a deterministic FNV-1a over the symbol name.
+func nameHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func mergeMetadata(out *llir.Module, modules []*llir.Module, opts Options) error {
+	for _, m := range modules {
+		for k, v := range m.Metadata {
+			prev, ok := out.Metadata[k]
+			if !ok {
+				out.Metadata[k] = v
+				continue
+			}
+			if prev == v {
+				continue
+			}
+			if k == GCFlagKey && opts.SplitGCMetadata {
+				merged, err := mergeGCAttributes(prev, v)
+				if err != nil {
+					return fmt.Errorf("irlink: module %s: %w", m.Name, err)
+				}
+				out.Metadata[k] = merged
+				continue
+			}
+			return fmt.Errorf("irlink: conflicting module flag %q: %q (from earlier modules) vs %q (module %s); "+
+				"rebuild with the split-attribute fix to link mixed Swift/Objective-C IR", k, prev, v, m.Name)
+		}
+	}
+	return nil
+}
+
+// mergeGCAttributes implements the upstreamed fix: the flag value is an
+// attribute list ("compiler version bits"); only the attributes that affect
+// ABI compatibility (the bits-* attribute) must agree, the compiler identity
+// may differ.
+func mergeGCAttributes(a, b string) (string, error) {
+	attrsA, attrsB := parseAttrs(a), parseAttrs(b)
+	bitsA, bitsB := attrsA["bits"], attrsB["bits"]
+	if bitsA != "" && bitsB != "" && bitsA != bitsB {
+		return "", fmt.Errorf("incompatible GC ABI bits: %s vs %s", bitsA, bitsB)
+	}
+	// Keep the union; the compiler identity attribute becomes "mixed" when
+	// the inputs disagree.
+	if attrsA["compiler"] != attrsB["compiler"] {
+		attrsA["compiler"] = "mixed"
+	}
+	if bitsA == "" {
+		attrsA["bits"] = bitsB
+	}
+	var keys []string
+	for k := range attrsA {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		if attrsA[k] == "" {
+			continue
+		}
+		parts = append(parts, k+"-"+attrsA[k])
+	}
+	return strings.Join(parts, " "), nil
+}
+
+// parseAttrs splits "swift abi-v5.2 bits-0x17" into attributes. The first
+// token without a dash is the compiler identity.
+func parseAttrs(v string) map[string]string {
+	attrs := make(map[string]string)
+	for _, tok := range strings.Fields(v) {
+		if k, val, ok := strings.Cut(tok, "-"); ok {
+			attrs[k] = val
+		} else if attrs["compiler"] == "" {
+			attrs["compiler"] = tok
+		}
+	}
+	return attrs
+}

@@ -1,0 +1,150 @@
+package irlink
+
+import (
+	"strings"
+	"testing"
+
+	"outliner/internal/llir"
+)
+
+func mod(name string, globals ...string) *llir.Module {
+	m := llir.NewModule(name)
+	m.Metadata[GCFlagKey] = llir.SwiftGCMetadata
+	f := &llir.Func{Name: name + ".f", Module: name, NumValues: 1}
+	f.Blocks = []*llir.Block{{Label: "entry", Insts: []llir.Inst{{Op: llir.Ret}}}}
+	m.AddFunc(f)
+	for i, g := range globals {
+		m.Globals = append(m.Globals, &llir.Global{Name: g, Module: name, Words: []int64{int64(i)}})
+	}
+	return m
+}
+
+func TestLinkMergesFunctionsAndGlobals(t *testing.T) {
+	a := mod("A", "A.g1", "A.g2")
+	b := mod("B", "B.g1")
+	out, err := Link([]*llir.Module{a, b}, Options{PreserveModuleOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Func("A.f") == nil || out.Func("B.f") == nil {
+		t.Error("functions missing after link")
+	}
+	if len(out.Globals) != 3 {
+		t.Errorf("globals = %d", len(out.Globals))
+	}
+}
+
+func TestLinkRejectsDuplicateSymbols(t *testing.T) {
+	a := mod("A")
+	b := llir.NewModule("B")
+	b.Metadata[GCFlagKey] = llir.SwiftGCMetadata
+	dup := &llir.Func{Name: "A.f", Module: "B"}
+	dup.Blocks = []*llir.Block{{Label: "entry", Insts: []llir.Inst{{Op: llir.Ret}}}}
+	b.AddFunc(dup)
+	if _, err := Link([]*llir.Module{a, b}, Options{}); err == nil {
+		t.Error("duplicate function symbol accepted")
+	}
+
+	c := mod("C", "shared")
+	d := mod("D", "shared")
+	if _, err := Link([]*llir.Module{c, d}, Options{}); err == nil {
+		t.Error("duplicate global symbol accepted")
+	}
+}
+
+// §VI-3: default ordering interleaves modules' globals; the fix keeps each
+// module's data contiguous.
+func TestDataLayoutOrdering(t *testing.T) {
+	a := mod("A", "zebra", "apple")
+	b := mod("B", "mango", "banana")
+
+	def, err := Link([]*llir.Module{a, b}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDef := globalNames(def)
+	if eq(gotDef, []string{"zebra", "apple", "mango", "banana"}) {
+		t.Errorf("default order %v preserved module grouping; it must not", gotDef)
+	}
+	if len(gotDef) != 4 {
+		t.Fatalf("default order lost globals: %v", gotDef)
+	}
+
+	fixed, err := Link([]*llir.Module{mod("A", "zebra", "apple"), mod("B", "mango", "banana")},
+		Options{PreserveModuleOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFix := globalNames(fixed)
+	wantFix := []string{"zebra", "apple", "mango", "banana"} // module-grouped original order
+	if !eq(gotFix, wantFix) {
+		t.Errorf("preserved order = %v, want %v", gotFix, wantFix)
+	}
+}
+
+// §VI-2: conflicting GC flags refuse to link unless split into attributes;
+// with the fix, compatible ABI bits merge and compiler identity becomes
+// "mixed". Incompatible ABI bits still fail.
+func TestGCMetadataMerging(t *testing.T) {
+	swift := mod("Swift")
+	clang := mod("Clang")
+	clang.Metadata[GCFlagKey] = "clang abi-v11.0 bits-0x17"
+
+	if _, err := Link([]*llir.Module{swift, clang}, Options{}); err == nil {
+		t.Fatal("conflicting metadata accepted without the fix")
+	} else if !strings.Contains(err.Error(), GCFlagKey) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	out, err := Link([]*llir.Module{mod("Swift2"), cloneWithFlag("Clang2", "clang abi-v11.0 bits-0x17")},
+		Options{SplitGCMetadata: true})
+	if err != nil {
+		t.Fatalf("link with fix failed: %v", err)
+	}
+	if !strings.Contains(out.Metadata[GCFlagKey], "mixed") {
+		t.Errorf("merged flag = %q, want mixed compiler attribute", out.Metadata[GCFlagKey])
+	}
+
+	// Incompatible ABI bits must fail even with the fix.
+	if _, err := Link([]*llir.Module{mod("Swift3"), cloneWithFlag("Clang3", "clang bits-0xFF")},
+		Options{SplitGCMetadata: true}); err == nil {
+		t.Error("incompatible ABI bits accepted")
+	}
+}
+
+func cloneWithFlag(name, flag string) *llir.Module {
+	m := mod(name)
+	m.Metadata[GCFlagKey] = flag
+	return m
+}
+
+func TestNonConflictingMetadataPasses(t *testing.T) {
+	a, b := mod("A"), mod("B")
+	out, err := Link([]*llir.Module{a, b}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Metadata[GCFlagKey] != llir.SwiftGCMetadata {
+		t.Errorf("metadata = %q", out.Metadata[GCFlagKey])
+	}
+}
+
+func globalNames(m *llir.Module) []string {
+	out := make([]string, len(m.Globals))
+	for i, g := range m.Globals {
+		out[i] = g.Name
+	}
+	return out
+}
+
+func eq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

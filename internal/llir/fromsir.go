@@ -1,0 +1,458 @@
+package llir
+
+import (
+	"fmt"
+
+	"outliner/internal/sir"
+)
+
+// Runtime entry points the lowering emits calls to. The interpreter
+// (internal/exec) implements them; the verifier and linker treat them as
+// always-available externals.
+const (
+	RTRetain      = "swift_retain"
+	RTRelease     = "swift_release"
+	RTAllocObject = "swift_allocObject"
+	RTAllocArray  = "swift_allocArray"
+	RTArrayAppend = "swift_arrayAppend"
+	RTPrintInt    = "print_int"
+	RTPrintBool   = "print_bool"
+	RTPrintStr    = "print_str"
+)
+
+// Objective-C flavoured modules use the objc runtime's reference counting
+// entry points (appgen rewrites Swift modules' calls for its ObjC modules).
+const (
+	RTObjCRetain  = "objc_retain"
+	RTObjCRelease = "objc_release"
+)
+
+// RuntimeSyms is the set of runtime symbols as a lookup table.
+var RuntimeSyms = map[string]bool{
+	RTRetain: true, RTRelease: true, RTAllocObject: true, RTAllocArray: true,
+	RTArrayAppend: true, RTPrintInt: true, RTPrintBool: true, RTPrintStr: true,
+	RTObjCRetain: true, RTObjCRelease: true,
+}
+
+// SwiftGCMetadata is the module-flag value our Swift-like frontend stamps,
+// mirroring the "Objective-C Garbage Collection" flag of §VI-2.
+const SwiftGCMetadata = "swift abi-v5.2 bits-0x17"
+
+// FromSIR lowers a SIR module to LLIR, constructing SSA form with the
+// algorithm of Braun et al. (the simple and efficient SSA construction used
+// while translating from a non-SSA representation).
+func FromSIR(m *sir.Module) (*Module, error) {
+	out := NewModule(m.Name)
+	out.Metadata["Objective-C Garbage Collection"] = SwiftGCMetadata
+	for _, g := range m.Globals {
+		words := append([]int64(nil), g.Words...)
+		out.Globals = append(out.Globals, &Global{Name: g.Name, Module: m.Name, Words: words})
+	}
+	for _, f := range m.Funcs {
+		lf, err := lowerFunc(f)
+		if err != nil {
+			return nil, fmt.Errorf("llir: lowering @%s: %w", f.Name, err)
+		}
+		out.AddFunc(lf)
+	}
+	return out, nil
+}
+
+type lowerer struct {
+	src *sir.Func
+	dst *Func
+
+	blocks map[string]*blockState
+	order  []string // SIR block order
+
+	// currentDef[variable][block] = SSA value (Braun's construction).
+	currentDef map[sir.Value]map[string]Value
+
+	phis map[Value]*Inst // phi dst -> its (heap-allocated) instruction
+}
+
+type blockState struct {
+	label  string
+	phis   []*Inst
+	body   []Inst
+	preds  []string
+	sealed bool
+	filled bool
+	// incomplete phis created while unsealed: variable -> phi dst
+	incomplete map[sir.Value]Value
+}
+
+func lowerFunc(f *sir.Func) (*Func, error) {
+	lo := &lowerer{
+		src: f,
+		dst: &Func{
+			Name:      f.Name,
+			Module:    f.Module,
+			NumParams: f.NumParams,
+			Throws:    f.Throws,
+			NumValues: f.NumParams,
+		},
+		blocks:     make(map[string]*blockState),
+		currentDef: make(map[sir.Value]map[string]Value),
+		phis:       make(map[Value]*Inst),
+	}
+	for _, b := range f.Blocks {
+		lo.blocks[b.Label] = &blockState{label: b.Label, incomplete: make(map[sir.Value]Value)}
+		lo.order = append(lo.order, b.Label)
+	}
+	// Predecessors from the SIR CFG.
+	for _, b := range f.Blocks {
+		last := b.Insts[len(b.Insts)-1]
+		switch last.Op {
+		case sir.Br:
+			lo.blocks[last.Sym].preds = append(lo.blocks[last.Sym].preds, b.Label)
+		case sir.CondBr:
+			lo.blocks[last.Sym].preds = append(lo.blocks[last.Sym].preds, b.Label)
+			lo.blocks[last.Sym2].preds = append(lo.blocks[last.Sym2].preds, b.Label)
+		}
+	}
+
+	// Parameters are SSA values 1..N, defined at entry.
+	entry := f.Blocks[0].Label
+	for i := 0; i < f.NumParams; i++ {
+		lo.writeVar(sir.Value(i+1), entry, Value(i+1))
+	}
+	lo.trySeal(lo.blocks[entry])
+
+	for _, b := range f.Blocks {
+		if err := lo.fillBlock(b); err != nil {
+			return nil, err
+		}
+		bs := lo.blocks[b.Label]
+		bs.filled = true
+		// Seal successors whose predecessors are all filled.
+		for _, s := range blockSuccs(b) {
+			lo.trySeal(lo.blocks[s])
+		}
+		lo.trySeal(bs)
+	}
+	// Seal anything left (blocks with unreachable predecessors).
+	for _, label := range lo.order {
+		lo.seal(lo.blocks[label])
+	}
+
+	// Assemble: phis first, then the body.
+	for _, label := range lo.order {
+		bs := lo.blocks[label]
+		blk := &Block{Label: label}
+		for _, p := range bs.phis {
+			blk.Insts = append(blk.Insts, *p)
+		}
+		blk.Insts = append(blk.Insts, bs.body...)
+		lo.dst.Blocks = append(lo.dst.Blocks, blk)
+	}
+	removeTrivialPhis(lo.dst)
+	return lo.dst, nil
+}
+
+func blockSuccs(b *sir.Block) []string {
+	last := b.Insts[len(b.Insts)-1]
+	switch last.Op {
+	case sir.Br:
+		return []string{last.Sym}
+	case sir.CondBr:
+		return []string{last.Sym, last.Sym2}
+	}
+	return nil
+}
+
+func (lo *lowerer) trySeal(bs *blockState) {
+	if bs.sealed {
+		return
+	}
+	for _, p := range bs.preds {
+		if !lo.blocks[p].filled {
+			return
+		}
+	}
+	lo.seal(bs)
+}
+
+func (lo *lowerer) seal(bs *blockState) {
+	if bs.sealed {
+		return
+	}
+	bs.sealed = true
+	for variable, phiDst := range bs.incomplete {
+		lo.addPhiOperands(variable, phiDst, bs)
+	}
+	bs.incomplete = make(map[sir.Value]Value)
+}
+
+func (lo *lowerer) writeVar(variable sir.Value, block string, val Value) {
+	defs, ok := lo.currentDef[variable]
+	if !ok {
+		defs = make(map[string]Value)
+		lo.currentDef[variable] = defs
+	}
+	defs[block] = val
+}
+
+func (lo *lowerer) readVar(variable sir.Value, block string) Value {
+	if defs, ok := lo.currentDef[variable]; ok {
+		if v, ok := defs[block]; ok {
+			return v
+		}
+	}
+	return lo.readVarRecursive(variable, block)
+}
+
+func (lo *lowerer) readVarRecursive(variable sir.Value, block string) Value {
+	bs := lo.blocks[block]
+	var val Value
+	switch {
+	case !bs.sealed:
+		val = lo.newPhi(bs)
+		bs.incomplete[variable] = val
+	case len(bs.preds) == 1:
+		val = lo.readVar(variable, bs.preds[0])
+	case len(bs.preds) == 0:
+		// Read of a variable never written on this path: materialize zero.
+		// SwiftLite locals are always initialized before use, but registers
+		// reused across short-circuit arms can reach here.
+		val = lo.dst.NewValue()
+		entry := lo.blocks[lo.order[0]]
+		entry.body = append([]Inst{{Op: Const, Dst: val, Imm: 0}}, entry.body...)
+	default:
+		val = lo.newPhi(bs)
+		lo.writeVar(variable, block, val)
+		lo.addPhiOperands(variable, val, bs)
+	}
+	lo.writeVar(variable, block, val)
+	return val
+}
+
+func (lo *lowerer) newPhi(bs *blockState) Value {
+	dst := lo.dst.NewValue()
+	phi := &Inst{Op: Phi, Dst: dst}
+	bs.phis = append(bs.phis, phi)
+	lo.phis[dst] = phi
+	return dst
+}
+
+func (lo *lowerer) addPhiOperands(variable sir.Value, phiDst Value, bs *blockState) {
+	phi := lo.phis[phiDst]
+	for _, p := range bs.preds {
+		phi.Incomings = append(phi.Incomings, Incoming{Pred: p, Val: lo.readVar(variable, p)})
+	}
+}
+
+// fillBlock translates one SIR block.
+func (lo *lowerer) fillBlock(b *sir.Block) error {
+	bs := lo.blocks[b.Label]
+	label := b.Label
+	emit := func(in Inst) { bs.body = append(bs.body, in) }
+	newVal := func() Value { return lo.dst.NewValue() }
+	read := func(v sir.Value) Value { return lo.readVar(v, label) }
+	def := func(v sir.Value) Value {
+		nv := newVal()
+		lo.writeVar(v, label, nv)
+		return nv
+	}
+	cnst := func(imm int64) Value {
+		v := newVal()
+		emit(Inst{Op: Const, Dst: v, Imm: imm})
+		return v
+	}
+	readArgs := func(args []sir.Value) []Value {
+		out := make([]Value, len(args))
+		for i, a := range args {
+			out[i] = read(a)
+		}
+		return out
+	}
+
+	for _, in := range b.Insts {
+		switch in.Op {
+		case sir.ConstInt:
+			emit(Inst{Op: Const, Dst: def(in.Dst), Imm: in.Imm})
+		case sir.ConstStr:
+			emit(Inst{Op: GlobalAddr, Dst: def(in.Dst), Sym: in.Sym})
+		case sir.ConstNil:
+			emit(Inst{Op: Const, Dst: def(in.Dst), Imm: 0})
+		case sir.Move:
+			lo.writeVar(in.Dst, label, read(in.A)) // pure renaming in SSA
+		case sir.Bin:
+			a, bv := read(in.A), read(in.B)
+			emit(Inst{Op: Bin, Dst: def(in.Dst), BinOp: BinKind(in.BinOp), A: a, B: bv})
+		case sir.Cmp:
+			a, bv := read(in.A), read(in.B)
+			emit(Inst{Op: Cmp, Dst: def(in.Dst), Cond: CondKind(in.Cond), A: a, B: bv})
+		case sir.Not:
+			emit(Inst{Op: Not, Dst: def(in.Dst), A: read(in.A)})
+		case sir.Neg:
+			emit(Inst{Op: Neg, Dst: def(in.Dst), A: read(in.A)})
+		case sir.Br:
+			emit(Inst{Op: Br, Sym: in.Sym})
+		case sir.CondBr:
+			emit(Inst{Op: CondBr, A: read(in.A), Sym: in.Sym, Sym2: in.Sym2})
+		case sir.Call:
+			call := Inst{Op: Call, Sym: in.Sym, Args: readArgs(in.Args), Throws: in.Throws}
+			if in.Dst != sir.None {
+				call.Dst = def(in.Dst)
+			}
+			if in.Throws {
+				call.ErrDst = def(in.ErrDst)
+			}
+			emit(call)
+		case sir.CallClosure:
+			clo := read(in.A)
+			fp := newVal()
+			emit(Inst{Op: Load, Dst: fp, A: clo, Imm: 8})
+			call := Inst{Op: CallInd, A: fp, Args: append([]Value{clo}, readArgs(in.Args)...)}
+			if in.Dst != sir.None {
+				call.Dst = def(in.Dst)
+			}
+			emit(call)
+		case sir.Ret:
+			ret := Inst{Op: Ret, A: read(in.A)}
+			if lo.src.Throws {
+				ret.B = cnst(0)
+			}
+			emit(ret)
+		case sir.RetVoid:
+			ret := Inst{Op: Ret}
+			if lo.src.Throws {
+				ret.B = cnst(0)
+			}
+			emit(ret)
+		case sir.Throw:
+			emit(Inst{Op: Ret, B: read(in.A)})
+		case sir.Retain:
+			emit(Inst{Op: Call, Sym: RTRetain, Args: []Value{read(in.A)}})
+		case sir.Release:
+			emit(Inst{Op: Call, Sym: RTRelease, Args: []Value{read(in.A)}})
+		case sir.AllocObject:
+			n := cnst(in.Imm)
+			emit(Inst{Op: Call, Sym: RTAllocObject, Dst: def(in.Dst), Args: []Value{n}})
+		case sir.FieldGet:
+			emit(Inst{Op: Load, Dst: def(in.Dst), A: read(in.A), Imm: 8 * (1 + in.Imm)})
+		case sir.FieldSet:
+			a, bv := read(in.A), read(in.B)
+			emit(Inst{Op: Store, A: a, Imm: 8 * (1 + in.Imm), B: bv})
+		case sir.AllocArray:
+			emit(Inst{Op: Call, Sym: RTAllocArray, Dst: def(in.Dst), Args: []Value{read(in.A)}})
+		case sir.ArrayGet:
+			addr := lo.arrayAddr(bs, read(in.A), read(in.B))
+			emit(Inst{Op: Load, Dst: def(in.Dst), A: addr, Imm: 16})
+		case sir.ArraySet:
+			addr := lo.arrayAddr(bs, read(in.A), read(in.B))
+			emit(Inst{Op: Store, A: addr, Imm: 16, B: read(in.C)})
+		case sir.ArrayLen:
+			emit(Inst{Op: Load, Dst: def(in.Dst), A: read(in.A), Imm: 8})
+		case sir.StrGet:
+			addr := lo.arrayAddr(bs, read(in.A), read(in.B))
+			emit(Inst{Op: Load, Dst: def(in.Dst), A: addr, Imm: 8})
+		case sir.StrLen:
+			emit(Inst{Op: Load, Dst: def(in.Dst), A: read(in.A), Imm: 0})
+		case sir.Append:
+			a, bv := read(in.A), read(in.B)
+			emit(Inst{Op: Call, Sym: RTArrayAppend, Dst: def(in.Dst), Args: []Value{a, bv}})
+		case sir.MakeClosure:
+			caps := readArgs(in.Args)
+			n := cnst(int64(1 + len(in.Args)))
+			p := def(in.Dst)
+			emit(Inst{Op: Call, Sym: RTAllocObject, Dst: p, Args: []Value{n}})
+			fa := newVal()
+			emit(Inst{Op: GlobalAddr, Dst: fa, Sym: in.Sym})
+			emit(Inst{Op: Store, A: p, Imm: 8, B: fa})
+			for i, cv := range caps {
+				emit(Inst{Op: Store, A: p, Imm: int64(16 + 8*i), B: cv})
+			}
+		case sir.PrintInt:
+			emit(Inst{Op: Call, Sym: RTPrintInt, Args: []Value{read(in.A)}})
+		case sir.PrintBool:
+			emit(Inst{Op: Call, Sym: RTPrintBool, Args: []Value{read(in.A)}})
+		case sir.PrintStr:
+			emit(Inst{Op: Call, Sym: RTPrintStr, Args: []Value{read(in.A)}})
+		case sir.Unreachable:
+			emit(Inst{Op: Unreachable})
+		default:
+			return fmt.Errorf("unhandled SIR op %d", in.Op)
+		}
+	}
+	return nil
+}
+
+// arrayAddr computes base + 8*index, emitting into bs.
+func (lo *lowerer) arrayAddr(bs *blockState, base, index Value) Value {
+	eight := lo.dst.NewValue()
+	bs.body = append(bs.body, Inst{Op: Const, Dst: eight, Imm: 8})
+	off := lo.dst.NewValue()
+	bs.body = append(bs.body, Inst{Op: Bin, Dst: off, BinOp: Mul, A: index, B: eight})
+	addr := lo.dst.NewValue()
+	bs.body = append(bs.body, Inst{Op: Bin, Dst: addr, BinOp: Add, A: base, B: off})
+	return addr
+}
+
+// removeTrivialPhis iteratively removes phis whose incomings are all the
+// same value (or the phi itself), rewriting uses.
+func removeTrivialPhis(f *Func) {
+	for {
+		subst := make(map[Value]Value)
+		for _, b := range f.Blocks {
+			kept := b.Insts[:0]
+			for _, in := range b.Insts {
+				if in.Op != Phi {
+					kept = append(kept, in)
+					continue
+				}
+				var same Value
+				trivial := true
+				for _, inc := range in.Incomings {
+					if inc.Val == in.Dst || inc.Val == same {
+						continue
+					}
+					if same == None {
+						same = inc.Val
+						continue
+					}
+					trivial = false
+					break
+				}
+				if trivial {
+					if same == None {
+						same = in.Dst // degenerate: keep as-is, drops below
+					}
+					subst[in.Dst] = same
+					continue
+				}
+				kept = append(kept, in)
+			}
+			b.Insts = kept
+		}
+		if len(subst) == 0 {
+			return
+		}
+		resolve := func(v Value) Value {
+			// Bounded walk: mutually-trivial phi pairs (possible around
+			// unreachable loops) would otherwise cycle forever.
+			for steps := 0; steps <= len(subst); steps++ {
+				nv, ok := subst[v]
+				if !ok || nv == v {
+					return v
+				}
+				v = nv
+			}
+			return v
+		}
+		for _, b := range f.Blocks {
+			for i := range b.Insts {
+				in := &b.Insts[i]
+				in.A = resolve(in.A)
+				in.B = resolve(in.B)
+				for j := range in.Args {
+					in.Args[j] = resolve(in.Args[j])
+				}
+				for j := range in.Incomings {
+					in.Incomings[j].Val = resolve(in.Incomings[j].Val)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package llir
+
+import "fmt"
+
+// Verify checks SSA structural invariants:
+//
+//   - blocks are non-empty, end in exactly one terminator, labels unique,
+//   - branch targets resolve,
+//   - phis appear only at block starts and cover exactly the predecessors,
+//   - every value is defined exactly once.
+func (m *Module) Verify() error {
+	for _, f := range m.Funcs {
+		if err := f.Verify(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Verify checks one function.
+func (f *Func) Verify() error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("llir: @%s: no blocks", f.Name)
+	}
+	labels := make(map[string]bool)
+	for _, b := range f.Blocks {
+		if labels[b.Label] {
+			return fmt.Errorf("llir: @%s: duplicate label %s", f.Name, b.Label)
+		}
+		labels[b.Label] = true
+	}
+	defs := make(map[Value]int)
+	for i := 0; i < f.NumParams; i++ {
+		defs[f.Param(i)]++
+	}
+	preds := f.Preds()
+	for _, b := range f.Blocks {
+		if len(b.Insts) == 0 {
+			return fmt.Errorf("llir: @%s: empty block %s", f.Name, b.Label)
+		}
+		inPhis := true
+		for i := range b.Insts {
+			in := &b.Insts[i]
+			isLast := i == len(b.Insts)-1
+			if in.Op.IsTerminator() != isLast {
+				return fmt.Errorf("llir: @%s/%s: bad terminator placement at %d (%s)",
+					f.Name, b.Label, i, in)
+			}
+			if in.Op == Phi {
+				if !inPhis {
+					return fmt.Errorf("llir: @%s/%s: phi after non-phi", f.Name, b.Label)
+				}
+				want := make(map[string]bool)
+				for _, p := range preds[b.Label] {
+					want[p] = true
+				}
+				if len(in.Incomings) != len(want) {
+					return fmt.Errorf("llir: @%s/%s: phi has %d incomings, %d preds",
+						f.Name, b.Label, len(in.Incomings), len(want))
+				}
+				for _, inc := range in.Incomings {
+					if !want[inc.Pred] {
+						return fmt.Errorf("llir: @%s/%s: phi incoming from non-pred %s",
+							f.Name, b.Label, inc.Pred)
+					}
+				}
+			} else {
+				inPhis = false
+			}
+			if in.Dst != None {
+				defs[in.Dst]++
+			}
+			if in.Op == Call && in.ErrDst != None {
+				defs[in.ErrDst]++
+			}
+			switch in.Op {
+			case Br:
+				if !labels[in.Sym] {
+					return fmt.Errorf("llir: @%s/%s: br to unknown %s", f.Name, b.Label, in.Sym)
+				}
+			case CondBr:
+				if !labels[in.Sym] || !labels[in.Sym2] {
+					return fmt.Errorf("llir: @%s/%s: condbr to unknown label", f.Name, b.Label)
+				}
+			}
+		}
+	}
+	for v, n := range defs {
+		if n > 1 {
+			return fmt.Errorf("llir: @%s: value %%%d defined %d times", f.Name, v, n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package mir
+
+import "outliner/internal/isa"
+
+// RegSet is a bitset over machine registers plus the NZCV flags.
+type RegSet uint64
+
+const flagsBit = 63 // NZCV flags live in the top bit
+
+// Add returns s with r added.
+func (s RegSet) Add(r isa.Reg) RegSet {
+	if r == isa.NoReg || r == isa.XZR {
+		return s
+	}
+	return s | 1<<uint(r)
+}
+
+// Remove returns s with r removed.
+func (s RegSet) Remove(r isa.Reg) RegSet {
+	if r == isa.NoReg || r == isa.XZR {
+		return s
+	}
+	return s &^ (1 << uint(r))
+}
+
+// Has reports whether r is in s.
+func (s RegSet) Has(r isa.Reg) bool {
+	if r == isa.NoReg || r == isa.XZR {
+		return false
+	}
+	return s&(1<<uint(r)) != 0
+}
+
+// AddFlags / RemoveFlags / HasFlags track NZCV liveness.
+func (s RegSet) AddFlags() RegSet    { return s | 1<<flagsBit }
+func (s RegSet) RemoveFlags() RegSet { return s &^ (1 << flagsBit) }
+func (s RegSet) HasFlags() bool      { return s&(1<<flagsBit) != 0 }
+
+// Union returns s ∪ t.
+func (s RegSet) Union(t RegSet) RegSet { return s | t }
+
+// callerSaved is the set a call clobbers: X0..X17 plus LR and flags are not
+// guaranteed preserved. (Flags actually survive BL on AArch64, but treating
+// them as clobbered is conservative and matches how little our codegen keeps
+// flags live across calls.)
+var callerSaved = func() RegSet {
+	var s RegSet
+	for r := isa.X0; r <= isa.X17; r++ {
+		s = s.Add(r)
+	}
+	s = s.Add(isa.LR)
+	return s
+}()
+
+// callUses is the conservative set of registers a call may read: all
+// argument registers plus the indirect target.
+var callUses = func() RegSet {
+	var s RegSet
+	for i := 0; i < isa.NumArgRegs; i++ {
+		s = s.Add(isa.ArgReg(i))
+	}
+	return s
+}()
+
+// Liveness holds the result of a backward liveness analysis over one
+// function: for every instruction, the set of registers live *after* it
+// executes. The outliner consults it to decide whether the link register is
+// free at a candidate (the no-LR-save strategy) — the "up-to-date liveness
+// information" the paper says repeated outlining must maintain.
+type Liveness struct {
+	// LiveAfter[b][i] is the live-out set of instruction i of block b.
+	LiveAfter [][]RegSet
+}
+
+// ComputeLiveness runs backward dataflow to a fixed point over f.
+// externLive is the set assumed live at every function exit (typically the
+// callee-saved registers plus the result register).
+func ComputeLiveness(f *Function, externLive RegSet) *Liveness {
+	n := len(f.Blocks)
+	blockIdx := make(map[string]int, n)
+	for i, b := range f.Blocks {
+		blockIdx[b.Label] = i
+	}
+	liveIn := make([]RegSet, n)
+	liveOut := make([]RegSet, n)
+
+	succs := make([][]int, n)
+	for i, b := range f.Blocks {
+		for _, in := range b.Insts {
+			if !in.IsTerminator() || in.Op == isa.RET || in.Op == isa.BRK {
+				continue
+			}
+			if t, ok := blockIdx[in.Sym]; ok {
+				succs[i] = append(succs[i], t)
+			}
+		}
+		// Fallthrough to the next block when not ended by an unconditional
+		// transfer.
+		if i+1 < n && !endsUnconditional(b) {
+			succs[i] = append(succs[i], i+1)
+		}
+	}
+
+	localLabel := func(s string) bool { _, ok := blockIdx[s]; return ok }
+	changed := true
+	for changed {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			out := RegSet(0)
+			if exits(f.Blocks[i], localLabel, i == n-1) {
+				out = externLive
+				// A tail call returns through the caller's LR, so LR is
+				// live at the exit point.
+				if insts := f.Blocks[i].Insts; len(insts) > 0 && insts[len(insts)-1].Op == isa.B {
+					out = out.Add(isa.LR)
+					out = out.Union(callUses)
+				}
+			}
+			for _, s := range succs[i] {
+				out = out.Union(liveIn[s])
+			}
+			in := transferBlock(f.Blocks[i], out)
+			if out != liveOut[i] || in != liveIn[i] {
+				liveOut[i], liveIn[i] = out, in
+				changed = true
+			}
+		}
+	}
+
+	lv := &Liveness{LiveAfter: make([][]RegSet, n)}
+	for i, b := range f.Blocks {
+		lv.LiveAfter[i] = make([]RegSet, len(b.Insts))
+		live := liveOut[i]
+		for j := len(b.Insts) - 1; j >= 0; j-- {
+			lv.LiveAfter[i][j] = live
+			live = step(b.Insts[j], live)
+		}
+	}
+	return lv
+}
+
+func endsUnconditional(b *Block) bool {
+	if len(b.Insts) == 0 {
+		return false
+	}
+	switch b.Insts[len(b.Insts)-1].Op {
+	case isa.B, isa.RET, isa.BRK:
+		return true
+	}
+	return false
+}
+
+// exits reports whether control can leave the function from this block:
+// return, trap, a tail-call B whose target is not a local label, or running
+// off the end of the last block.
+func exits(b *Block, localLabel func(string) bool, last bool) bool {
+	if len(b.Insts) == 0 {
+		return last
+	}
+	term := b.Insts[len(b.Insts)-1]
+	switch term.Op {
+	case isa.RET, isa.BRK:
+		return true
+	case isa.B:
+		return !localLabel(term.Sym)
+	}
+	return last && !endsUnconditional(b)
+}
+
+func transferBlock(b *Block, live RegSet) RegSet {
+	for j := len(b.Insts) - 1; j >= 0; j-- {
+		live = step(b.Insts[j], live)
+	}
+	return live
+}
+
+// step computes live-before from live-after for one instruction.
+func step(in isa.Inst, live RegSet) RegSet {
+	if in.IsCall() {
+		live &^= callerSaved
+		live = live.RemoveFlags()
+		live = live.Union(callUses)
+	}
+	for _, d := range in.Defs(nil) {
+		live = live.Remove(d)
+	}
+	if in.SetsFlags() {
+		live = live.RemoveFlags()
+	}
+	for _, u := range in.Uses(nil) {
+		live = live.Add(u)
+	}
+	if in.ReadsFlags() {
+		live = live.AddFlags()
+	}
+	return live
+}
+
+// LRLiveAfter reports whether the link register is live immediately after
+// instruction i of block b — i.e. whether a BL inserted *after* position i
+// would clobber a value that is still needed.
+func (lv *Liveness) LRLiveAfter(b, i int) bool {
+	return lv.LiveAfter[b][i].Has(isa.LR)
+}
+
+// DefaultExternLive is the live-out assumption at function exits: result
+// register X0 plus all callee-saved registers (which the caller expects
+// preserved).
+var DefaultExternLive = func() RegSet {
+	s := RegSet(0).Add(isa.X0)
+	for r := isa.FirstCalleeSaved; r <= isa.LastCalleeSaved; r++ {
+		s = s.Add(r)
+	}
+	s = s.Add(isa.FP)
+	s = s.Add(isa.SP)
+	return s
+}()

@@ -1,0 +1,429 @@
+package mir
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"outliner/internal/isa"
+)
+
+const sampleSrc = `
+func @release_x20 module "RiderCore" {
+entry:
+  ORRXrs $x0, $xzr, $x20
+  BL @swift_release
+  RET
+}
+
+func @caller module "RiderCore" {
+entry:
+  MOVZXi $x0, #5
+  CMPXri $x0, #0
+  Bcc.eq @done
+body:
+  BL @release_x20
+done:
+  RET
+}
+
+global @gTable module "RiderCore" = [1, 2, 3]
+`
+
+var externRT = map[string]bool{"swift_release": true}
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return p
+}
+
+func TestParseAndPrintRoundTrip(t *testing.T) {
+	p := mustParse(t, sampleSrc)
+	if got := len(p.Funcs); got != 2 {
+		t.Fatalf("parsed %d funcs, want 2", got)
+	}
+	if p.Func("release_x20") == nil || p.Func("caller") == nil {
+		t.Fatal("function index missing entries")
+	}
+	if p.Func("release_x20").Module != "RiderCore" {
+		t.Errorf("module = %q", p.Func("release_x20").Module)
+	}
+	if len(p.Globals) != 1 || p.Globals[0].Name != "gTable" || len(p.Globals[0].Words) != 3 {
+		t.Fatalf("global parse wrong: %+v", p.Globals)
+	}
+
+	printed := p.String()
+	p2 := mustParse(t, printed)
+	if p2.String() != printed {
+		t.Error("print/parse/print is not a fixed point")
+	}
+	if p2.NumInsts() != p.NumInsts() {
+		t.Errorf("round trip changed inst count: %d vs %d", p2.NumInsts(), p.NumInsts())
+	}
+}
+
+func TestParseInstMatchesConstructed(t *testing.T) {
+	in, err := ParseInst("ORRXrs $x0, $xzr, $x20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in != isa.MoveRR(isa.X0, isa.X20) {
+		t.Errorf("parsed %+v differs from constructed move", in)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"func @f {\nentry:\n  FROB $x0\n}",             // unknown opcode
+		"func @f {\n  RET\n}",                          // inst outside block
+		"func @f {\nentry:\n  BL swift\n}",             // symbol without @
+		"func @f {\nentry:\n  MOVZXi $x0\n}",           // missing operand
+		"func @f {\nentry:\n  RET $x0\n}",              // extra operand
+		"func @f {\nentry:\n  RET\n",                   // unterminated
+		"}",                                            // unmatched brace
+		"func @f {\nentry:\n  LDRXui $x0, $x99, #0\n}", // bad register
+		"global @g = 5",                                // bad global body
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse accepted invalid input %q", src)
+		}
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	p := mustParse(t, sampleSrc)
+	// release_x20: 3 insts, caller: 5 insts, all 4 bytes.
+	if got := p.NumInsts(); got != 8 {
+		t.Errorf("NumInsts = %d, want 8", got)
+	}
+	if got := p.CodeSize(); got != 32 {
+		t.Errorf("CodeSize = %d, want 32", got)
+	}
+	if got := p.DataSize(); got != 24 {
+		t.Errorf("DataSize = %d, want 24", got)
+	}
+	withADR := mustParse(t, "func @f {\nentry:\n  ADRP $x0, @gTable\n  RET\n}\nglobal @gTable = [0]")
+	if got := withADR.CodeSize(); got != 12 {
+		t.Errorf("CodeSize with ADR = %d, want 12", got)
+	}
+}
+
+func TestVerifyAcceptsSample(t *testing.T) {
+	p := mustParse(t, sampleSrc)
+	if err := p.Verify(externRT); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyCatchesBreakage(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(p *Program)
+	}{
+		{"unknown call", func(p *Program) {
+			p.Func("caller").Blocks[1].Insts[0] = isa.Inst{Op: isa.BL, Sym: "nonexistent"}
+		}},
+		{"unknown branch", func(p *Program) {
+			p.Func("caller").Blocks[0].Insts[2] = isa.Inst{Op: isa.Bcc, Cond: isa.EQ, Sym: "nowhere"}
+		}},
+		{"non-terminator after terminator", func(p *Program) {
+			b := p.Func("caller").Blocks[0]
+			b.Insts[0] = isa.Inst{Op: isa.RET} // leaves CMPXri after RET
+		}},
+		{"missing final terminator", func(p *Program) {
+			b := p.Func("caller").Blocks[2]
+			b.Insts = b.Insts[:0]
+		}},
+		{"duplicate label", func(p *Program) {
+			f := p.Func("caller")
+			f.Blocks[1].Label = "entry"
+		}},
+		{"unknown adr", func(p *Program) {
+			b := p.Func("caller").Blocks[0]
+			b.Insts[0] = isa.Inst{Op: isa.ADR, Rd: isa.X0, Sym: "noglobal"}
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := mustParse(t, sampleSrc)
+			c.mutate(p)
+			if err := p.Verify(externRT); err == nil {
+				t.Error("Verify accepted broken program")
+			}
+		})
+	}
+}
+
+func TestVerifyAcceptsTailCallB(t *testing.T) {
+	src := `
+func @outlined outlined {
+entry:
+  ORRXrs $x0, $xzr, $x20
+  B @swift_release
+}
+`
+	p := mustParse(t, src)
+	if err := p.Verify(externRT); err != nil {
+		t.Fatalf("Verify rejected thunk tail call: %v", err)
+	}
+	if !p.Func("outlined").Outlined {
+		t.Error("outlined flag not parsed")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := mustParse(t, sampleSrc)
+	c := p.Clone()
+	c.Func("caller").Blocks[0].Insts[0] = isa.Inst{Op: isa.NOP}
+	c.Globals[0].Words[0] = 99
+	if p.Func("caller").Blocks[0].Insts[0].Op == isa.NOP {
+		t.Error("Clone shares instruction storage")
+	}
+	if p.Globals[0].Words[0] == 99 {
+		t.Error("Clone shares global storage")
+	}
+}
+
+func TestModules(t *testing.T) {
+	p := mustParse(t, sampleSrc)
+	p.AddFunc(&Function{Name: "z", Module: "Vendor", Blocks: []*Block{{Label: "entry", Insts: []isa.Inst{{Op: isa.RET}}}}})
+	mods := p.Modules()
+	if len(mods) != 2 || mods[0] != "RiderCore" || mods[1] != "Vendor" {
+		t.Errorf("Modules = %v", mods)
+	}
+}
+
+func TestDuplicateFuncPanics(t *testing.T) {
+	p := NewProgram()
+	p.AddFunc(&Function{Name: "f"})
+	defer func() {
+		if recover() == nil {
+			t.Error("AddFunc accepted duplicate name")
+		}
+	}()
+	p.AddFunc(&Function{Name: "f"})
+}
+
+// Liveness: in a frame-bearing function, LR is dead between the prologue
+// save and the epilogue restore — exactly the window where the no-LR-save
+// outlining strategy is legal.
+func TestLivenessLRWindow(t *testing.T) {
+	src := `
+func @framed {
+entry:
+  STPXpre $x29, $x30, $sp, #-16
+  ORRXrs $x19, $xzr, $x0
+  BL @swift_retain
+  ORRXrs $x0, $xzr, $x19
+  LDPXpost $x29, $x30, $sp, #16
+  RET
+}
+`
+	p := mustParse(t, src)
+	f := p.Func("framed")
+	lv := ComputeLiveness(f, DefaultExternLive)
+	// After the prologue store (index 0) LR's old value is saved; LR is not
+	// needed again until the LDPXpost redefines it.
+	for i := 0; i <= 3; i++ {
+		if lv.LRLiveAfter(0, i) {
+			t.Errorf("LR live after inst %d; want dead inside frame window", i)
+		}
+	}
+	if !lv.LRLiveAfter(0, 4) {
+		t.Error("LR dead after epilogue restore; RET needs it")
+	}
+}
+
+// In a leaf function with no frame, LR stays live throughout: outlining there
+// must save LR.
+func TestLivenessLeafLRAlwaysLive(t *testing.T) {
+	src := `
+func @leaf {
+entry:
+  MOVZXi $x1, #7
+  ADDXrs $x0, $x0, $x1
+  RET
+}
+`
+	p := mustParse(t, src)
+	lv := ComputeLiveness(p.Func("leaf"), DefaultExternLive)
+	if !lv.LRLiveAfter(0, 0) || !lv.LRLiveAfter(0, 1) {
+		t.Error("LR must be live in a leaf function body")
+	}
+}
+
+// A thunk exit (tail call) keeps LR live at its end.
+func TestLivenessTailCall(t *testing.T) {
+	src := `
+func @thunk outlined {
+entry:
+  ORRXrs $x0, $xzr, $x20
+  B @swift_release
+}
+`
+	p := mustParse(t, src)
+	lv := ComputeLiveness(p.Func("thunk"), DefaultExternLive)
+	if !lv.LiveAfter[0][0].Has(isa.LR) {
+		t.Error("LR must be live before a tail call")
+	}
+}
+
+func TestLivenessFlags(t *testing.T) {
+	src := `
+func @f {
+entry:
+  CMPXri $x0, #3
+  ORRXrs $x1, $xzr, $x2
+  Bcc.eq @t
+t:
+  RET
+}
+`
+	p := mustParse(t, src)
+	lv := ComputeLiveness(p.Func("f"), DefaultExternLive)
+	if !lv.LiveAfter[0][0].HasFlags() || !lv.LiveAfter[0][1].HasFlags() {
+		t.Error("flags must be live between CMP and Bcc")
+	}
+	if lv.LiveAfter[0][2].HasFlags() {
+		t.Error("flags must be dead after the consuming branch")
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	// x19 is used around the back edge; it must be live throughout the loop.
+	src := `
+func @loop {
+entry:
+  MOVZXi $x19, #10
+loop:
+  SUBXri $x19, $x19, #1
+  CBNZX $x19, @loop
+exit:
+  ORRXrs $x0, $xzr, $x19
+  RET
+}
+`
+	p := mustParse(t, src)
+	f := p.Func("loop")
+	lv := ComputeLiveness(f, DefaultExternLive)
+	if !lv.LiveAfter[0][0].Has(isa.X19) {
+		t.Error("x19 must be live at entry block exit")
+	}
+	if !lv.LiveAfter[1][1].Has(isa.X19) {
+		t.Error("x19 must be live around the back edge")
+	}
+}
+
+func TestRegSetOps(t *testing.T) {
+	var s RegSet
+	s = s.Add(isa.X0).Add(isa.LR).Add(isa.XZR)
+	if s.Has(isa.XZR) {
+		t.Error("XZR must never be tracked")
+	}
+	if !s.Has(isa.X0) || !s.Has(isa.LR) {
+		t.Error("Add lost a register")
+	}
+	s = s.Remove(isa.X0)
+	if s.Has(isa.X0) {
+		t.Error("Remove failed")
+	}
+	if s.HasFlags() {
+		t.Error("flags set unexpectedly")
+	}
+	s = s.AddFlags()
+	if !s.HasFlags() {
+		t.Error("AddFlags failed")
+	}
+}
+
+func TestFunctionStringContainsListingStylePattern(t *testing.T) {
+	p := mustParse(t, sampleSrc)
+	out := p.Func("release_x20").String()
+	// The printed form should read like the paper's Listing 1.
+	if !strings.Contains(out, "ORRXrs $x0, $xzr, $x20") || !strings.Contains(out, "BL @swift_release") {
+		t.Errorf("unexpected print:\n%s", out)
+	}
+}
+
+// Property: printing and reparsing a random (structurally valid) program is
+// the identity on the instruction stream.
+func TestParsePrintRoundTripProperty(t *testing.T) {
+	ops := []isa.Op{
+		isa.MOVZ, isa.ORRrs, isa.ANDrs, isa.EORrs, isa.ADDrs, isa.ADDri,
+		isa.SUBrs, isa.SUBri, isa.MUL, isa.SDIV, isa.LSLri, isa.LSRri,
+		isa.ASRri, isa.CMPrs, isa.CMPri, isa.CSET, isa.LDRui, isa.STRui,
+		isa.LDPui, isa.STPui, isa.STRpre, isa.LDRpost, isa.NOP,
+	}
+	regs := []isa.Reg{isa.X0, isa.X1, isa.X9, isa.X19, isa.X28, isa.FP, isa.SP, isa.XZR}
+	conds := []isa.Cond{isa.EQ, isa.NE, isa.LT, isa.LE, isa.GT, isa.GE}
+
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		p := NewProgram()
+		f := &Function{Name: fmt.Sprintf("f%d", trial), Module: "M"}
+		b := &Block{Label: "entry"}
+		n := 1 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			in := isa.Inst{Op: ops[rng.Intn(len(ops))]}
+			in.Rd = regs[rng.Intn(len(regs))]
+			in.Rd2 = regs[rng.Intn(len(regs))]
+			in.Rn = regs[rng.Intn(len(regs))]
+			in.Rm = regs[rng.Intn(len(regs))]
+			in.Imm = int64(rng.Intn(4096))
+			in.Cond = conds[rng.Intn(len(conds))]
+			// Normalize unused slots to the zero value, as the parser will.
+			in = normalizeForOp(in)
+			b.Insts = append(b.Insts, in)
+		}
+		b.Insts = append(b.Insts, isa.Inst{Op: isa.RET})
+		f.Blocks = []*Block{b}
+		p.AddFunc(f)
+
+		printed := p.String()
+		back, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("trial %d: reparse failed: %v\n%s", trial, err, printed)
+		}
+		got := back.Func(f.Name).Blocks[0].Insts
+		want := f.Blocks[0].Insts
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: inst count changed", trial)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d inst %d: %+v != %+v\n%s", trial, i, got[i], want[i], printed)
+			}
+		}
+	}
+}
+
+// normalizeForOp zeroes the operand slots an opcode does not encode, so that
+// constructed instructions compare equal after a print/parse cycle.
+func normalizeForOp(in isa.Inst) isa.Inst {
+	out := isa.Inst{Op: in.Op}
+	switch in.Op {
+	case isa.MOVZ:
+		out.Rd, out.Imm = in.Rd, in.Imm
+	case isa.ORRrs, isa.ANDrs, isa.EORrs, isa.ADDrs, isa.SUBrs, isa.MUL, isa.SDIV:
+		out.Rd, out.Rn, out.Rm = in.Rd, in.Rn, in.Rm
+	case isa.ADDri, isa.SUBri, isa.LSLri, isa.LSRri, isa.ASRri, isa.LDRui, isa.STRui,
+		isa.STRpre, isa.LDRpost:
+		out.Rd, out.Rn, out.Imm = in.Rd, in.Rn, in.Imm
+	case isa.CMPrs:
+		out.Rn, out.Rm = in.Rn, in.Rm
+	case isa.CMPri:
+		out.Rn, out.Imm = in.Rn, in.Imm
+	case isa.CSET:
+		out.Rd, out.Cond = in.Rd, in.Cond
+	case isa.LDPui, isa.STPui:
+		out.Rd, out.Rd2, out.Rn, out.Imm = in.Rd, in.Rd2, in.Rn, in.Imm
+	case isa.NOP:
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package mir
+
+import (
+	"fmt"
+
+	"outliner/internal/isa"
+)
+
+// Verify checks structural invariants of the program:
+//
+//   - function and block labels are unique and non-empty,
+//   - terminators appear only as the last instruction of a block,
+//   - every block ends in a terminator or falls through to a following block,
+//   - intra-function branch targets resolve to block labels,
+//   - BL targets resolve to program functions or known external symbols.
+//
+// The outliner runs it after every round; a verifier failure there means the
+// transformation broke the program, which the end-to-end execution tests
+// would catch later but with far worse diagnostics.
+func (p *Program) Verify(externSyms map[string]bool) error {
+	for _, f := range p.Funcs {
+		if err := p.verifyFunc(f, externSyms); err != nil {
+			return err
+		}
+	}
+	seenGlobals := make(map[string]bool, len(p.Globals))
+	for _, g := range p.Globals {
+		if g.Name == "" {
+			return fmt.Errorf("mir: unnamed global")
+		}
+		if seenGlobals[g.Name] {
+			return fmt.Errorf("mir: duplicate global %q", g.Name)
+		}
+		seenGlobals[g.Name] = true
+	}
+	return nil
+}
+
+func (p *Program) verifyFunc(f *Function, externSyms map[string]bool) error {
+	if f.Name == "" {
+		return fmt.Errorf("mir: unnamed function")
+	}
+	labels := make(map[string]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		if b.Label == "" {
+			return fmt.Errorf("mir: @%s: unnamed block", f.Name)
+		}
+		if labels[b.Label] {
+			return fmt.Errorf("mir: @%s: duplicate block label %q", f.Name, b.Label)
+		}
+		labels[b.Label] = true
+	}
+	globals := make(map[string]bool, len(p.Globals))
+	for _, g := range p.Globals {
+		globals[g.Name] = true
+	}
+	for bi, b := range f.Blocks {
+		seenTerm := false
+		for i, in := range b.Insts {
+			if in.Op == isa.BAD || in.Op >= isa.NumOps {
+				return fmt.Errorf("mir: @%s/%s: bad opcode at %d", f.Name, b.Label, i)
+			}
+			// Terminators must form a trailing run (a conditional branch may
+			// be followed by further terminators, e.g. Bcc + B).
+			if seenTerm && !in.IsTerminator() {
+				return fmt.Errorf("mir: @%s/%s: instruction %s after terminator", f.Name, b.Label, in)
+			}
+			if in.IsTerminator() {
+				seenTerm = true
+			}
+			switch in.Op {
+			case isa.B:
+				// B is either an intra-function branch or a tail call to
+				// another function (the outliner's tail-call and thunk
+				// strategies emit the latter).
+				if !labels[in.Sym] && p.Func(in.Sym) == nil && !externSyms[in.Sym] {
+					return fmt.Errorf("mir: @%s/%s: branch to unknown label or symbol %q", f.Name, b.Label, in.Sym)
+				}
+			case isa.Bcc, isa.CBZ, isa.CBNZ:
+				if !labels[in.Sym] {
+					return fmt.Errorf("mir: @%s/%s: branch to unknown label %q", f.Name, b.Label, in.Sym)
+				}
+			case isa.BL:
+				if p.Func(in.Sym) == nil && !externSyms[in.Sym] {
+					return fmt.Errorf("mir: @%s/%s: call to unknown symbol %q", f.Name, b.Label, in.Sym)
+				}
+			case isa.ADR:
+				if !globals[in.Sym] && p.Func(in.Sym) == nil && !externSyms[in.Sym] {
+					return fmt.Errorf("mir: @%s/%s: address of unknown symbol %q", f.Name, b.Label, in.Sym)
+				}
+			}
+		}
+		// A block must not fall off the end of the function.
+		if bi == len(f.Blocks)-1 && len(f.Blocks) > 0 {
+			if len(b.Insts) == 0 || !b.Insts[len(b.Insts)-1].IsTerminator() {
+				return fmt.Errorf("mir: @%s: last block %q does not end in a terminator", f.Name, b.Label)
+			}
+		}
+	}
+	return nil
+}

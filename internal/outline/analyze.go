@@ -1,0 +1,117 @@
+package outline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"outliner/internal/isa"
+	"outliner/internal/mir"
+	"outliner/internal/suffixtree"
+)
+
+// Pattern is one unique repeated machine-code sequence, in the paper's
+// terminology (§IV): "pattern" is the unique sequence, "candidates" are its
+// instances. Produced by Analyze — the statistics-collection pass the paper
+// inserts after machine-code generation to log repetitions.
+type Pattern struct {
+	Seq      []isa.Inst
+	Length   int // instructions
+	SeqBytes int
+	Count    int // non-overlapping candidates in the whole program
+	Benefit  int // bytes saved if this pattern alone were outlined
+	Funcs    []string
+}
+
+// Analyze logs every repeated, profitably-outlinable pattern in the program,
+// sorted by repetition frequency high-to-low (the ordering of the paper's
+// Figure 5). The program is not modified.
+func Analyze(prog *mir.Program, opts Options) []Pattern {
+	opts = opts.withDefaults()
+	m := mapProgram(prog)
+	if len(m.str) == 0 {
+		return nil
+	}
+	tree := suffixtree.New(m.str)
+
+	liveCache := make(map[int]*mir.Liveness)
+	liveness := func(fi int) *mir.Liveness {
+		lv, ok := liveCache[fi]
+		if !ok {
+			lv = mir.ComputeLiveness(prog.Funcs[fi], mir.DefaultExternLive)
+			liveCache[fi] = lv
+		}
+		return lv
+	}
+
+	spSensitive := spSensitiveFuncs(prog)
+	var patterns []Pattern
+	tree.ForEachRepeat(opts.MinLength, 2, func(r suffixtree.Repeat) {
+		set := buildSet(prog, m, r, liveness, spSensitive, opts)
+		if set == nil {
+			return
+		}
+		pat := Pattern{
+			Seq:      append([]isa.Inst(nil), set.seq...),
+			Length:   len(set.seq),
+			SeqBytes: set.seqBytes,
+			Count:    len(set.cands),
+			Benefit:  set.benefit(),
+		}
+		const maxFuncs = 4
+		for _, c := range set.cands {
+			if len(pat.Funcs) >= maxFuncs {
+				break
+			}
+			pat.Funcs = append(pat.Funcs, prog.Funcs[c.where.fn].Name)
+		}
+		patterns = append(patterns, pat)
+	})
+
+	sort.SliceStable(patterns, func(i, j int) bool {
+		if patterns[i].Count != patterns[j].Count {
+			return patterns[i].Count > patterns[j].Count
+		}
+		if patterns[i].Benefit != patterns[j].Benefit {
+			return patterns[i].Benefit > patterns[j].Benefit
+		}
+		return patterns[i].Length > patterns[j].Length
+	})
+	return patterns
+}
+
+// Listing renders the pattern like the paper's Listings 1-8.
+func (p Pattern) Listing() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; repeats %d times, %d instructions, saves %d bytes if outlined\n",
+		p.Count, p.Length, p.Benefit)
+	for _, in := range p.Seq {
+		fmt.Fprintf(&b, "  %s\n", in)
+	}
+	return b.String()
+}
+
+// CumulativeSavings returns, for patterns sorted by per-pattern benefit
+// (descending), the running total of bytes saved — the paper's Figure 7.
+// The estimate treats patterns independently.
+func CumulativeSavings(patterns []Pattern) []int {
+	byBenefit := append([]Pattern(nil), patterns...)
+	sort.SliceStable(byBenefit, func(i, j int) bool { return byBenefit[i].Benefit > byBenefit[j].Benefit })
+	out := make([]int, len(byBenefit))
+	total := 0
+	for i, p := range byBenefit {
+		total += p.Benefit
+		out[i] = total
+	}
+	return out
+}
+
+// LengthHistogram counts candidates (pattern instances) per sequence length —
+// the paper's Figure 8.
+func LengthHistogram(patterns []Pattern) map[int]int {
+	h := make(map[int]int)
+	for _, p := range patterns {
+		h[p.Length] += p.Count
+	}
+	return h
+}

@@ -1,0 +1,151 @@
+package outline
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"outliner/internal/isa"
+	"outliner/internal/mir"
+)
+
+func TestCanonicalizeCommutative(t *testing.T) {
+	src := `
+func @f {
+entry:
+  ADDXrs $x0, $x3, $x1
+  ADDXrs $x2, $x1, $x3
+  SUBXrs $x4, $x3, $x1
+  ORRXrs $x5, $x2, $xzr
+  ORRXrs $x6, $xzr, $x2
+  RET
+}
+`
+	p := mustParse(t, src)
+	n := CanonicalizeCommutative(p)
+	insts := p.Func("f").Blocks[0].Insts
+	// Both ADDs now read ($x1, $x3).
+	if insts[0].Rn != isa.X1 || insts[0].Rm != isa.X3 {
+		t.Errorf("add 1 not canonical: %v", insts[0])
+	}
+	if insts[1].Rn != isa.X1 || insts[1].Rm != isa.X3 {
+		t.Errorf("add 2 not canonical: %v", insts[1])
+	}
+	// SUB is not commutative and must be untouched.
+	if insts[2].Rn != isa.X3 || insts[2].Rm != isa.X1 {
+		t.Errorf("sub was rewritten: %v", insts[2])
+	}
+	// The backwards move is normalized to the canonical ORR move form.
+	if !insts[3].IsMoveRR() || insts[3].Rm != isa.X2 {
+		t.Errorf("backwards move not normalized: %v", insts[3])
+	}
+	if !insts[4].IsMoveRR() {
+		t.Errorf("canonical move was disturbed: %v", insts[4])
+	}
+	if n != 2 {
+		t.Errorf("rewrites = %d, want 2", n)
+	}
+}
+
+// Canonicalization exposes matches the plain outliner misses.
+func TestCanonicalizationUnlocksOutlining(t *testing.T) {
+	mk := func() *mir.Program {
+		var src strings.Builder
+		// Same computation with flipped commutative operands per function.
+		for i := 0; i < 6; i++ {
+			a, b := "$x1", "$x2"
+			if i%2 == 1 {
+				a, b = b, a
+			}
+			src.WriteString(fmt.Sprintf(`
+func @f%d {
+entry:
+  STPXpre $x29, $x30, $sp, #-16
+  ADDXrs $x3, %[2]s, %[3]s
+  EORXrs $x4, %[3]s, %[2]s
+  ANDXrs $x5, %[2]s, %[3]s
+  MULXrr $x6, %[3]s, %[2]s
+  MOVZXi $x7, #%[1]d
+  LDPXpost $x29, $x30, $sp, #16
+  RET
+}
+`, 100+i, a, b))
+		}
+		return mustParse(t, src.String())
+	}
+
+	plain := mk()
+	outlineProg(t, plain, 3)
+
+	canon := mk()
+	CanonicalizeCommutative(canon)
+	outlineProg(t, canon, 3)
+
+	if canon.CodeSize() >= plain.CodeSize() {
+		t.Errorf("canonicalization did not unlock savings: %d vs %d",
+			canon.CodeSize(), plain.CodeSize())
+	}
+}
+
+func TestLayoutOutlined(t *testing.T) {
+	var src strings.Builder
+	for i := 0; i < 6; i++ {
+		src.WriteString(fmt.Sprintf(`
+func @h%d {
+entry:
+  STPXpre $x29, $x30, $sp, #-16
+  ORRXrs $x0, $xzr, $x19
+  BL @swift_release
+  ORRXrs $x0, $xzr, $x20
+  BL @swift_release
+  MOVZXi $x1, #%d
+  LDPXpost $x29, $x30, $sp, #16
+  RET
+}
+`, i, i))
+	}
+	p := mustParse(t, src.String())
+	outlineProg(t, p, 3)
+
+	moved := LayoutOutlined(p)
+	if moved == 0 {
+		t.Fatal("no outlined functions moved")
+	}
+	if err := p.Verify(externRT); err != nil {
+		t.Fatalf("layout broke the program: %v", err)
+	}
+	// Every outlined function must directly follow a function that calls it
+	// (or follow a chain member attached to that caller).
+	idx := map[string]int{}
+	for i, f := range p.Funcs {
+		idx[f.Name] = i
+	}
+	for _, f := range p.Funcs {
+		if !f.Outlined {
+			continue
+		}
+		i := idx[f.Name]
+		if i == 0 {
+			t.Errorf("outlined %s placed first", f.Name)
+		}
+	}
+	// Determinism.
+	q := mustParse(t, src.String())
+	outlineProg(t, q, 3)
+	LayoutOutlined(q)
+	if p.String() != q.String() {
+		t.Error("layout is nondeterministic")
+	}
+}
+
+func TestLayoutNoOutlinedIsNoop(t *testing.T) {
+	p := mustParse(t, `
+func @a {
+entry:
+  RET
+}
+`)
+	if moved := LayoutOutlined(p); moved != 0 {
+		t.Errorf("moved %d in a program without outlined functions", moved)
+	}
+}

@@ -1,0 +1,148 @@
+// Package outline implements whole-program machine-code outlining — the
+// paper's primary contribution. It mirrors LLVM's MachineOutliner pass
+// structure (instruction mapper → suffix tree → candidate cost model →
+// greedy selection → function creation) and adds the paper's extension:
+// repeated machine outlining, in which the whole pass re-runs over its own
+// output so that lengthier candidates whose substrings were already outlined
+// are reconsidered rather than discarded.
+package outline
+
+import (
+	"outliner/internal/isa"
+	"outliner/internal/mir"
+)
+
+// loc addresses one instruction inside a program.
+type loc struct {
+	fn    int // index into prog.Funcs
+	block int // index into fn.Blocks
+	inst  int // index into block.Insts
+}
+
+// mapping is the flattened view of a program that the suffix tree consumes:
+// one integer symbol per instruction, where identical outlinable instructions
+// share a symbol and illegal instructions/block boundaries get unique
+// negative sentinels so they can never participate in a repeat.
+type mapping struct {
+	str  []int
+	locs []loc // aligned with str; sentinel entries hold fn == -1
+
+	// insts holds the canonical instruction for each non-negative symbol.
+	insts []isa.Inst
+}
+
+// legalForOutlining reports whether the mapper may give in a shared symbol.
+// The rules reproduce the AArch64 target hooks in LLVM:
+//
+//   - branches and traps never move (they end blocks anyway),
+//   - RET is allowed (the tail-call strategy outlines returning sequences),
+//   - instructions that modify SP (frame setup/destruction, the very
+//     STP/LDP sequences of the paper's Listings 7-8) must stay put,
+//   - instructions that explicitly read or write LR must stay put because
+//     every outlining strategy repurposes LR.
+func legalForOutlining(in isa.Inst) bool {
+	switch in.Op {
+	case isa.B, isa.Bcc, isa.CBZ, isa.CBNZ, isa.BRK, isa.BAD, isa.NOP:
+		return false
+	}
+	if in.ModifiesSP() {
+		return false
+	}
+	if in.UsesLR() {
+		return false
+	}
+	return true
+}
+
+// mapProgram flattens prog. Outlined functions from earlier rounds are
+// included: that inclusion is what lets round N outline the bodies of
+// round N-1's functions (and call sites referring to them), producing the
+// cascade the paper's Figure 11 illustrates.
+func mapProgram(prog *mir.Program) *mapping {
+	m := &mapping{}
+	idByInst := make(map[isa.Inst]int)
+	sentinel := -1
+	for fi, f := range prog.Funcs {
+		for bi, b := range f.Blocks {
+			for ii, in := range b.Insts {
+				l := loc{fn: fi, block: bi, inst: ii}
+				if legalForOutlining(in) {
+					id, ok := idByInst[in]
+					if !ok {
+						id = len(m.insts)
+						idByInst[in] = id
+						m.insts = append(m.insts, in)
+					}
+					m.str = append(m.str, id)
+					m.locs = append(m.locs, l)
+				} else {
+					m.str = append(m.str, sentinel)
+					m.locs = append(m.locs, l)
+					sentinel--
+				}
+			}
+			// Block boundary sentinel: repeats never span blocks.
+			m.str = append(m.str, sentinel)
+			m.locs = append(m.locs, loc{fn: -1})
+			sentinel--
+		}
+	}
+	return m
+}
+
+// instsAt returns the instruction sequence covered by [start, start+n) of
+// the flattened string. All positions are guaranteed to sit inside one block
+// (sentinels separate blocks), so this indexes a contiguous instruction run.
+func (m *mapping) instsAt(prog *mir.Program, start, n int) []isa.Inst {
+	l := m.locs[start]
+	b := prog.Funcs[l.fn].Blocks[l.block]
+	return b.Insts[l.inst : l.inst+n]
+}
+
+// spSensitiveFuncs computes, for repeated rounds, which outlined functions
+// access their *caller's* stack frame through SP. Outlined functions have no
+// frame of their own: their SP-relative instructions implicitly assume SP
+// still points at the original site's frame. The property propagates through
+// calls and tail calls between outlined functions.
+//
+// A candidate that calls such a function must be treated exactly like a
+// candidate containing a direct SP access: outlining it with any strategy
+// that moves SP first (LR spills at the call site, or an LR-preserving frame
+// inside the new function) would make the callee scribble on the wrong
+// frame. Round one never needs this (no outlined functions exist yet);
+// missing it in later rounds corrupts saved registers — found the hard way
+// by executing the synthetic app.
+func spSensitiveFuncs(prog *mir.Program) map[string]bool {
+	sensitive := make(map[string]bool)
+	// Direct SP access.
+	for _, f := range prog.Funcs {
+		if !f.Outlined {
+			continue
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Insts {
+				if in.ReadsSP() || in.ModifiesSP() {
+					sensitive[f.Name] = true
+				}
+			}
+		}
+	}
+	// Propagate through BL/B edges between outlined functions.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range prog.Funcs {
+			if !f.Outlined || sensitive[f.Name] {
+				continue
+			}
+			for _, b := range f.Blocks {
+				for _, in := range b.Insts {
+					if (in.Op == isa.BL || in.Op == isa.B) && sensitive[in.Sym] {
+						sensitive[f.Name] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return sensitive
+}

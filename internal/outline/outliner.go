@@ -1,0 +1,424 @@
+package outline
+
+import (
+	"fmt"
+	"sort"
+
+	"outliner/internal/isa"
+	"outliner/internal/mir"
+	"outliner/internal/suffixtree"
+)
+
+// Options configures the outliner.
+type Options struct {
+	// Rounds is the number of outlining passes (the paper's
+	// -outline-repeat-count). 1 reproduces LLVM's single-pass greedy
+	// behaviour; the paper ships 5.
+	Rounds int
+	// MinLength is the minimum candidate length in instructions (default 2:
+	// single instructions can never be replaced profitably on a
+	// fixed-width ISA).
+	MinLength int
+	// MinBenefit is the minimum byte saving for a pattern to be outlined
+	// (default 1 — the paper's "at least one-byte size saving").
+	MinBenefit int
+	// FlatCostModel is an ablation switch: cost every candidate as if the
+	// link register always had to be saved and restored, discarding the
+	// strategy-specific costing (tail call / thunk / no-LR-save).
+	FlatCostModel bool
+	// FuncPrefix names created functions; default "OUTLINED_FUNCTION_".
+	FuncPrefix string
+	// Verify re-checks program invariants after every round.
+	Verify bool
+	// ExternSyms lists symbols that may be called without a definition
+	// (runtime entry points); used only when Verify is set.
+	ExternSyms map[string]bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinLength == 0 {
+		o.MinLength = 2
+	}
+	if o.MinBenefit == 0 {
+		o.MinBenefit = 1
+	}
+	if o.FuncPrefix == "" {
+		o.FuncPrefix = "OUTLINED_FUNCTION_"
+	}
+	return o
+}
+
+// RoundStats reports one outlining round (one column of the paper's
+// Table II, except Table II reports cumulative values).
+type RoundStats struct {
+	Round             int
+	SequencesOutlined int // candidates replaced with calls/branches
+	FunctionsCreated  int
+	OutlinedBytes     int // bytes consumed by the created functions
+	BytesSaved        int // net code-size reduction achieved this round
+}
+
+// Stats aggregates all rounds. Cumulative* slices match Table II's rows:
+// entry i holds the totals after round i+1.
+type Stats struct {
+	Rounds []RoundStats
+}
+
+// TotalSequences returns the cumulative number of outlined sequences.
+func (s *Stats) TotalSequences() int {
+	n := 0
+	for _, r := range s.Rounds {
+		n += r.SequencesOutlined
+	}
+	return n
+}
+
+// TotalFunctions returns the cumulative number of created functions.
+func (s *Stats) TotalFunctions() int {
+	n := 0
+	for _, r := range s.Rounds {
+		n += r.FunctionsCreated
+	}
+	return n
+}
+
+// TotalOutlinedBytes returns the cumulative bytes consumed by outlined
+// functions.
+func (s *Stats) TotalOutlinedBytes() int {
+	n := 0
+	for _, r := range s.Rounds {
+		n += r.OutlinedBytes
+	}
+	return n
+}
+
+// strategy is how a candidate set is turned into an outlined function.
+type strategy uint8
+
+const (
+	stratTailCall strategy = iota // sequence ends in RET: B to function
+	stratThunk                    // sequence ends in BL: prefix + tail call
+	stratPlain                    // sequence needs an added return
+)
+
+// candidate is one occurrence of a repeated sequence.
+type candidate struct {
+	start  int // position in the flattened string
+	length int
+	where  loc
+	lrLive bool // LR holds a live value after the candidate
+}
+
+// candSet is a repeated sequence plus every (non-overlapping) occurrence.
+type candSet struct {
+	seq        []isa.Inst
+	seqBytes   int
+	strat      strategy
+	hasCall    bool // any BL/BLR inside the sequence (excluding a thunk tail)
+	readsSP    bool
+	cands      []candidate
+	frameBytes int // extra bytes in the outlined function beyond the sequence
+	// flatCost pessimizes the benefit estimate (the cost-model ablation):
+	// every candidate is costed as a full LR spill and every function as a
+	// full frame, regardless of the strategy actually emitted.
+	flatCost bool
+}
+
+// Outline runs repeated machine outlining over prog in place and returns
+// per-round statistics. It is deterministic: identical inputs produce
+// identical outputs, regardless of map iteration order.
+func Outline(prog *mir.Program, opts Options) (*Stats, error) {
+	opts = opts.withDefaults()
+	stats := &Stats{}
+	counter := 0
+	for round := 1; round <= opts.Rounds; round++ {
+		rs, err := outlineOnce(prog, opts, &counter)
+		if err != nil {
+			return stats, fmt.Errorf("outline round %d: %w", round, err)
+		}
+		rs.Round = round
+		stats.Rounds = append(stats.Rounds, rs)
+		if opts.Verify {
+			if err := prog.Verify(opts.ExternSyms); err != nil {
+				return stats, fmt.Errorf("outline round %d broke the program: %w", round, err)
+			}
+		}
+		if rs.SequencesOutlined == 0 {
+			// Fixed point: later rounds cannot find anything either.
+			break
+		}
+	}
+	return stats, nil
+}
+
+func outlineOnce(prog *mir.Program, opts Options, counter *int) (RoundStats, error) {
+	var rs RoundStats
+	m := mapProgram(prog)
+	if len(m.str) == 0 {
+		return rs, nil
+	}
+	tree := suffixtree.New(m.str)
+
+	// Per-function liveness, computed on demand.
+	liveCache := make(map[int]*mir.Liveness)
+	liveness := func(fi int) *mir.Liveness {
+		lv, ok := liveCache[fi]
+		if !ok {
+			lv = mir.ComputeLiveness(prog.Funcs[fi], mir.DefaultExternLive)
+			liveCache[fi] = lv
+		}
+		return lv
+	}
+
+	spSensitive := spSensitiveFuncs(prog)
+	var sets []*candSet
+	tree.ForEachRepeat(opts.MinLength, 2, func(r suffixtree.Repeat) {
+		set := buildSet(prog, m, r, liveness, spSensitive, opts)
+		if set != nil {
+			sets = append(sets, set)
+		}
+	})
+
+	// Greedy: most beneficial first. Ties resolve to longer sequences, then
+	// earliest occurrence, for determinism.
+	sort.SliceStable(sets, func(i, j int) bool {
+		bi, bj := sets[i].benefit(), sets[j].benefit()
+		if bi != bj {
+			return bi > bj
+		}
+		if len(sets[i].seq) != len(sets[j].seq) {
+			return len(sets[i].seq) > len(sets[j].seq)
+		}
+		return sets[i].cands[0].start < sets[j].cands[0].start
+	})
+
+	used := make([]bool, len(m.str))
+	var edits []edit
+	var newFuncs []*mir.Function
+	for _, set := range sets {
+		kept := set.cands[:0]
+		for _, c := range set.cands {
+			free := true
+			for p := c.start; p < c.start+c.length; p++ {
+				if used[p] {
+					free = false
+					break
+				}
+			}
+			if free {
+				kept = append(kept, c)
+			}
+		}
+		set.cands = kept
+		if len(set.cands) < 2 || set.benefit() < opts.MinBenefit {
+			continue
+		}
+		name := fmt.Sprintf("%s%d", opts.FuncPrefix, *counter)
+		*counter++
+		fn := set.makeFunction(name)
+		newFuncs = append(newFuncs, fn)
+		for _, c := range set.cands {
+			for p := c.start; p < c.start+c.length; p++ {
+				used[p] = true
+			}
+			edits = append(edits, edit{where: c.where, length: c.length, repl: set.callSite(name, c)})
+			rs.SequencesOutlined++
+		}
+		rs.FunctionsCreated++
+		rs.OutlinedBytes += fn.CodeSize()
+		rs.BytesSaved += set.benefit()
+	}
+
+	applyEdits(prog, edits)
+	for _, fn := range newFuncs {
+		prog.AddFunc(fn)
+	}
+	return rs, nil
+}
+
+// buildSet classifies one repeated substring into a costed candidate set, or
+// returns nil if it can never be profitable. spSensitive lists outlined
+// functions whose execution depends on SP pointing at the original frame
+// (see spSensitiveFuncs).
+func buildSet(prog *mir.Program, m *mapping, r suffixtree.Repeat, liveness func(int) *mir.Liveness, spSensitive map[string]bool, opts Options) *candSet {
+	seq := m.instsAt(prog, r.Starts[0], r.Length)
+	set := &candSet{seq: seq}
+	for _, in := range seq {
+		set.seqBytes += in.Size()
+		if in.ReadsSP() {
+			set.readsSP = true
+		}
+		if (in.Op == isa.BL || in.Op == isa.B) && spSensitive[in.Sym] {
+			set.readsSP = true
+		}
+	}
+	last := seq[len(seq)-1]
+	for i, in := range seq {
+		if in.IsCall() && !(i == len(seq)-1 && in.Op == isa.BL) {
+			set.hasCall = true
+		}
+	}
+	switch {
+	case last.Op == isa.RET:
+		set.strat = stratTailCall
+		set.frameBytes = 0
+	case last.Op == isa.BL && !set.hasCall:
+		set.strat = stratThunk
+		set.frameBytes = 0
+	default:
+		set.strat = stratPlain
+		if last.IsCall() { // trailing BLR counts as an interior call
+			set.hasCall = true
+		}
+		if set.hasCall {
+			// The outlined function must preserve LR around its own calls:
+			// STRXpre $x30 / LDRXpost $x30 / RET.
+			set.frameBytes = 12
+			if set.readsSP {
+				// The LR spill moves SP under SP-relative accesses.
+				return nil
+			}
+		} else {
+			set.frameBytes = 4 // appended RET
+		}
+	}
+	if opts.FlatCostModel {
+		// Ablation: the emitted code keeps its (semantically required)
+		// strategy, but profitability is judged as if every call site paid
+		// a full LR spill and every outlined function a full frame.
+		set.flatCost = true
+	}
+
+	// Sort and de-overlap occurrences (e.g. "AAAA" matching "AA" at 0,1,2).
+	starts := append([]int(nil), r.Starts...)
+	sort.Ints(starts)
+	lastEnd := -1
+	for _, st := range starts {
+		if st < lastEnd {
+			continue
+		}
+		c := candidate{start: st, length: r.Length, where: m.locs[st]}
+		if set.strat == stratPlain {
+			lv := liveness(c.where.fn)
+			endIdx := c.where.inst + r.Length - 1
+			c.lrLive = lv.LiveAfter[c.where.block][endIdx].Has(isa.LR) || opts.FlatCostModel
+			if c.lrLive && set.readsSP {
+				// Saving LR at the call site moves SP under the candidate's
+				// SP-relative accesses; skip this occurrence.
+				continue
+			}
+		}
+		set.cands = append(set.cands, c)
+		lastEnd = st + r.Length
+	}
+	if len(set.cands) < 2 || set.benefit() < opts.MinBenefit {
+		return nil
+	}
+	return set
+}
+
+// callOverhead returns the bytes of the instructions replacing one candidate.
+func (s *candSet) callOverhead(c candidate) int {
+	switch s.strat {
+	case stratTailCall, stratThunk:
+		return 4
+	default:
+		if c.lrLive {
+			return 12 // STRXpre $x30 + BL + LDRXpost $x30
+		}
+		return 4
+	}
+}
+
+// benefit is the net byte saving of outlining every candidate in the set:
+// the removed sequences minus the call sites minus the new function. Under
+// the flat-cost ablation the estimate assumes worst-case overhead
+// everywhere, mimicking an outliner without strategy-specific costing.
+func (s *candSet) benefit() int {
+	saved := 0
+	for _, c := range s.cands {
+		overhead := s.callOverhead(c)
+		if s.flatCost {
+			overhead = 12
+		}
+		saved += s.seqBytes - overhead
+	}
+	frame := s.frameBytes
+	if s.flatCost {
+		frame = 12
+	}
+	return saved - (s.seqBytes + frame)
+}
+
+// callSite builds the instructions that replace one candidate.
+func (s *candSet) callSite(name string, c candidate) []isa.Inst {
+	switch s.strat {
+	case stratTailCall:
+		return []isa.Inst{{Op: isa.B, Sym: name}}
+	case stratThunk:
+		return []isa.Inst{{Op: isa.BL, Sym: name}}
+	default:
+		if c.lrLive {
+			return []isa.Inst{
+				{Op: isa.STRpre, Rd: isa.LR, Rn: isa.SP, Imm: -16},
+				{Op: isa.BL, Sym: name},
+				{Op: isa.LDRpost, Rd: isa.LR, Rn: isa.SP, Imm: 16},
+			}
+		}
+		return []isa.Inst{{Op: isa.BL, Sym: name}}
+	}
+}
+
+// makeFunction builds the outlined function body.
+func (s *candSet) makeFunction(name string) *mir.Function {
+	var body []isa.Inst
+	switch s.strat {
+	case stratTailCall:
+		body = append(body, s.seq...) // already ends in RET
+	case stratThunk:
+		body = append(body, s.seq[:len(s.seq)-1]...)
+		body = append(body, isa.Inst{Op: isa.B, Sym: s.seq[len(s.seq)-1].Sym})
+	default:
+		if s.hasCall {
+			body = append(body, isa.Inst{Op: isa.STRpre, Rd: isa.LR, Rn: isa.SP, Imm: -16})
+			body = append(body, s.seq...)
+			body = append(body, isa.Inst{Op: isa.LDRpost, Rd: isa.LR, Rn: isa.SP, Imm: 16})
+		} else {
+			body = append(body, s.seq...)
+		}
+		body = append(body, isa.Inst{Op: isa.RET})
+	}
+	return &mir.Function{
+		Name:     name,
+		Outlined: true,
+		Blocks:   []*mir.Block{{Label: "entry", Insts: body}},
+	}
+}
+
+// edit replaces length instructions at where with repl.
+type edit struct {
+	where  loc
+	length int
+	repl   []isa.Inst
+}
+
+// applyEdits splices all replacements. Edits never overlap; applying each
+// block's edits from the highest instruction index down keeps earlier edits'
+// indices valid.
+func applyEdits(prog *mir.Program, edits []edit) {
+	sort.Slice(edits, func(i, j int) bool {
+		a, b := edits[i].where, edits[j].where
+		if a.fn != b.fn {
+			return a.fn < b.fn
+		}
+		if a.block != b.block {
+			return a.block < b.block
+		}
+		return a.inst > b.inst // descending within a block
+	})
+	for _, e := range edits {
+		blk := prog.Funcs[e.where.fn].Blocks[e.where.block]
+		tail := append([]isa.Inst(nil), blk.Insts[e.where.inst+e.length:]...)
+		blk.Insts = append(blk.Insts[:e.where.inst], append(e.repl, tail...)...)
+	}
+}

@@ -1,0 +1,184 @@
+package perf
+
+import (
+	"testing"
+
+	"outliner/internal/exec"
+	"outliner/internal/isa"
+)
+
+func TestCacheModelBasics(t *testing.T) {
+	c := newCacheModel(1024, 64, 2) // 8 sets, 2-way
+	if c.access(0) {
+		t.Error("cold access must miss")
+	}
+	if !c.access(0) || !c.access(8) { // same line
+		t.Error("warm accesses to the same line must hit")
+	}
+	// Fill the set containing line 0: lines mapping to set 0 are multiples
+	// of 8*64=512 bytes.
+	c.access(512)
+	c.access(1024) // evicts the LRU entry (line 0, which was last touched earlier)
+	if c.access(0) {
+		t.Error("line 0 should have been evicted by two newer lines")
+	}
+}
+
+func TestCacheModelLRUOrder(t *testing.T) {
+	c := newCacheModel(128, 64, 2) // 1 set, 2-way
+	c.access(0)
+	c.access(64)
+	c.access(0)   // 0 is now MRU
+	c.access(128) // evicts 64
+	if !c.access(0) {
+		t.Error("MRU line evicted")
+	}
+	if c.access(64) {
+		t.Error("LRU line not evicted")
+	}
+}
+
+func TestLRUSet(t *testing.T) {
+	l := newLRUSet(2)
+	if l.access(1) {
+		t.Error("cold miss expected")
+	}
+	l.access(2)
+	if !l.access(1) {
+		t.Error("1 should be resident")
+	}
+	l.access(3) // evicts 2
+	if l.access(2) {
+		t.Error("2 should have been evicted")
+	}
+}
+
+func TestBranchPredictorLearns(t *testing.T) {
+	s := New(Devices[0], OSes[2])
+	misses := 0
+	for i := 0; i < 100; i++ {
+		if s.predict(100, true) != true {
+			misses++
+		}
+	}
+	if misses > 2 {
+		t.Errorf("always-taken branch mispredicted %d times", misses)
+	}
+}
+
+// A loop running entirely inside one cache line must be far cheaper per
+// instruction than a cold sweep over a large footprint.
+func TestHotLoopCheaperThanColdSweep(t *testing.T) {
+	dev, os := Devices[0], OSes[2]
+
+	hot := New(dev, os)
+	for i := 0; i < 10000; i++ {
+		hot.Observe(exec.Event{PC: 1 << 36, Size: 4, Op: isa.ADDri})
+	}
+	hotRes := hot.Finish()
+
+	cold := New(dev, os)
+	for i := 0; i < 10000; i++ {
+		cold.Observe(exec.Event{PC: int64(1<<36) + int64(i)*256, Size: 4, Op: isa.ADDri})
+	}
+	coldRes := cold.Finish()
+
+	if hotRes.Cycles >= coldRes.Cycles {
+		t.Errorf("hot loop (%f) not cheaper than cold sweep (%f)", hotRes.Cycles, coldRes.Cycles)
+	}
+	if coldRes.ICacheMisses == 0 {
+		t.Error("cold sweep produced no icache misses")
+	}
+	if hotRes.IPC <= coldRes.IPC {
+		t.Error("hot loop must have higher IPC")
+	}
+}
+
+// Scattered data pages under memory pressure fault; grouped pages do not —
+// the §VI-3 data-layout effect.
+func TestDataPageFaults(t *testing.T) {
+	dev, os := Devices[0], OSes[2]
+	heap := int64(1) << 28
+
+	grouped := New(dev, os)
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < 1000; i++ {
+			addr := heap + int64(i/100)*4096 + int64(i%100)*8 // 10 pages
+			grouped.Observe(exec.Event{PC: 1 << 36, Size: 4, Op: isa.LDRui, MemAddr: addr, IsLoad: true})
+		}
+	}
+	gr := grouped.Finish()
+
+	scattered := New(dev, os)
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < 1000; i++ {
+			addr := heap + int64(i)*4096 // 1000 pages, far over residency
+			scattered.Observe(exec.Event{PC: 1 << 36, Size: 4, Op: isa.LDRui, MemAddr: addr, IsLoad: true})
+		}
+	}
+	sc := scattered.Finish()
+
+	if gr.PageFaults >= sc.PageFaults {
+		t.Errorf("grouped faults (%d) not fewer than scattered (%d)", gr.PageFaults, sc.PageFaults)
+	}
+	if sc.Cycles <= gr.Cycles {
+		t.Error("scattered data must cost more cycles")
+	}
+}
+
+func TestStackIsPinned(t *testing.T) {
+	dev, os := Devices[0], OSes[2]
+	s := New(dev, os)
+	stack := int64(1) << 34
+	for i := 0; i < 10000; i++ {
+		s.Observe(exec.Event{PC: 1 << 36, Size: 4, Op: isa.STRui,
+			MemAddr: stack + int64(i%512)*8, IsStore: true})
+	}
+	if r := s.Finish(); r.PageFaults != 0 {
+		t.Errorf("stack accesses faulted %d times; stack is pinned", r.PageFaults)
+	}
+}
+
+func TestOSOverheadOrdering(t *testing.T) {
+	trace := func(s *Simulator) Result {
+		for i := 0; i < 1000; i++ {
+			s.Observe(exec.Event{PC: int64(1<<36) + int64(i%64)*4, Size: 4, Op: isa.ADDri})
+		}
+		return s.Finish()
+	}
+	slow := trace(New(Devices[0], OSes[0])) // 12.4.1, overhead 1.06
+	fast := trace(New(Devices[0], OSes[2])) // 13.5.1, overhead 1.00
+	if slow.Cycles <= fast.Cycles {
+		t.Error("older OS must cost more")
+	}
+}
+
+func TestNewerDevicesFaster(t *testing.T) {
+	trace := func(s *Simulator) Result {
+		for i := 0; i < 20000; i++ {
+			s.Observe(exec.Event{PC: int64(1<<36) + int64(i*4%(256<<10)), Size: 4, Op: isa.ADDri})
+		}
+		return s.Finish()
+	}
+	old := trace(New(Devices[0], OSes[2]))
+	newest := trace(New(Devices[len(Devices)-1], OSes[2]))
+	if newest.Seconds >= old.Seconds {
+		t.Errorf("newest device (%f s) not faster than oldest (%f s)", newest.Seconds, old.Seconds)
+	}
+}
+
+func TestDeviceGridShape(t *testing.T) {
+	if len(Devices) < 6 || len(OSes) < 4 {
+		t.Fatalf("grid too small: %d devices × %d OSes", len(Devices), len(OSes))
+	}
+	names := map[string]bool{}
+	for _, d := range Devices {
+		if names[d.Name] {
+			t.Errorf("duplicate device %s", d.Name)
+		}
+		names[d.Name] = true
+		if d.ICacheBytes <= 0 || d.BaseCPI <= 0 || d.ClockGHz <= 0 {
+			t.Errorf("device %s has invalid parameters", d.Name)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package pipeline_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"outliner/internal/appgen"
+	"outliner/internal/exec"
+	"outliner/internal/pipeline"
+)
+
+// TestDifferentialFuzz is the repo's semantic fuzzer: generate synthetic
+// apps from a sweep of seeds, compile each under several pipeline
+// configurations, execute, and require identical output everywhere. Any
+// miscompilation anywhere in the stack — frontend, SIL passes, SSA
+// construction, out-of-SSA, register allocation, IR linking, or any number
+// of outlining rounds — shows up as an output mismatch.
+func TestDifferentialFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential fuzz is slow")
+	}
+	configs := map[string]pipeline.Config{
+		"default-noopt":  {},
+		"default-osize":  pipeline.Default,
+		"wp-1round":      {WholeProgram: true, OutlineRounds: 1, SplitGCMetadata: true, PreserveDataLayout: true},
+		"wp-5rounds-all": pipeline.OSize,
+		"wp-flatcost":    {WholeProgram: true, OutlineRounds: 5, FlatOutlineCost: true, SplitGCMetadata: true},
+		"wp-merge-fmsa":  {WholeProgram: true, OutlineRounds: 4, MergeFunctions: true, FMSA: true, SILOutline: true, SpecializeClosures: true, SplitGCMetadata: true},
+		"wp-extensions": {WholeProgram: true, OutlineRounds: 5, CanonicalizeSequences: true,
+			LayoutOutlined: true, SILOutline: true, SpecializeClosures: true, SplitGCMetadata: true},
+	}
+
+	for trial := 0; trial < 6; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("seed%d", trial), func(t *testing.T) {
+			t.Parallel()
+			profile := appgen.UberRider
+			profile.Seed = int64(1000 + trial*37)
+			profile.Spans = 3
+			scale := 0.15 + 0.05*float64(trial%3)
+			mods := appgen.Generate(profile, scale)
+
+			want := ""
+			first := ""
+			for name, cfg := range configs {
+				cfg.Verify = true
+				llmods, err := appgen.CompileModules(mods, cfg)
+				if err != nil {
+					t.Fatalf("%s: compile: %v", name, err)
+				}
+				res, err := pipeline.BuildFromLLIR(llmods, cfg)
+				if err != nil {
+					t.Fatalf("%s: build: %v", name, err)
+				}
+				m, err := exec.New(res.Prog, exec.Options{MaxSteps: 100_000_000})
+				if err != nil {
+					t.Fatalf("%s: exec: %v", name, err)
+				}
+				got, err := m.Run("main")
+				if err != nil {
+					t.Fatalf("%s: run: %v", name, err)
+				}
+				if want == "" {
+					want, first = got, name
+					continue
+				}
+				if got != want {
+					t.Fatalf("config %s output %q differs from %s output %q",
+						name, got, first, want)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialBenchSuite runs every Table IV benchmark across outlining
+// rounds 0..5 and requires identical output at each level (not just the
+// two levels Table IV itself compares).
+func TestDifferentialBenchSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	// A representative subset keeps the matrix affordable; the full suite
+	// runs at two levels in the experiments tests.
+	programs := []string{"quicksort", "redblacktree", "json", "splaytree", "dijkstra", "huffman"}
+	for _, name := range programs {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			benches := mustLoadBenchmarks(t)
+			text, ok := benches[name]
+			if !ok {
+				t.Fatalf("missing benchmark %s", name)
+			}
+			want := ""
+			for rounds := 0; rounds <= 5; rounds++ {
+				cfg := pipeline.OSize
+				cfg.OutlineRounds = rounds
+				cfg.Verify = true
+				res, err := pipeline.Build([]pipeline.Source{
+					{Name: name, Files: map[string]string{name + ".sl": text}},
+				}, cfg)
+				if err != nil {
+					t.Fatalf("rounds=%d: %v", rounds, err)
+				}
+				m, err := exec.New(res.Prog, exec.Options{MaxSteps: 200_000_000})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := m.Run("main")
+				if err != nil {
+					t.Fatalf("rounds=%d: %v", rounds, err)
+				}
+				if want == "" {
+					want = got
+				} else if got != want {
+					t.Fatalf("rounds=%d changed output:\n%s\nvs\n%s", rounds, got, want)
+				}
+			}
+		})
+	}
+}
+
+func mustLoadBenchmarks(t *testing.T) map[string]string {
+	t.Helper()
+	// Mirror experiments.LoadBenchmarks without the import (avoids a
+	// dependency from pipeline tests on the experiments package).
+	dirs := []string{"../../testdata/benchmarks", "testdata/benchmarks"}
+	for _, dir := range dirs {
+		out, err := readBenchDir(dir)
+		if err == nil && len(out) > 0 {
+			return out
+		}
+	}
+	t.Fatal("benchmark dir not found")
+	return nil
+}
+
+func readBenchDir(dir string) (map[string]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".sl") {
+			continue
+		}
+		text, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		out[strings.TrimSuffix(e.Name(), ".sl")] = string(text)
+	}
+	return out, nil
+}

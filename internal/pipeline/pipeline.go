@@ -1,0 +1,385 @@
+// Package pipeline assembles the two build pipelines the paper compares:
+//
+//   - the default iOS pipeline (§II-A, Figure 2): each module is compiled
+//     independently to machine code (with optional per-module machine
+//     outlining, as Swift 5.2's -Osize does), and the system linker
+//     concatenates the results;
+//   - the new whole-program pipeline (§V-A, Figure 10): every module stops
+//     at LLIR, llvm-link (internal/irlink) merges the IR, mid-level
+//     optimizations run over the merged module, and machine outlining sees
+//     the entire program at once.
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"outliner/internal/binimg"
+	"outliner/internal/codegen"
+	"outliner/internal/frontend"
+	"outliner/internal/irlink"
+	"outliner/internal/llir"
+	"outliner/internal/mir"
+	"outliner/internal/outline"
+	"outliner/internal/sir"
+)
+
+// Config selects pipeline and optimization settings.
+type Config struct {
+	// WholeProgram switches to the new pipeline (IR-level link before
+	// code generation and outlining).
+	WholeProgram bool
+	// OutlineRounds is the repeated-machine-outlining count (the artifact's
+	// -outline-repeat-count). 0 disables machine outlining.
+	OutlineRounds int
+	// SILOutline enables the SIL-level outlining pass (Table I row 2).
+	SILOutline bool
+	// SpecializeClosures enables SIL-level closure specialization, the
+	// source of the paper's longest repeated pattern (Listing 9).
+	SpecializeClosures bool
+	// MergeFunctions enables LLVM-IR-level function merging (Table I
+	// row 3). In the default pipeline it runs per module; in the
+	// whole-program pipeline it runs after the IR link.
+	MergeFunctions bool
+	// FMSA enables merging of similar (not identical) functions by
+	// sequence alignment (Table I row 4).
+	FMSA bool
+	// FlatOutlineCost is the cost-model ablation (see outline.Options).
+	FlatOutlineCost bool
+	// PreserveDataLayout keeps per-module global ordering in the IR link
+	// (§VI-3's fix). Only meaningful with WholeProgram.
+	PreserveDataLayout bool
+	// SplitGCMetadata enables the §VI-2 metadata-attribute fix. Mixed
+	// Swift/Objective-C programs fail to link without it.
+	SplitGCMetadata bool
+	// CanonicalizeSequences enables the future-work extension that rewrites
+	// commutative operations into canonical operand order before outlining,
+	// exposing semantically-equivalent sequences as textual matches (§VIII
+	// direction 1).
+	CanonicalizeSequences bool
+	// LayoutOutlined places outlined functions next to their heaviest
+	// caller after outlining (§VIII direction 3).
+	LayoutOutlined bool
+	// Verify runs IR and machine verifiers between stages.
+	Verify bool
+}
+
+// OSize is the production configuration the paper ships: whole program,
+// five rounds of repeated machine outlining, all mid-level passes, both
+// linker fixes.
+var OSize = Config{
+	WholeProgram:       true,
+	OutlineRounds:      5,
+	SILOutline:         true,
+	SpecializeClosures: true,
+	MergeFunctions:     true,
+	PreserveDataLayout: true,
+	SplitGCMetadata:    true,
+}
+
+// Default is the default iOS pipeline with Swift 5.2 behaviour: per-module
+// compilation, per-module outlining (one round).
+var Default = Config{
+	OutlineRounds: 1,
+	SILOutline:    true,
+}
+
+// Source is one source module: named SwiftLite files.
+type Source struct {
+	Name  string
+	Files map[string]string
+}
+
+// Result is a finished build.
+type Result struct {
+	Prog    *mir.Program
+	Image   *binimg.Image
+	Outline *outline.Stats
+	Timings map[string]time.Duration
+}
+
+// CodeSize returns the code-section size in bytes.
+func (r *Result) CodeSize() int { return r.Image.CodeSize }
+
+// BinarySize returns the whole image size in bytes.
+func (r *Result) BinarySize() int { return r.Image.TotalSize }
+
+// CompileToSIR runs the frontend and SILGen (plus SIL passes) for one
+// module. imports may be nil for a self-contained module.
+func CompileToSIR(src Source, cfg Config, imports *frontend.Imports) (*sir.Module, error) {
+	files, err := ParseSource(src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := frontend.CheckModule(src.Name, imports, files...)
+	if err != nil {
+		return nil, err
+	}
+	sm, err := sir.Generate(prog)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SpecializeClosures {
+		sir.SpecializeClosures(sm)
+	}
+	if cfg.SILOutline {
+		sir.OutlinePass(sm)
+	}
+	if cfg.Verify {
+		if err := sm.Verify(); err != nil {
+			return nil, fmt.Errorf("after SIL passes: %w", err)
+		}
+	}
+	return sm, nil
+}
+
+type namedFile struct{ name, text string }
+
+func sortedFileList(files map[string]string) []namedFile {
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	out := make([]namedFile, 0, len(names))
+	for _, n := range names {
+		out = append(out, namedFile{name: n, text: files[n]})
+	}
+	return out
+}
+
+func sortStrings(ss []string) { sort.Strings(ss) }
+
+// ParseSource parses a source module's files in deterministic order.
+func ParseSource(src Source) ([]*frontend.File, error) {
+	var files []*frontend.File
+	for _, nf := range sortedFileList(src.Files) {
+		f, err := frontend.ParseFile(nf.name, nf.text)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// CompileToLLIR lowers one source module to LLIR with per-module mid-level
+// cleanup (always-on CFG simplification and DCE, like -Osize).
+func CompileToLLIR(src Source, cfg Config, imports *frontend.Imports) (*llir.Module, error) {
+	sm, err := CompileToSIR(src, cfg, imports)
+	if err != nil {
+		return nil, err
+	}
+	lm, err := llir.FromSIR(sm)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range lm.Funcs {
+		llir.SimplifyCFG(f)
+		llir.DCE(f)
+	}
+	if cfg.Verify {
+		if err := lm.Verify(); err != nil {
+			return nil, fmt.Errorf("after per-module opt: %w", err)
+		}
+	}
+	return lm, nil
+}
+
+// Build compiles sources through the configured pipeline. Every module sees
+// the public declarations of every other module (as if all swiftmodule
+// interfaces were imported).
+func Build(sources []Source, cfg Config) (*Result, error) {
+	var mods []*llir.Module
+	timings := map[string]time.Duration{}
+	tFront := time.Now()
+
+	// Parse everything once and build per-module import sets.
+	parsed := make([][]*frontend.File, len(sources))
+	for i, src := range sources {
+		files, err := ParseSource(src)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: module %s: %w", src.Name, err)
+		}
+		parsed[i] = files
+	}
+	for i, src := range sources {
+		var others []*frontend.File
+		for j, files := range parsed {
+			if j != i {
+				others = append(others, files...)
+			}
+		}
+		lm, err := CompileToLLIR(src, cfg, frontend.NewImports(others...))
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: module %s: %w", src.Name, err)
+		}
+		mods = append(mods, lm)
+	}
+	timings["frontend+permodule"] = time.Since(tFront)
+	res, err := BuildFromLLIR(mods, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range timings {
+		res.Timings[k] = v
+	}
+	return res, nil
+}
+
+// BuildFromLLIR finishes a build from per-module LLIR (used by the synthetic
+// app generator, which fabricates IR directly).
+func BuildFromLLIR(mods []*llir.Module, cfg Config) (*Result, error) {
+	timings := map[string]time.Duration{}
+	var prog *mir.Program
+
+	if cfg.WholeProgram {
+		tLink := time.Now()
+		merged, err := irlink.Link(mods, irlink.Options{
+			SplitGCMetadata:     cfg.SplitGCMetadata,
+			PreserveModuleOrder: cfg.PreserveDataLayout,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: irlink: %w", err)
+		}
+		timings["llvm-link"] = time.Since(tLink)
+
+		tOpt := time.Now()
+		if cfg.MergeFunctions {
+			llir.MergeFunctions(merged)
+		}
+		if cfg.FMSA {
+			llir.MergeBySequenceAlignment(merged)
+		}
+		for _, f := range merged.Funcs {
+			llir.SimplifyCFG(f)
+			llir.DCE(f)
+		}
+		if cfg.Verify {
+			if err := merged.Verify(); err != nil {
+				return nil, fmt.Errorf("pipeline: after whole-program opt: %w", err)
+			}
+		}
+		timings["opt"] = time.Since(tOpt)
+
+		tLLC := time.Now()
+		p, err := codegen.Compile(merged)
+		if err != nil {
+			return nil, err
+		}
+		prog = p
+		timings["llc"] = time.Since(tLLC)
+	} else {
+		// Default pipeline: per-module codegen (and per-module outlining),
+		// then the system linker concatenates machine code.
+		tLLC := time.Now()
+		var parts []*mir.Program
+		for _, lm := range mods {
+			if cfg.MergeFunctions {
+				llir.MergeFunctions(lm)
+			}
+			if cfg.FMSA {
+				llir.MergeBySequenceAlignment(lm)
+			}
+			p, err := codegen.Compile(lm)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: module %s: %w", lm.Name, err)
+			}
+			if cfg.OutlineRounds > 0 {
+				_, err := outline.Outline(p, outline.Options{
+					Rounds:        cfg.OutlineRounds,
+					FlatCostModel: cfg.FlatOutlineCost,
+					FuncPrefix:    "OUTLINED_FUNCTION_" + lm.Name + "_",
+					Verify:        cfg.Verify,
+					ExternSyms:    externSyms(mods),
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+			parts = append(parts, p)
+		}
+		timings["llc"] = time.Since(tLLC)
+		tLD := time.Now()
+		prog = linkMachine(parts)
+		timings["ld"] = time.Since(tLD)
+	}
+
+	res := &Result{Prog: prog, Timings: timings}
+
+	if cfg.WholeProgram && cfg.CanonicalizeSequences {
+		outline.CanonicalizeCommutative(prog)
+	}
+	if cfg.WholeProgram && cfg.OutlineRounds > 0 {
+		tOutline := time.Now()
+		st, err := outline.Outline(prog, outline.Options{
+			Rounds:        cfg.OutlineRounds,
+			FlatCostModel: cfg.FlatOutlineCost,
+			Verify:        cfg.Verify,
+			ExternSyms:    llir.RuntimeSyms,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Outline = st
+		timings["machine-outline"] = time.Since(tOutline)
+	}
+	if cfg.LayoutOutlined {
+		outline.LayoutOutlined(prog)
+	}
+
+	if cfg.Verify {
+		if err := prog.Verify(llir.RuntimeSyms); err != nil {
+			return nil, fmt.Errorf("pipeline: final machine program: %w", err)
+		}
+	}
+	res.Image = binimg.Build(prog)
+	return res, nil
+}
+
+func externSyms(mods []*llir.Module) map[string]bool {
+	syms := make(map[string]bool, len(llir.RuntimeSyms))
+	for s := range llir.RuntimeSyms {
+		syms[s] = true
+	}
+	// Cross-module references are external during per-module outlining.
+	for _, m := range mods {
+		for _, f := range m.Funcs {
+			syms[f.Name] = true
+		}
+		for _, g := range m.Globals {
+			syms[g.Name] = true
+		}
+	}
+	return syms
+}
+
+// linkMachine concatenates per-module machine programs in module order (the
+// system linker's job in the default pipeline).
+func linkMachine(parts []*mir.Program) *mir.Program {
+	out := mir.NewProgram()
+	for _, p := range parts {
+		for _, f := range p.Funcs {
+			out.AddFunc(f)
+		}
+		for _, g := range p.Globals {
+			out.AddGlobal(g)
+		}
+	}
+	return out
+}
+
+// ParseSourceTokens lexes a module's files (deterministic order) without
+// parsing — used by the source-level clone detector.
+func ParseSourceTokens(src Source) (map[string][]frontend.Token, error) {
+	out := make(map[string][]frontend.Token, len(src.Files))
+	for _, nf := range sortedFileList(src.Files) {
+		toks, err := frontend.NewLexer(nf.name, nf.text).Lex()
+		if err != nil {
+			return nil, err
+		}
+		out[nf.name] = toks
+	}
+	return out, nil
+}

@@ -1,0 +1,731 @@
+package sir
+
+import (
+	"fmt"
+
+	"outliner/internal/frontend"
+)
+
+// Generate lowers a type-checked module to SIR. This is the SILGen analog:
+// it inserts retain/release reference-counting traffic, lowers closures to
+// context-passing functions, expands throwing calls into explicit
+// error-channel checks, and — for throwing initializers — emits the shared
+// cleanup block with per-field initialization flags whose phis later explode
+// into the out-of-SSA copies of the paper's Figure 9 / Listing 11.
+func Generate(prog *frontend.Program) (*Module, error) {
+	g := &generator{
+		prog:    prog,
+		mod:     NewModule(prog.Module),
+		strSyms: make(map[string]string),
+		thunks:  make(map[string]string),
+	}
+	for _, name := range prog.FuncOrder {
+		fd := prog.Funcs[name]
+		if err := g.genFunc(name, fd); err != nil {
+			return nil, err
+		}
+	}
+	return g.mod, nil
+}
+
+type localInfo struct {
+	val   Value
+	isRef bool
+}
+
+type genScope struct {
+	vars    map[string]localInfo
+	cleanup []Value // ref locals to release on scope exit
+}
+
+type loopCtx struct {
+	breakLabel    string
+	continueLabel string
+	scopeDepth    int
+}
+
+// errCtx says where a raised error goes.
+type errCtx struct {
+	// catchLabel is the catch block of an enclosing do; empty means the
+	// error propagates out of the (throwing) function.
+	catchLabel string
+	errLocal   Value // receives the raw error value for the catch
+	scopeDepth int
+	// initCleanup is the shared cleanup label of a throwing init
+	// (Figure 9's block L); non-empty only inside such inits.
+	initCleanup string
+}
+
+type generator struct {
+	prog    *frontend.Program
+	mod     *Module
+	strSyms map[string]string // literal -> global symbol
+	strSeq  int
+	closSeq int
+	thunks  map[string]string // function name -> thunk symbol
+
+	fn     *Func
+	cur    *Block
+	blocks int
+	scopes []*genScope
+	loops  []loopCtx
+	errs   []errCtx
+	temps  []Value // owned ref temporaries pending release in this statement
+
+	// Throwing-init state.
+	selfVal    Value
+	curClass   *frontend.ClassDecl
+	initFlags  map[int]Value // ref-field index -> flag local
+	initErrVal Value
+}
+
+func (g *generator) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("%s:%d: sirgen: %s", g.mod.Name, line, fmt.Sprintf(format, args...))
+}
+
+// ---- block and instruction plumbing ----
+
+func (g *generator) newBlock(hint string) *Block {
+	g.blocks++
+	b := &Block{Label: fmt.Sprintf("%s%d", hint, g.blocks)}
+	g.fn.Blocks = append(g.fn.Blocks, b)
+	return b
+}
+
+func (g *generator) setBlock(b *Block) { g.cur = b }
+
+func (g *generator) emit(in Inst) {
+	if g.cur == nil {
+		panic("sirgen: emit with no current block")
+	}
+	if n := len(g.cur.Insts); n > 0 && g.cur.Insts[n-1].Op.IsTerminator() {
+		// Dead code after a terminator (e.g. statements after return):
+		// divert to an unreachable block so the IR stays well formed.
+		dead := g.newBlock("dead")
+		g.setBlock(dead)
+	}
+	g.cur.Insts = append(g.cur.Insts, in)
+}
+
+func (g *generator) terminated() bool {
+	n := len(g.cur.Insts)
+	return n > 0 && g.cur.Insts[n-1].Op.IsTerminator()
+}
+
+func (g *generator) emitConst(v int64) Value {
+	dst := g.fn.NewValue()
+	g.emit(Inst{Op: ConstInt, Dst: dst, Imm: v})
+	return dst
+}
+
+// ---- scopes, locals, cleanup ----
+
+func (g *generator) pushScope() {
+	g.scopes = append(g.scopes, &genScope{vars: make(map[string]localInfo)})
+}
+
+// popScope emits releases for the scope's ref locals and drops the scope.
+func (g *generator) popScope() {
+	sc := g.scopes[len(g.scopes)-1]
+	if !g.terminated() {
+		g.emitScopeReleases(sc)
+	}
+	g.scopes = g.scopes[:len(g.scopes)-1]
+}
+
+func (g *generator) emitScopeReleases(sc *genScope) {
+	for i := len(sc.cleanup) - 1; i >= 0; i-- {
+		g.emit(Inst{Op: Release, A: sc.cleanup[i]})
+	}
+}
+
+// emitCleanupDownTo releases ref locals of all scopes deeper than depth
+// without popping them (for early exits: return, break, error edges).
+func (g *generator) emitCleanupDownTo(depth int) {
+	for i := len(g.scopes) - 1; i >= depth; i-- {
+		g.emitScopeReleases(g.scopes[i])
+	}
+}
+
+func (g *generator) define(name string, v Value, isRef bool) {
+	sc := g.scopes[len(g.scopes)-1]
+	sc.vars[name] = localInfo{val: v, isRef: isRef}
+	if isRef {
+		sc.cleanup = append(sc.cleanup, v)
+	}
+}
+
+func (g *generator) lookup(name string) (localInfo, bool) {
+	for i := len(g.scopes) - 1; i >= 0; i-- {
+		if li, ok := g.scopes[i].vars[name]; ok {
+			return li, true
+		}
+	}
+	return localInfo{}, false
+}
+
+// ---- string constants ----
+
+func (g *generator) strConst(s string) string {
+	if sym, ok := g.strSyms[s]; ok {
+		return sym
+	}
+	sym := fmt.Sprintf("str.%s.%d", g.mod.Name, g.strSeq)
+	g.strSeq++
+	words := make([]int64, 0, len(s)+1)
+	words = append(words, int64(len(s)))
+	for _, ch := range s {
+		words = append(words, int64(ch))
+	}
+	g.mod.Globals = append(g.mod.Globals, &Global{Name: sym, Module: g.mod.Name, Words: words})
+	g.strSyms[s] = sym
+	return sym
+}
+
+// ---- function generation ----
+
+func (g *generator) genFunc(sym string, fd *frontend.FuncDecl) error {
+	fn := &Func{Name: sym, Module: g.mod.Name, Throws: fd.Throws}
+	g.fn = fn
+	g.cur = nil
+	g.blocks = 0
+	g.scopes = nil
+	g.loops = nil
+	g.errs = nil
+	g.temps = nil
+	g.selfVal = None
+	g.curClass = nil
+	g.initFlags = nil
+	g.initErrVal = None
+
+	isMethod := fd.Class != "" && !fd.IsInit
+	if fd.Class != "" {
+		g.curClass = g.prog.Classes[fd.Class]
+	}
+
+	// Parameter layout: methods get self first.
+	nParams := len(fd.Params)
+	if isMethod {
+		nParams++
+	}
+	fn.NumParams = nParams
+	fn.NumValues = nParams
+	fn.RefParams = make([]bool, nParams)
+
+	entry := &Block{Label: "entry"}
+	fn.Blocks = append(fn.Blocks, entry)
+	g.setBlock(entry)
+	g.pushScope()
+
+	idx := 0
+	if isMethod {
+		fn.RefParams[0] = true
+		// self is a borrowed parameter; not released at scope end.
+		g.selfVal = fn.Param(0)
+		g.scopes[0].vars["self"] = localInfo{val: g.selfVal, isRef: true}
+		idx = 1
+	}
+	for i, p := range fd.Params {
+		v := fn.Param(idx + i)
+		fn.RefParams[idx+i] = p.Type.IsRef()
+		// Parameters are +0 borrows: visible but not in cleanup lists.
+		g.scopes[0].vars[p.Name] = localInfo{val: v, isRef: p.Type.IsRef()}
+	}
+
+	if fd.IsInit {
+		if err := g.genInit(fd); err != nil {
+			return err
+		}
+	} else {
+		if err := g.genBlockInline(fd.Body); err != nil {
+			return err
+		}
+		if !g.terminated() {
+			g.emitCleanupDownTo(0)
+			if fd.Ret.Kind == frontend.TVoid {
+				g.emit(Inst{Op: RetVoid})
+			} else {
+				// Checked functions with non-void returns that fall off the
+				// end are dynamically unreachable (or a source bug); trap.
+				g.emit(Inst{Op: Unreachable})
+			}
+		}
+	}
+	g.scopes = nil
+	g.mod.AddFunc(fn)
+	return nil
+}
+
+// genInit lowers an initializer: allocate self, run the body, return self.
+// Throwing inits additionally maintain per-ref-field initialization flags
+// and a shared cleanup block (the paper's Figure 9).
+func (g *generator) genInit(fd *frontend.FuncDecl) error {
+	cd := g.prog.Classes[fd.Class]
+	self := g.fn.NewValue()
+	g.selfVal = self
+	g.emit(Inst{Op: AllocObject, Dst: self, Sym: cd.Name, Imm: int64(len(cd.Fields))})
+	g.scopes[0].vars["self"] = localInfo{val: self, isRef: true}
+	// self is not in the cleanup list: ownership transfers to the caller.
+
+	if fd.Body == nil {
+		// Memberwise initializer: assign each field from the parameters.
+		for i, f := range cd.Fields {
+			v := g.fn.Param(i)
+			if f.Type.IsRef() {
+				g.emit(Inst{Op: Retain, A: v})
+			}
+			g.emit(Inst{Op: FieldSet, A: self, Imm: int64(i), B: v})
+		}
+		g.emit(Inst{Op: Ret, A: self})
+		return nil
+	}
+
+	if fd.Throws {
+		// Per-ref-field init flags, all starting false.
+		g.initFlags = make(map[int]Value)
+		for i, f := range cd.Fields {
+			if f.Type.IsRef() {
+				flag := g.emitConst(0)
+				g.initFlags[i] = flag
+			}
+		}
+		g.initErrVal = g.emitConst(0)
+		// Reserve the shared cleanup label; the block is emitted at the end.
+		g.errs = append(g.errs, errCtx{initCleanup: "init_cleanup"})
+	}
+
+	if err := g.genBlockInline(fd.Body); err != nil {
+		return err
+	}
+	if !g.terminated() {
+		g.emitCleanupDownTo(1) // keep the function scope (self) alive
+		g.emit(Inst{Op: Ret, A: self})
+	}
+
+	if fd.Throws {
+		// Figure 9's block L: release the fields whose flags are set, then
+		// release self's allocation and rethrow.
+		cleanup := g.newBlock("cl")
+		cleanup.Label = "init_cleanup"
+		g.setBlock(cleanup)
+		for i := range cd.Fields {
+			flag, ok := g.initFlags[i]
+			if !ok {
+				continue
+			}
+			rel := g.newBlock("init_rel")
+			next := g.newBlock("init_next")
+			g.emit(Inst{Op: CondBr, A: flag, Sym: rel.Label, Sym2: next.Label})
+			g.setBlock(rel)
+			fv := g.fn.NewValue()
+			g.emit(Inst{Op: FieldGet, Dst: fv, A: self, Imm: int64(i)})
+			g.emit(Inst{Op: Release, A: fv})
+			g.emit(Inst{Op: Br, Sym: next.Label})
+			g.setBlock(next)
+		}
+		g.emit(Inst{Op: Release, A: self})
+		g.emit(Inst{Op: Throw, A: g.initErrVal})
+	}
+	return nil
+}
+
+// genBlockInline generates a block's statements in a fresh scope.
+func (g *generator) genBlockInline(b *frontend.BlockStmt) error {
+	g.pushScope()
+	for _, s := range b.Stmts {
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+	}
+	g.popScope()
+	return nil
+}
+
+// flushTemps releases owned ref temporaries accumulated by the current
+// statement.
+func (g *generator) flushTemps() {
+	for i := len(g.temps) - 1; i >= 0; i-- {
+		g.emit(Inst{Op: Release, A: g.temps[i]})
+	}
+	g.temps = g.temps[:0]
+}
+
+func (g *generator) genStmt(s frontend.Stmt) error {
+	switch s := s.(type) {
+	case *frontend.BlockStmt:
+		return g.genBlockInline(s)
+
+	case *frontend.VarStmt:
+		v, owned, err := g.genExpr(s.Init)
+		if err != nil {
+			return err
+		}
+		isRef := s.Type.IsRef()
+		local := g.fn.NewValue()
+		if isRef && !owned {
+			g.emit(Inst{Op: Retain, A: v})
+		}
+		g.emit(Inst{Op: Move, Dst: local, A: v})
+		g.consumeTemp(v)
+		g.define(s.Name, local, isRef)
+		g.flushTemps()
+		return nil
+
+	case *frontend.AssignStmt:
+		if err := g.genAssign(s); err != nil {
+			return err
+		}
+		g.flushTemps()
+		return nil
+
+	case *frontend.ExprStmt:
+		v, owned, err := g.genExpr(s.E)
+		if err != nil {
+			return err
+		}
+		if owned && s.E.TypeOf().IsRef() {
+			// Result ignored: drop the ownership now (it is already in
+			// temps via genExpr bookkeeping or needs an explicit release).
+			if !g.inTemps(v) {
+				g.emit(Inst{Op: Release, A: v})
+			}
+		}
+		g.flushTemps()
+		return nil
+
+	case *frontend.IfStmt:
+		return g.genIf(s)
+
+	case *frontend.WhileStmt:
+		head := g.newBlock("while_head")
+		g.emit(Inst{Op: Br, Sym: head.Label})
+		g.setBlock(head)
+		cond, _, err := g.genExpr(s.Cond)
+		if err != nil {
+			return err
+		}
+		body := g.newBlock("while_body")
+		exit := g.newBlock("while_exit")
+		g.emit(Inst{Op: CondBr, A: cond, Sym: body.Label, Sym2: exit.Label})
+		g.setBlock(body)
+		g.loops = append(g.loops, loopCtx{breakLabel: exit.Label, continueLabel: head.Label, scopeDepth: len(g.scopes)})
+		if err := g.genBlockInline(s.Body); err != nil {
+			return err
+		}
+		g.loops = g.loops[:len(g.loops)-1]
+		if !g.terminated() {
+			g.emit(Inst{Op: Br, Sym: head.Label})
+		}
+		g.setBlock(exit)
+		return nil
+
+	case *frontend.ForStmt:
+		lo, _, err := g.genExpr(s.Lo)
+		if err != nil {
+			return err
+		}
+		hi, _, err := g.genExpr(s.Hi)
+		if err != nil {
+			return err
+		}
+		iv := g.fn.NewValue()
+		g.emit(Inst{Op: Move, Dst: iv, A: lo})
+		hiv := g.fn.NewValue()
+		g.emit(Inst{Op: Move, Dst: hiv, A: hi})
+		head := g.newBlock("for_head")
+		g.emit(Inst{Op: Br, Sym: head.Label})
+		g.setBlock(head)
+		cond := g.fn.NewValue()
+		g.emit(Inst{Op: Cmp, Dst: cond, Cond: Lt, A: iv, B: hiv})
+		body := g.newBlock("for_body")
+		step := g.newBlock("for_step")
+		exit := g.newBlock("for_exit")
+		g.emit(Inst{Op: CondBr, A: cond, Sym: body.Label, Sym2: exit.Label})
+		g.setBlock(body)
+		g.pushScope()
+		g.define(s.Var, iv, false)
+		g.loops = append(g.loops, loopCtx{breakLabel: exit.Label, continueLabel: step.Label, scopeDepth: len(g.scopes)})
+		for _, st := range s.Body.Stmts {
+			if err := g.genStmt(st); err != nil {
+				return err
+			}
+		}
+		g.loops = g.loops[:len(g.loops)-1]
+		g.popScope()
+		if !g.terminated() {
+			g.emit(Inst{Op: Br, Sym: step.Label})
+		}
+		g.setBlock(step)
+		one := g.emitConst(1)
+		g.emit(Inst{Op: Bin, Dst: iv, BinOp: Add, A: iv, B: one})
+		g.emit(Inst{Op: Br, Sym: head.Label})
+		g.setBlock(exit)
+		return nil
+
+	case *frontend.ReturnStmt:
+		if s.E == nil {
+			g.emitCleanupDownTo(0)
+			g.emit(Inst{Op: RetVoid})
+			return nil
+		}
+		v, owned, err := g.genExpr(s.E)
+		if err != nil {
+			return err
+		}
+		if s.E.TypeOf().IsRef() && !owned {
+			g.emit(Inst{Op: Retain, A: v}) // results are +1 to the caller
+		}
+		g.consumeTemp(v)
+		g.flushTemps()
+		keep := 0
+		if g.selfVal != None {
+			keep = 1
+		}
+		g.emitCleanupDownTo(keep)
+		g.emit(Inst{Op: Ret, A: v})
+		return nil
+
+	case *frontend.ThrowStmt:
+		code, _, err := g.genExpr(s.E)
+		if err != nil {
+			return err
+		}
+		one := g.emitConst(1)
+		raw := g.fn.NewValue()
+		g.emit(Inst{Op: Bin, Dst: raw, BinOp: Add, A: code, B: one})
+		g.flushTemps()
+		g.raiseError(raw)
+		return nil
+
+	case *frontend.DoCatchStmt:
+		errLocal := g.emitConst(0)
+		catch := g.newBlock("catch")
+		done := g.newBlock("done")
+		g.errs = append(g.errs, errCtx{catchLabel: catch.Label, errLocal: errLocal, scopeDepth: len(g.scopes)})
+		if err := g.genBlockInline(s.Body); err != nil {
+			return err
+		}
+		g.errs = g.errs[:len(g.errs)-1]
+		if !g.terminated() {
+			g.emit(Inst{Op: Br, Sym: done.Label})
+		}
+		g.setBlock(catch)
+		g.pushScope()
+		// error = raw - 1
+		one := g.emitConst(1)
+		code := g.fn.NewValue()
+		g.emit(Inst{Op: Bin, Dst: code, BinOp: Sub, A: errLocal, B: one})
+		g.scopes[len(g.scopes)-1].vars["error"] = localInfo{val: code}
+		for _, st := range s.Catch.Stmts {
+			if err := g.genStmt(st); err != nil {
+				return err
+			}
+		}
+		g.popScope()
+		if !g.terminated() {
+			g.emit(Inst{Op: Br, Sym: done.Label})
+		}
+		g.setBlock(done)
+		return nil
+
+	case *frontend.BreakStmt:
+		lc := g.loops[len(g.loops)-1]
+		g.emitCleanupDownTo(lc.scopeDepth)
+		g.emit(Inst{Op: Br, Sym: lc.breakLabel})
+		return nil
+
+	case *frontend.ContinueStmt:
+		lc := g.loops[len(g.loops)-1]
+		g.emitCleanupDownTo(lc.scopeDepth)
+		g.emit(Inst{Op: Br, Sym: lc.continueLabel})
+		return nil
+	}
+	return fmt.Errorf("sirgen: unknown statement %T", s)
+}
+
+// raiseError transfers a raw error value to the active error destination:
+// the init shared cleanup, an enclosing catch, or the caller.
+func (g *generator) raiseError(raw Value) {
+	if len(g.errs) > 0 {
+		ec := g.errs[len(g.errs)-1]
+		if ec.initCleanup != "" {
+			g.emit(Inst{Op: Move, Dst: g.initErrVal, A: raw})
+			g.emitCleanupDownTo(1)
+			g.emit(Inst{Op: Br, Sym: ec.initCleanup})
+			return
+		}
+		g.emit(Inst{Op: Move, Dst: ec.errLocal, A: raw})
+		g.emitCleanupDownTo(ec.scopeDepth)
+		g.emit(Inst{Op: Br, Sym: ec.catchLabel})
+		return
+	}
+	g.emitCleanupDownTo(0)
+	g.emit(Inst{Op: Throw, A: raw})
+}
+
+func (g *generator) genIf(s *frontend.IfStmt) error {
+	cond, owned, err := g.genExpr(s.Cond)
+	if err != nil {
+		return err
+	}
+	then := g.newBlock("then")
+	var els *Block
+	if s.Else != nil {
+		els = g.newBlock("else")
+	}
+	done := g.newBlock("endif")
+	elseLabel := done.Label
+	if els != nil {
+		elseLabel = els.Label
+	}
+	// `if let` tests the optional against nil directly.
+	g.emit(Inst{Op: CondBr, A: cond, Sym: then.Label, Sym2: elseLabel})
+
+	g.setBlock(then)
+	g.pushScope()
+	if s.Bind != "" {
+		bound := g.fn.NewValue()
+		isRef := s.Cond.TypeOf().IsRef()
+		if isRef && !owned {
+			g.emit(Inst{Op: Retain, A: cond})
+		}
+		g.emit(Inst{Op: Move, Dst: bound, A: cond})
+		g.define(s.Bind, bound, isRef)
+	}
+	for _, st := range s.Then.Stmts {
+		if err := g.genStmt(st); err != nil {
+			return err
+		}
+	}
+	g.popScope()
+	if !g.terminated() {
+		g.emit(Inst{Op: Br, Sym: done.Label})
+	}
+	if els != nil {
+		g.setBlock(els)
+		if err := g.genStmt(s.Else); err != nil {
+			return err
+		}
+		if !g.terminated() {
+			g.emit(Inst{Op: Br, Sym: done.Label})
+		}
+	}
+	g.setBlock(done)
+	return nil
+}
+
+func (g *generator) genAssign(s *frontend.AssignStmt) error {
+	switch lhs := s.LHS.(type) {
+	case *frontend.IdentExpr:
+		li, ok := g.lookup(lhs.Name)
+		if !ok {
+			return g.errf(s.Line, "undefined %s", lhs.Name)
+		}
+		v, owned, err := g.genExpr(s.RHS)
+		if err != nil {
+			return err
+		}
+		if li.isRef {
+			if !owned {
+				g.emit(Inst{Op: Retain, A: v})
+			}
+			g.consumeTemp(v)
+			g.emit(Inst{Op: Release, A: li.val})
+		}
+		g.emit(Inst{Op: Move, Dst: li.val, A: v})
+		return nil
+
+	case *frontend.FieldExpr:
+		recv, _, err := g.genExpr(lhs.Recv)
+		if err != nil {
+			return err
+		}
+		cd := g.prog.Classes[lhs.Recv.TypeOf().Name]
+		idx := cd.FieldIndex(lhs.Field)
+		isRef := cd.Fields[idx].Type.IsRef()
+		v, owned, err := g.genExpr(s.RHS)
+		if err != nil {
+			return err
+		}
+		if isRef {
+			if !owned {
+				g.emit(Inst{Op: Retain, A: v})
+			}
+			g.consumeTemp(v)
+			old := g.fn.NewValue()
+			g.emit(Inst{Op: FieldGet, Dst: old, A: recv, Imm: int64(idx)})
+			g.emit(Inst{Op: Release, A: old})
+		}
+		g.emit(Inst{Op: FieldSet, A: recv, Imm: int64(idx), B: v})
+		g.noteInitFlag(lhs, idx)
+		return nil
+
+	case *frontend.IndexExpr:
+		recv, _, err := g.genExpr(lhs.Recv)
+		if err != nil {
+			return err
+		}
+		idx, _, err := g.genExpr(lhs.Index)
+		if err != nil {
+			return err
+		}
+		isRef := lhs.Recv.TypeOf().Elem.IsRef()
+		v, owned, err := g.genExpr(s.RHS)
+		if err != nil {
+			return err
+		}
+		if isRef {
+			if !owned {
+				g.emit(Inst{Op: Retain, A: v})
+			}
+			g.consumeTemp(v)
+			old := g.fn.NewValue()
+			g.emit(Inst{Op: ArrayGet, Dst: old, A: recv, B: idx})
+			g.emit(Inst{Op: Release, A: old})
+		}
+		g.emit(Inst{Op: ArraySet, A: recv, B: idx, C: v})
+		return nil
+	}
+	return g.errf(s.Line, "bad assignment target %T", s.LHS)
+}
+
+// noteInitFlag records `self.field = try ...` progress inside throwing inits
+// by setting the field's init flag (Figure 9's Init temporaries).
+func (g *generator) noteInitFlag(lhs *frontend.FieldExpr, idx int) {
+	if g.initFlags == nil {
+		return
+	}
+	if _, isSelf := lhs.Recv.(*frontend.SelfExpr); !isSelf {
+		return
+	}
+	flag, tracked := g.initFlags[idx]
+	if !tracked {
+		return
+	}
+	one := g.emitConst(1)
+	g.emit(Inst{Op: Move, Dst: flag, A: one})
+}
+
+// ---- temp bookkeeping ----
+
+func (g *generator) addTemp(v Value) { g.temps = append(g.temps, v) }
+
+func (g *generator) inTemps(v Value) bool {
+	for _, t := range g.temps {
+		if t == v {
+			return true
+		}
+	}
+	return false
+}
+
+// consumeTemp removes v from the pending-release list: its ownership has
+// been transferred (into a local, a field, an array slot, or a return).
+func (g *generator) consumeTemp(v Value) {
+	for i, t := range g.temps {
+		if t == v {
+			g.temps = append(g.temps[:i], g.temps[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package sir
+
+import (
+	"strings"
+	"testing"
+)
+
+// Build a module with many repeated retain/release runs to trigger the SIL
+// outlining pass directly.
+func TestOutlinePassCreatesHelpers(t *testing.T) {
+	m := NewModule("M")
+	for i := 0; i < 8; i++ {
+		f := &Func{Name: "f" + string(rune('a'+i)), Module: "M", NumParams: 3}
+		f.NumValues = 3
+		f.RefParams = []bool{true, true, true}
+		blk := &Block{Label: "entry"}
+		// The same retain/retain/release/release shape in every function.
+		blk.Insts = append(blk.Insts,
+			Inst{Op: Retain, A: f.Param(0)},
+			Inst{Op: Retain, A: f.Param(1)},
+			Inst{Op: Release, A: f.Param(2)},
+			Inst{Op: Release, A: f.Param(0)},
+			Inst{Op: RetVoid},
+		)
+		f.Blocks = []*Block{blk}
+		m.AddFunc(f)
+	}
+	stats := OutlinePass(m)
+	if stats.HelpersCreated != 1 {
+		t.Fatalf("helpers = %d, want 1", stats.HelpersCreated)
+	}
+	if stats.RunsOutlined != 8 {
+		t.Fatalf("runs = %d, want 8", stats.RunsOutlined)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, m)
+	}
+	// Every original function now calls the helper instead of inlining the run.
+	for _, f := range m.Funcs {
+		if strings.HasPrefix(f.Name, "outlined_sil_rc_") {
+			if f.NumParams != 3 { // three distinct operands
+				t.Errorf("helper params = %d, want 3", f.NumParams)
+			}
+			continue
+		}
+		calls := 0
+		for _, b := range f.Blocks {
+			for _, in := range b.Insts {
+				if in.Op == Call && strings.HasPrefix(in.Sym, "outlined_sil_rc_") {
+					calls++
+				}
+				if in.Op == Retain || in.Op == Release {
+					t.Errorf("%s still has inline refcounting", f.Name)
+				}
+			}
+		}
+		if calls != 1 {
+			t.Errorf("%s calls helper %d times, want 1", f.Name, calls)
+		}
+	}
+}
+
+func TestOutlinePassRespectsThreshold(t *testing.T) {
+	m := NewModule("M")
+	for i := 0; i < 3; i++ { // below the 6-occurrence threshold
+		f := &Func{Name: "g" + string(rune('a'+i)), Module: "M", NumParams: 1}
+		f.NumValues = 1
+		f.RefParams = []bool{true}
+		f.Blocks = []*Block{{Label: "entry", Insts: []Inst{
+			{Op: Retain, A: f.Param(0)},
+			{Op: Retain, A: f.Param(0)},
+			{Op: Release, A: f.Param(0)},
+			{Op: RetVoid},
+		}}}
+		m.AddFunc(f)
+	}
+	if stats := OutlinePass(m); stats.HelpersCreated != 0 {
+		t.Errorf("helpers = %d for 3 occurrences; threshold is 6", stats.HelpersCreated)
+	}
+}
+
+func TestSpecializeClosuresDirect(t *testing.T) {
+	m := NewModule("M")
+
+	// The closure function: (env, x) -> x+1.
+	cf := &Func{Name: "main.closure.1", Module: "M", NumParams: 2}
+	cf.NumValues = 3
+	cf.RefParams = []bool{true, false}
+	one := cf.NewValue()
+	sum := cf.NewValue()
+	cf.Blocks = []*Block{{Label: "entry", Insts: []Inst{
+		{Op: ConstInt, Dst: one, Imm: 1},
+		{Op: Bin, Dst: sum, BinOp: Add, A: cf.Param(1), B: one},
+		{Op: Ret, A: sum},
+	}}}
+	m.AddFunc(cf)
+
+	// The combinator: calls its closure parameter.
+	comb := &Func{Name: "apply", Module: "M", NumParams: 2}
+	comb.NumValues = 3
+	comb.RefParams = []bool{true, false}
+	r := comb.NewValue()
+	comb.Blocks = []*Block{{Label: "entry", Insts: []Inst{
+		{Op: CallClosure, Dst: r, A: comb.Param(0), Args: []Value{comb.Param(1)}},
+		{Op: Ret, A: r},
+	}}}
+	m.AddFunc(comb)
+
+	// The caller: makes the closure in the same block and passes it.
+	caller := &Func{Name: "main", Module: "M"}
+	clo := caller.NewValue()
+	arg := caller.NewValue()
+	res := caller.NewValue()
+	caller.Blocks = []*Block{{Label: "entry", Insts: []Inst{
+		{Op: MakeClosure, Dst: clo, Sym: "main.closure.1"},
+		{Op: ConstInt, Dst: arg, Imm: 41},
+		{Op: Call, Dst: res, Sym: "apply", Args: []Value{clo, arg}},
+		{Op: PrintInt, A: res},
+		{Op: Release, A: clo},
+		{Op: RetVoid},
+	}}}
+	m.AddFunc(caller)
+
+	stats := SpecializeClosures(m)
+	if stats.Specializations != 1 || stats.SitesRewritten != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	spec := m.Func("apply$spec0")
+	if spec == nil {
+		t.Fatal("specialized clone missing")
+	}
+	// The clone's indirect call became a direct call to the closure fn.
+	direct := false
+	for _, b := range spec.Blocks {
+		for _, in := range b.Insts {
+			if in.Op == CallClosure {
+				t.Error("specialized clone still calls indirectly")
+			}
+			if in.Op == Call && in.Sym == "main.closure.1" {
+				direct = true
+				if len(in.Args) != 2 { // env + x
+					t.Errorf("devirtualized args = %d, want 2", len(in.Args))
+				}
+			}
+		}
+	}
+	if !direct {
+		t.Error("no direct call in the specialized clone")
+	}
+	// The original combinator is untouched (other callers may pass other
+	// closures).
+	for _, b := range m.Func("apply").Blocks {
+		for _, in := range b.Insts {
+			if in.Op == Call && in.Sym == "main.closure.1" {
+				t.Error("original combinator was devirtualized")
+			}
+		}
+	}
+	// The call site targets the clone.
+	rewired := false
+	for _, b := range m.Func("main").Blocks {
+		for _, in := range b.Insts {
+			if in.Op == Call && in.Sym == "apply$spec0" {
+				rewired = true
+			}
+		}
+	}
+	if !rewired {
+		t.Error("call site not rewired to the specialization")
+	}
+}

@@ -1,0 +1,75 @@
+package sir
+
+import "fmt"
+
+// Verify checks SIR structural invariants: labels resolve, every block ends
+// in exactly one terminator, values are within range, and throwing
+// constructs appear only in throwing functions.
+func (m *Module) Verify() error {
+	for _, f := range m.Funcs {
+		if err := f.verify(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *Func) verify(m *Module) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("sir: @%s has no blocks", f.Name)
+	}
+	labels := make(map[string]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		if labels[b.Label] {
+			return fmt.Errorf("sir: @%s: duplicate label %s", f.Name, b.Label)
+		}
+		labels[b.Label] = true
+	}
+	checkVal := func(v Value, b *Block, what string) error {
+		if v < 0 || int(v) > f.NumValues {
+			return fmt.Errorf("sir: @%s/%s: %s value v%d out of range", f.Name, b.Label, what, v)
+		}
+		return nil
+	}
+	for _, b := range f.Blocks {
+		if len(b.Insts) == 0 {
+			return fmt.Errorf("sir: @%s: empty block %s", f.Name, b.Label)
+		}
+		for i, in := range b.Insts {
+			isLast := i == len(b.Insts)-1
+			if in.Op.IsTerminator() != isLast {
+				return fmt.Errorf("sir: @%s/%s: terminator placement wrong at %d (%s)",
+					f.Name, b.Label, i, in)
+			}
+			for _, v := range []Value{in.Dst, in.A, in.B, in.C, in.ErrDst} {
+				if err := checkVal(v, b, "operand"); err != nil {
+					return err
+				}
+			}
+			for _, v := range in.Args {
+				if err := checkVal(v, b, "arg"); err != nil {
+					return err
+				}
+			}
+			switch in.Op {
+			case Br:
+				if !labels[in.Sym] {
+					return fmt.Errorf("sir: @%s/%s: br to unknown %s", f.Name, b.Label, in.Sym)
+				}
+			case CondBr:
+				if !labels[in.Sym] || !labels[in.Sym2] {
+					return fmt.Errorf("sir: @%s/%s: condbr to unknown label", f.Name, b.Label)
+				}
+			case Throw:
+				if !f.Throws {
+					return fmt.Errorf("sir: @%s: throw in non-throwing function", f.Name)
+				}
+			case Call:
+				if in.Throws && in.ErrDst == None {
+					return fmt.Errorf("sir: @%s/%s: throwing call without error destination", f.Name, b.Label)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+// Package suffixtree implements a suffix tree over integer alphabets using
+// Ukkonen's online construction. It is the candidate-discovery structure of
+// the machine outliner, mirroring llvm/ADT/SuffixTree: the outliner maps each
+// machine instruction to an integer (identical instructions share an integer,
+// un-outlinable instructions get fresh sentinels) and asks the tree for every
+// repeated substring together with all of its occurrences.
+package suffixtree
+
+import "sort"
+
+const (
+	noNode  = -1
+	leafEnd = -2 // sentinel edge end meaning "grows with the string"
+)
+
+type node struct {
+	start int // edge label is s[start:end)
+	end   int // leafEnd for leaves while building
+	link  int // suffix link
+	// children maps the first symbol of an outgoing edge to the child node.
+	children map[int]int
+
+	// Filled in by annotate():
+	depth    int // string depth (length of the substring this node spells)
+	leafLo   int // [leafLo, leafHi) into leafStarts: leaves beneath this node
+	leafHi   int
+	suffixIx int // for leaves: starting index of the suffix; -1 otherwise
+}
+
+// Tree is an immutable suffix tree over an int slice.
+type Tree struct {
+	s     []int
+	nodes []node
+	root  int
+
+	// leafStarts lists suffix start positions in DFS order, so that every
+	// node's occurrence set is the contiguous slice
+	// leafStarts[leafLo:leafHi].
+	leafStarts []int
+}
+
+// New builds the suffix tree of s. The caller must ensure s ends with (and is
+// internally separated by) symbols that occur exactly once — the outliner
+// uses negative sentinels — so that every suffix ends at a leaf.
+func New(s []int) *Tree {
+	t := &Tree{s: s, root: 0}
+	t.nodes = make([]node, 1, 2*len(s)+2)
+	t.nodes[0] = node{start: -1, end: -1, link: noNode, suffixIx: -1}
+	t.build()
+	t.annotate()
+	return t
+}
+
+func (t *Tree) newNode(start, end int) int {
+	t.nodes = append(t.nodes, node{start: start, end: end, link: noNode, suffixIx: -1})
+	return len(t.nodes) - 1
+}
+
+func (t *Tree) edgeLen(v, pos int) int {
+	n := &t.nodes[v]
+	end := n.end
+	if end == leafEnd {
+		end = pos + 1
+	}
+	return end - n.start
+}
+
+// build runs Ukkonen's algorithm.
+func (t *Tree) build() {
+	s := t.s
+	activeNode, activeEdge, activeLen := t.root, 0, 0
+	remaining := 0
+	for pos := 0; pos < len(s); pos++ {
+		remaining++
+		lastNew := noNode
+		for remaining > 0 {
+			if activeLen == 0 {
+				activeEdge = pos
+			}
+			child, ok := t.child(activeNode, s[activeEdge])
+			if !ok {
+				// No edge: create a leaf here.
+				leaf := t.newNode(pos, leafEnd)
+				t.setChild(activeNode, s[activeEdge], leaf)
+				if lastNew != noNode {
+					t.nodes[lastNew].link = activeNode
+					lastNew = noNode
+				}
+			} else {
+				if el := t.edgeLen(child, pos); activeLen >= el {
+					// Walk down.
+					activeEdge += el
+					activeLen -= el
+					activeNode = child
+					continue
+				}
+				if s[t.nodes[child].start+activeLen] == s[pos] {
+					// Symbol already present: extend the active point.
+					if lastNew != noNode && activeNode != t.root {
+						t.nodes[lastNew].link = activeNode
+						lastNew = noNode
+					}
+					activeLen++
+					break
+				}
+				// Split the edge.
+				splitEnd := t.nodes[child].start + activeLen
+				split := t.newNode(t.nodes[child].start, splitEnd)
+				t.setChild(activeNode, s[activeEdge], split)
+				leaf := t.newNode(pos, leafEnd)
+				t.setChild(split, s[pos], leaf)
+				t.nodes[child].start = splitEnd
+				t.setChild(split, s[splitEnd], child)
+				if lastNew != noNode {
+					t.nodes[lastNew].link = split
+				}
+				lastNew = split
+			}
+			remaining--
+			if activeNode == t.root && activeLen > 0 {
+				activeLen--
+				activeEdge = pos - remaining + 1
+			} else if activeNode != t.root {
+				if l := t.nodes[activeNode].link; l != noNode {
+					activeNode = l
+				} else {
+					activeNode = t.root
+				}
+			}
+		}
+	}
+}
+
+func (t *Tree) child(v, sym int) (int, bool) {
+	c := t.nodes[v].children
+	if c == nil {
+		return 0, false
+	}
+	ch, ok := c[sym]
+	return ch, ok
+}
+
+func (t *Tree) setChild(v, sym, child int) {
+	if t.nodes[v].children == nil {
+		t.nodes[v].children = make(map[int]int)
+	}
+	t.nodes[v].children[sym] = child
+}
+
+// annotate computes string depths, suffix indices for leaves, and the
+// DFS-contiguous leaf ranges for every node.
+func (t *Tree) annotate() {
+	n := len(t.s)
+	t.leafStarts = make([]int, 0, n+1)
+
+	type frame struct {
+		v     int
+		depth int
+		kids  []int
+		next  int
+	}
+	stack := []frame{{v: t.root, depth: 0, kids: t.sortedChildren(t.root)}}
+	t.nodes[t.root].leafLo = 0
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		nd := &t.nodes[f.v]
+		if f.next == 0 {
+			nd.depth = f.depth
+			nd.leafLo = len(t.leafStarts)
+			if len(f.kids) == 0 {
+				// Leaf: its suffix starts at n - depth.
+				nd.suffixIx = n - f.depth
+				t.leafStarts = append(t.leafStarts, nd.suffixIx)
+			}
+		}
+		if f.next < len(f.kids) {
+			c := f.kids[f.next]
+			f.next++
+			edge := t.nodes[c].end
+			if edge == leafEnd {
+				edge = n
+			}
+			stack = append(stack, frame{
+				v:     c,
+				depth: f.depth + edge - t.nodes[c].start,
+				kids:  t.sortedChildren(c),
+			})
+			continue
+		}
+		nd.leafHi = len(t.leafStarts)
+		stack = stack[:len(stack)-1]
+	}
+}
+
+func (t *Tree) sortedChildren(v int) []int {
+	c := t.nodes[v].children
+	if len(c) == 0 {
+		return nil
+	}
+	syms := make([]int, 0, len(c))
+	for sym := range c {
+		syms = append(syms, sym)
+	}
+	sort.Ints(syms)
+	kids := make([]int, len(syms))
+	for i, sym := range syms {
+		kids[i] = c[sym]
+	}
+	return kids
+}
+
+// Repeat is one repeated substring: its length and the start index of every
+// occurrence in the input. Starts aliases internal storage; callers must not
+// modify it.
+type Repeat struct {
+	Length int
+	Starts []int
+}
+
+// ForEachRepeat calls fn for every right-maximal repeated substring of
+// length ≥ minLen occurring ≥ minCount times. These are exactly the internal
+// nodes of the tree; any shorter/more-frequent prefix of a reported repeat is
+// right-maximal too and is reported separately.
+func (t *Tree) ForEachRepeat(minLen, minCount int, fn func(Repeat)) {
+	for v := range t.nodes {
+		nd := &t.nodes[v]
+		if v == t.root || len(nd.children) == 0 {
+			continue // root or leaf
+		}
+		count := nd.leafHi - nd.leafLo
+		if nd.depth < minLen || count < minCount {
+			continue
+		}
+		fn(Repeat{Length: nd.depth, Starts: t.leafStarts[nd.leafLo:nd.leafHi]})
+	}
+}
+
+// Substring returns the input symbols for a repeat occurrence.
+func (t *Tree) Substring(start, length int) []int {
+	return t.s[start : start+length]
+}

@@ -1,0 +1,262 @@
+package suffixtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// sym converts a byte string into the int alphabet with a unique terminator.
+func sym(s string) []int {
+	out := make([]int, 0, len(s)+1)
+	for _, b := range []byte(s) {
+		out = append(out, int(b))
+	}
+	out = append(out, -1)
+	return out
+}
+
+// collect returns all repeats as map[substring-as-string] -> sorted starts.
+func collect(t *Tree, minLen, minCount int) map[string][]int {
+	got := make(map[string][]int)
+	t.ForEachRepeat(minLen, minCount, func(r Repeat) {
+		starts := append([]int(nil), r.Starts...)
+		sort.Ints(starts)
+		key := ""
+		for _, v := range t.Substring(starts[0], r.Length) {
+			key += string(rune(v))
+		}
+		got[key] = starts
+	})
+	return got
+}
+
+func TestSimpleRepeats(t *testing.T) {
+	// "abcabcabc": "abc" (and rotations) repeat.
+	tree := New(sym("abcabcabc"))
+	got := collect(tree, 3, 2)
+	abc, ok := got["abcabc"]
+	if !ok {
+		// "abcabc" occurs at 0 and 3 (overlapping) — right-maximal.
+		t.Fatalf("missing repeat abcabc; got %v", keys(got))
+	}
+	if len(abc) != 2 || abc[0] != 0 || abc[1] != 3 {
+		t.Errorf("abcabc starts = %v, want [0 3]", abc)
+	}
+	if starts, ok := got["abc"]; !ok || len(starts) != 3 {
+		t.Errorf("abc starts = %v, want 3 occurrences", starts)
+	}
+}
+
+func TestMinCountAndMinLen(t *testing.T) {
+	tree := New(sym("xxabyxaby"))
+	all := collect(tree, 2, 2)
+	// "xab" always precedes "y", so only the right-maximal "xaby" shows up.
+	if _, ok := all["xaby"]; !ok {
+		t.Errorf("xaby should repeat; got %v", keys(all))
+	}
+	if _, ok := all["xab"]; ok {
+		t.Error("xab is not right-maximal and must not be reported")
+	}
+	none := collect(tree, 10, 2)
+	if len(none) != 0 {
+		t.Errorf("no repeats of length 10 expected, got %v", keys(none))
+	}
+	tripleOnly := collect(tree, 1, 3)
+	if _, ok := tripleOnly["x"]; !ok {
+		t.Errorf("x occurs 3 times; got %v", keys(tripleOnly))
+	}
+	if _, ok := tripleOnly["ab"]; ok {
+		t.Error("ab occurs only twice, must be filtered by minCount=3")
+	}
+}
+
+func TestSeparatorsPreventCrossMatches(t *testing.T) {
+	// Two "blocks" ab|ab with distinct separators: "abab" must NOT repeat,
+	// "ab" must repeat twice.
+	s := []int{'a', 'b', -1, 'a', 'b', -2}
+	tree := New(s)
+	found := false
+	tree.ForEachRepeat(2, 2, func(r Repeat) {
+		if r.Length == 2 {
+			found = true
+		}
+		if r.Length > 2 {
+			t.Errorf("repeat of length %d crosses separator", r.Length)
+		}
+	})
+	if !found {
+		t.Error("missing ab repeat across separated blocks")
+	}
+}
+
+// naiveRepeats computes right-maximal repeated substrings by brute force.
+func naiveRepeats(s []int, minLen, minCount int) map[string][]int {
+	key := func(sub []int) string {
+		out := ""
+		for _, v := range sub {
+			out += string(rune(v + 1000))
+		}
+		return out
+	}
+	occ := make(map[string][]int)
+	for l := minLen; l <= len(s); l++ {
+		for i := 0; i+l <= len(s); i++ {
+			occ[key(s[i:i+l])] = append(occ[key(s[i:i+l])], i)
+		}
+	}
+	out := make(map[string][]int)
+	for l := minLen; l <= len(s); l++ {
+		for i := 0; i+l <= len(s); i++ {
+			sub := s[i : i+l]
+			starts := occ[key(sub)]
+			if len(starts) < minCount {
+				continue
+			}
+			// Right-maximal: extending by one symbol changes the occurrence
+			// set for at least one occurrence pair, i.e. not every
+			// occurrence is followed by the same symbol.
+			rightMax := false
+			var follow int
+			haveFollow := false
+			for _, st := range starts {
+				if st+l >= len(s) {
+					rightMax = true
+					break
+				}
+				if !haveFollow {
+					follow, haveFollow = s[st+l], true
+				} else if s[st+l] != follow {
+					rightMax = true
+					break
+				}
+			}
+			if rightMax {
+				out[key(sub)] = starts
+			}
+		}
+	}
+	return out
+}
+
+func TestAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		alpha := 1 + rng.Intn(4)
+		s := make([]int, 0, n+1)
+		for i := 0; i < n; i++ {
+			s = append(s, rng.Intn(alpha))
+		}
+		s = append(s, -1-trial) // unique terminator
+		tree := New(s)
+
+		want := naiveRepeats(s, 2, 2)
+		got := make(map[string][]int)
+		keyOf := func(sub []int) string {
+			out := ""
+			for _, v := range sub {
+				out += string(rune(v + 1000))
+			}
+			return out
+		}
+		tree.ForEachRepeat(2, 2, func(r Repeat) {
+			starts := append([]int(nil), r.Starts...)
+			sort.Ints(starts)
+			got[keyOf(tree.Substring(starts[0], r.Length))] = starts
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (s=%v): got %d repeats, want %d\n got=%v\nwant=%v",
+				trial, s, len(got), len(want), got, want)
+		}
+		for k, ws := range want {
+			gs, ok := got[k]
+			if !ok {
+				t.Fatalf("trial %d: missing repeat (len %d chars)", trial, len(k))
+			}
+			sort.Ints(ws)
+			if !intsEqual(gs, ws) {
+				t.Fatalf("trial %d: starts differ: got %v want %v", trial, gs, ws)
+			}
+		}
+	}
+}
+
+func TestSuffixStartsAreCorrect(t *testing.T) {
+	// Property: every reported occurrence actually matches the substring.
+	f := func(data []byte) bool {
+		if len(data) == 0 || len(data) > 200 {
+			return true
+		}
+		s := make([]int, 0, len(data)+1)
+		for _, b := range data {
+			s = append(s, int(b%5))
+		}
+		s = append(s, -7)
+		tree := New(s)
+		ok := true
+		tree.ForEachRepeat(2, 2, func(r Repeat) {
+			ref := s[r.Starts[0] : r.Starts[0]+r.Length]
+			for _, st := range r.Starts {
+				if st+r.Length > len(s) {
+					ok = false
+					return
+				}
+				for i, v := range ref {
+					if s[st+i] != v {
+						ok = false
+						return
+					}
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeInputPerformanceShape(t *testing.T) {
+	// A 100k-symbol input with heavy repetition must build quickly and
+	// report the dominant repeat. This guards against accidental quadratic
+	// behaviour in construction.
+	n := 100_000
+	s := make([]int, 0, n+1)
+	for i := 0; i < n/4; i++ {
+		s = append(s, 1, 2, 3, i%7)
+	}
+	s = append(s, -1)
+	tree := New(s)
+	maxCount := 0
+	tree.ForEachRepeat(2, 2, func(r Repeat) {
+		if len(r.Starts) > maxCount {
+			maxCount = len(r.Starts)
+		}
+	})
+	if maxCount < n/8 {
+		t.Errorf("dominant repeat count = %d, want >= %d", maxCount, n/8)
+	}
+}
+
+func keys(m map[string][]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,226 @@
+// Package outliner is the public API of the whole-program repeated
+// machine-outlining toolchain — a from-scratch reproduction of "An
+// Experience with Code-Size Optimization for Production iOS Mobile
+// Applications" (CGO 2021).
+//
+// The package compiles SwiftLite source modules (a Swift-like language with
+// reference counting, closures, generics, and throwing initializers) through
+// a complete pipeline — SIL-analog IR, SSA mid-level IR, llvm-link-style
+// module merging, an AArch64-like code generator — and applies the paper's
+// optimization: machine-code outlining over the whole program, repeated
+// until a fixed point. Compiled programs run on a built-in machine
+// interpreter, so transformations are checked end to end.
+//
+// Quick start:
+//
+//	res, err := outliner.Build([]outliner.Module{{
+//	    Name:  "App",
+//	    Files: map[string]string{"app.sl": src},
+//	}}, outliner.Production())
+//	out, err := res.Run("main")
+//
+// The lower-level entry point OutlineText applies the outliner to a textual
+// machine program directly, like the paper artifact's
+// `llc -outline-repeat-count=N` on prebuilt bitcode.
+package outliner
+
+import (
+	"fmt"
+
+	"outliner/internal/exec"
+	"outliner/internal/llir"
+	"outliner/internal/mir"
+	"outliner/internal/outline"
+	"outliner/internal/pipeline"
+)
+
+// Module is one compilation unit: a name and its SwiftLite source files.
+type Module struct {
+	Name  string
+	Files map[string]string
+}
+
+// Options selects the build pipeline and optimization levels.
+type Options struct {
+	// WholeProgram merges all modules' IR before code generation (the
+	// paper's new pipeline, Figure 10). When false, modules compile
+	// independently and only the machine linker combines them (the default
+	// iOS pipeline, Figure 2).
+	WholeProgram bool
+	// OutlineRounds is the repeated-machine-outlining count; 0 disables
+	// machine outlining, 1 matches stock LLVM, the paper ships 5.
+	OutlineRounds int
+	// SILOutline, SpecializeClosures, MergeFunctions, and FMSA toggle the
+	// mid-level passes of the paper's Table I.
+	SILOutline         bool
+	SpecializeClosures bool
+	MergeFunctions     bool
+	FMSA               bool
+	// PreserveDataLayout keeps per-module global ordering across the IR
+	// link (the §VI-3 fix); SplitGCMetadata enables linking of mixed
+	// Swift/Objective-C modules (the §VI-2 fix).
+	PreserveDataLayout bool
+	SplitGCMetadata    bool
+	// CanonicalizeSequences and LayoutOutlined enable the §VIII future-work
+	// extensions: canonical commutative operand order before outlining, and
+	// caller-adjacent placement of outlined functions after it.
+	CanonicalizeSequences bool
+	LayoutOutlined        bool
+}
+
+// Production returns the configuration the paper deployed: whole-program
+// pipeline, five rounds of repeated outlining, all passes, both fixes.
+func Production() Options {
+	return Options{
+		WholeProgram:       true,
+		OutlineRounds:      5,
+		SILOutline:         true,
+		SpecializeClosures: true,
+		MergeFunctions:     true,
+		PreserveDataLayout: true,
+		SplitGCMetadata:    true,
+	}
+}
+
+// DefaultPipeline returns the stock iOS build behaviour: per-module
+// compilation with one round of per-module outlining (Swift 5.2 -Osize).
+func DefaultPipeline() Options {
+	return Options{OutlineRounds: 1, SILOutline: true, SpecializeClosures: true}
+}
+
+func (o Options) toConfig() pipeline.Config {
+	return pipeline.Config{
+		WholeProgram:          o.WholeProgram,
+		OutlineRounds:         o.OutlineRounds,
+		SILOutline:            o.SILOutline,
+		SpecializeClosures:    o.SpecializeClosures,
+		MergeFunctions:        o.MergeFunctions,
+		FMSA:                  o.FMSA,
+		PreserveDataLayout:    o.PreserveDataLayout,
+		SplitGCMetadata:       o.SplitGCMetadata,
+		CanonicalizeSequences: o.CanonicalizeSequences,
+		LayoutOutlined:        o.LayoutOutlined,
+		Verify:                true,
+	}
+}
+
+// RoundStats reports one outlining round.
+type RoundStats struct {
+	Round             int
+	SequencesOutlined int
+	FunctionsCreated  int
+	OutlinedBytes     int
+}
+
+// Result is a finished build.
+type Result struct {
+	// CodeSize is the machine-code section size in bytes; BinarySize is the
+	// whole image including data, header, and symbol table.
+	CodeSize   int
+	BinarySize int
+	// Rounds holds per-round outlining statistics (empty when outlining was
+	// off).
+	Rounds []RoundStats
+
+	prog *mir.Program
+}
+
+// Build compiles modules under opts. Every module sees every other module's
+// public declarations (like imported swiftmodule interfaces).
+func Build(modules []Module, opts Options) (*Result, error) {
+	sources := make([]pipeline.Source, len(modules))
+	for i, m := range modules {
+		sources[i] = pipeline.Source{Name: m.Name, Files: m.Files}
+	}
+	res, err := pipeline.Build(sources, opts.toConfig())
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		CodeSize:   res.CodeSize(),
+		BinarySize: res.BinarySize(),
+		prog:       res.Prog,
+	}
+	if res.Outline != nil {
+		for _, r := range res.Outline.Rounds {
+			out.Rounds = append(out.Rounds, RoundStats{
+				Round:             r.Round,
+				SequencesOutlined: r.SequencesOutlined,
+				FunctionsCreated:  r.FunctionsCreated,
+				OutlinedBytes:     r.OutlinedBytes,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Run executes a zero-argument function (usually "main") on the machine
+// interpreter and returns everything it printed.
+func (r *Result) Run(entry string) (string, error) {
+	m, err := exec.New(r.prog, exec.Options{})
+	if err != nil {
+		return "", err
+	}
+	return m.Run(entry)
+}
+
+// MachineCode renders the final machine program in textual MIR form.
+func (r *Result) MachineCode() string { return r.prog.String() }
+
+// Pattern is one repeated machine-code sequence found by the analysis pass.
+type Pattern struct {
+	// Count is how many times the sequence occurs; Length is its
+	// instruction count; SavedBytes the estimated benefit of outlining it.
+	Count      int
+	Length     int
+	SavedBytes int
+	// Listing renders the instructions like the paper's Listings 1-8.
+	Listing string
+}
+
+// Patterns runs the statistics-collection pass (§IV) over the built program:
+// every profitably-outlinable repeated sequence, most frequent first.
+func (r *Result) Patterns() []Pattern {
+	pats := outline.Analyze(r.prog, outline.Options{})
+	out := make([]Pattern, len(pats))
+	for i, p := range pats {
+		out[i] = Pattern{
+			Count:      p.Count,
+			Length:     p.Length,
+			SavedBytes: p.Benefit,
+			Listing:    p.Listing(),
+		}
+	}
+	return out
+}
+
+// OutlineText parses a textual machine program (the mir format), applies
+// repeated machine outlining, and returns the transformed program with
+// statistics. It is the library form of `cmd/outline`.
+func OutlineText(mirText string, rounds int) (string, []RoundStats, error) {
+	prog, err := mir.Parse(mirText)
+	if err != nil {
+		return "", nil, err
+	}
+	if err := prog.Verify(llir.RuntimeSyms); err != nil {
+		return "", nil, fmt.Errorf("outliner: input: %w", err)
+	}
+	stats, err := outline.Outline(prog, outline.Options{
+		Rounds:     rounds,
+		Verify:     true,
+		ExternSyms: llir.RuntimeSyms,
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	var rs []RoundStats
+	for _, r := range stats.Rounds {
+		rs = append(rs, RoundStats{
+			Round:             r.Round,
+			SequencesOutlined: r.SequencesOutlined,
+			FunctionsCreated:  r.FunctionsCreated,
+			OutlinedBytes:     r.OutlinedBytes,
+		})
+	}
+	return prog.String(), rs, nil
+}

@@ -1,0 +1,41 @@
+// Breadth-first search over an adjacency-matrix graph.
+func bfs(adj: [Int], n: Int, start: Int) -> Int {
+  var dist = Array<Int>(n)
+  var visited = Array<Int>(n)
+  for i in 0 ..< n { dist[i] = 0 - 1 }
+  var queue = Array<Int>(n)
+  var head = 0
+  var tail = 0
+  queue[tail] = start
+  tail = tail + 1
+  visited[start] = 1
+  dist[start] = 0
+  while head < tail {
+    let u = queue[head]
+    head = head + 1
+    for v in 0 ..< n {
+      if adj[u * n + v] == 1 && visited[v] == 0 {
+        visited[v] = 1
+        dist[v] = dist[u] + 1
+        queue[tail] = v
+        tail = tail + 1
+      }
+    }
+  }
+  var sum = 0
+  for i in 0 ..< n { sum = sum + dist[i] }
+  return sum
+}
+func main() {
+  let n = 24
+  var adj = Array<Int>(n * n)
+  for i in 0 ..< n {
+    let j = (i * 7 + 3) % n
+    adj[i * n + j] = 1
+    adj[j * n + i] = 1
+    let k = (i + 1) % n
+    adj[i * n + k] = 1
+    adj[k * n + i] = 1
+  }
+  print(bfs(adj: adj, n: n, start: 0))
+}

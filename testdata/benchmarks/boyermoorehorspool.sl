@@ -1,0 +1,27 @@
+// Boyer-Moore-Horspool substring search over code-unit arrays.
+func bmhSearch(text: [Int], pat: [Int]) -> Int {
+  let m = pat.count
+  let n = text.count
+  if m == 0 || m > n { return 0 - 1 }
+  var shift = Array<Int>(256)
+  for i in 0 ..< 256 { shift[i] = m }
+  for i in 0 ..< m - 1 { shift[pat[i] % 256] = m - 1 - i }
+  var pos = 0
+  while pos <= n - m {
+    var j = m - 1
+    while j >= 0 && text[pos + j] == pat[j] { j = j - 1 }
+    if j < 0 { return pos }
+    pos = pos + shift[text[pos + m - 1] % 256]
+  }
+  return 0 - 1
+}
+func main() {
+  let n = 600
+  var text = Array<Int>(n)
+  for i in 0 ..< n { text[i] = (i * 37 + 11) % 26 + 97 }
+  var pat = Array<Int>(5)
+  for i in 0 ..< 5 { pat[i] = text[477 + i] }
+  print(bmhSearch(text: text, pat: pat))
+  pat[4] = 1
+  print(bmhSearch(text: text, pat: pat))
+}

@@ -1,0 +1,39 @@
+// Bucket sort with insertion sort per bucket (flattened buckets).
+func bucketSort(a: [Int], maxVal: Int, nBuckets: Int) -> [Int] {
+  let cap = a.count
+  var buckets = Array<Int>(nBuckets * cap)
+  var sizes = Array<Int>(nBuckets)
+  for i in 0 ..< a.count {
+    let b = a[i] * nBuckets / (maxVal + 1)
+    buckets[b * cap + sizes[b]] = a[i]
+    sizes[b] = sizes[b] + 1
+  }
+  var out = Array<Int>(a.count)
+  var pos = 0
+  for b in 0 ..< nBuckets {
+    // insertion sort bucket b
+    for i in 1 ..< sizes[b] {
+      let v = buckets[b * cap + i]
+      var j = i - 1
+      while j >= 0 && buckets[b * cap + j] > v {
+        buckets[b * cap + j + 1] = buckets[b * cap + j]
+        j = j - 1
+      }
+      buckets[b * cap + j + 1] = v
+    }
+    for i in 0 ..< sizes[b] {
+      out[pos] = buckets[b * cap + i]
+      pos = pos + 1
+    }
+  }
+  return out
+}
+func main() {
+  let n = 160
+  var a = Array<Int>(n)
+  for i in 0 ..< n { a[i] = (i * 997 + 3) % 512 }
+  let s = bucketSort(a: a, maxVal: 511, nBuckets: 8)
+  var check = 0
+  for i in 0 ..< n { check = check + s[i] * (i + 1) }
+  print(check)
+}

@@ -1,0 +1,49 @@
+// Closest pair of 2D integer points (divide and conquer on x-sorted input,
+// squared distances; integer arithmetic only).
+func dist2(xs: [Int], ys: [Int], i: Int, j: Int) -> Int {
+  let dx = xs[i] - xs[j]
+  let dy = ys[i] - ys[j]
+  return dx * dx + dy * dy
+}
+func closest(xs: [Int], ys: [Int], lo: Int, hi: Int) -> Int {
+  if hi - lo < 1 { return 1000000000 }
+  if hi - lo <= 3 {
+    var best = 1000000000
+    for i in lo ..< hi + 1 {
+      for j in i + 1 ..< hi + 1 {
+        let d = dist2(xs: xs, ys: ys, i: i, j: j)
+        if d < best { best = d }
+      }
+    }
+    return best
+  }
+  let mid = (lo + hi) / 2
+  let dl = closest(xs: xs, ys: ys, lo: lo, hi: mid)
+  let dr = closest(xs: xs, ys: ys, lo: mid + 1, hi: hi)
+  var best = dl
+  if dr < best { best = dr }
+  // strip check (points are x-sorted)
+  for i in lo ..< hi + 1 {
+    let dx = xs[i] - xs[mid]
+    if dx * dx <= best {
+      for j in i + 1 ..< hi + 1 {
+        let ddx = xs[j] - xs[i]
+        if ddx * ddx <= best {
+          let d = dist2(xs: xs, ys: ys, i: i, j: j)
+          if d < best { best = d }
+        }
+      }
+    }
+  }
+  return best
+}
+func main() {
+  let n = 80
+  var xs = Array<Int>(n)
+  var ys = Array<Int>(n)
+  for i in 0 ..< n {
+    xs[i] = i * 13 + (i * i) % 7
+    ys[i] = (i * 997) % 1009
+  }
+  print(closest(xs: xs, ys: ys, lo: 0, hi: n - 1))
+}

@@ -1,0 +1,26 @@
+// Binomial coefficients via Pascal's triangle, plus permutation counts.
+func binomial(n: Int, k: Int) -> Int {
+  var row = Array<Int>(n + 1)
+  row[0] = 1
+  for i in 1 ..< n + 1 {
+    var j = i
+    while j > 0 {
+      row[j] = row[j] + row[j - 1]
+      j = j - 1
+    }
+  }
+  return row[k]
+}
+func permutations(n: Int, k: Int) -> Int {
+  var p = 1
+  for i in 0 ..< k { p = p * (n - i) }
+  return p
+}
+func main() {
+  var sum = 0
+  for n in 1 ..< 20 {
+    for k in 0 ..< n { sum = sum + binomial(n: n, k: k) % 10007 }
+  }
+  print(sum)
+  print(permutations(n: 10, k: 5))
+}

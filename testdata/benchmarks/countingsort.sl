@@ -1,0 +1,24 @@
+// Counting sort over a bounded key domain.
+func countingSort(a: [Int], maxKey: Int) -> [Int] {
+  var counts = Array<Int>(maxKey + 1)
+  for i in 0 ..< a.count { counts[a[i]] = counts[a[i]] + 1 }
+  var out = Array<Int>(a.count)
+  var pos = 0
+  for k in 0 ..< maxKey + 1 {
+    for c in 0 ..< counts[k] {
+      out[pos] = k
+      pos = pos + 1
+      let unused = c
+    }
+  }
+  return out
+}
+func main() {
+  let n = 300
+  var a = Array<Int>(n)
+  for i in 0 ..< n { a[i] = (i * 131 + 7) % 64 }
+  let sorted = countingSort(a: a, maxKey: 63)
+  var check = 0
+  for i in 0 ..< n { check = check + sorted[i] * (i + 1) }
+  print(check)
+}

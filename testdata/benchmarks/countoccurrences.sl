@@ -1,0 +1,29 @@
+// Count occurrences of a key in a sorted array via binary search bounds.
+func lowerBound(a: [Int], key: Int) -> Int {
+  var lo = 0
+  var hi = a.count
+  while lo < hi {
+    let mid = (lo + hi) / 2
+    if a[mid] < key { lo = mid + 1 } else { hi = mid }
+  }
+  return lo
+}
+func upperBound(a: [Int], key: Int) -> Int {
+  var lo = 0
+  var hi = a.count
+  while lo < hi {
+    let mid = (lo + hi) / 2
+    if a[mid] <= key { lo = mid + 1 } else { hi = mid }
+  }
+  return lo
+}
+func main() {
+  let n = 400
+  var a = Array<Int>(n)
+  for i in 0 ..< n { a[i] = i / 7 }
+  var total = 0
+  for key in 0 ..< 60 {
+    total = total + upperBound(a: a, key: key) - lowerBound(a: a, key: key)
+  }
+  print(total)
+}

@@ -1,0 +1,36 @@
+// Depth-first search (iterative, explicit stack).
+func dfs(adj: [Int], n: Int, start: Int) -> Int {
+  var visited = Array<Int>(n)
+  var stack = Array<Int>(n * n)
+  var top = 0
+  stack[top] = start
+  top = top + 1
+  var order = 0
+  var sum = 0
+  while top > 0 {
+    top = top - 1
+    let u = stack[top]
+    if visited[u] == 0 {
+      visited[u] = 1
+      order = order + 1
+      sum = sum + u * order
+      for v in 0 ..< n {
+        if adj[u * n + v] == 1 && visited[v] == 0 {
+          stack[top] = v
+          top = top + 1
+        }
+      }
+    }
+  }
+  return sum
+}
+func main() {
+  let n = 22
+  var adj = Array<Int>(n * n)
+  for i in 0 ..< n {
+    let j = (i * 5 + 1) % n
+    adj[i * n + j] = 1
+    adj[j * n + i] = 1
+  }
+  print(dfs(adj: adj, n: n, start: 0))
+}

@@ -1,0 +1,42 @@
+// Dijkstra's shortest paths on a dense weighted graph (O(n^2) scan).
+func dijkstra(w: [Int], n: Int, src: Int) -> Int {
+  let inf = 1000000000
+  var dist = Array<Int>(n)
+  var done = Array<Int>(n)
+  for i in 0 ..< n { dist[i] = inf }
+  dist[src] = 0
+  for it in 0 ..< n {
+    var u = 0 - 1
+    var best = inf
+    for i in 0 ..< n {
+      if done[i] == 0 && dist[i] < best {
+        best = dist[i]
+        u = i
+      }
+    }
+    if u < 0 { break }
+    done[u] = 1
+    for v in 0 ..< n {
+      let wt = w[u * n + v]
+      if wt > 0 && dist[u] + wt < dist[v] {
+        dist[v] = dist[u] + wt
+      }
+    }
+  }
+  var sum = 0
+  for i in 0 ..< n { if dist[i] < inf { sum = sum + dist[i] } }
+  return sum
+}
+func main() {
+  let n = 26
+  var w = Array<Int>(n * n)
+  for i in 0 ..< n {
+    for j in 0 ..< n {
+      if i != j {
+        let v = (i * 31 + j * 17) % 23
+        if v % 3 == 0 { w[i * n + j] = v + 1 }
+      }
+    }
+  }
+  print(dijkstra(w: w, n: n, src: 0))
+}

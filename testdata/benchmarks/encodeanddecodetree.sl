@@ -1,0 +1,68 @@
+// Serialize a binary tree to a preorder array (with nil markers) and
+// rebuild it; verify structural equality.
+class TNode {
+  var val: Int
+  var left: TNode?
+  var right: TNode?
+  init(val: Int) {
+    self.val = val
+    self.left = nil
+    self.right = nil
+  }
+}
+func insertBST(root: TNode?, v: Int) -> TNode {
+  if root == nil { return TNode(val: v) }
+  if let r = root {
+    if v < r.val { r.left = insertBST(root: r.left, v: v) }
+    else { r.right = insertBST(root: r.right, v: v) }
+    return r
+  }
+  return TNode(val: v)
+}
+func encode(n: TNode?, out: [Int]) -> [Int] {
+  if n == nil { return append(out, 0 - 1000000) }
+  var acc = out
+  if let x = n {
+    acc = append(acc, x.val)
+    acc = encode(n: x.left, out: acc)
+    acc = encode(n: x.right, out: acc)
+  }
+  return acc
+}
+class Decoder {
+  var pos: Int
+  var data: [Int]
+  init(data: [Int]) {
+    self.pos = 0
+    self.data = data
+  }
+  func decode() -> TNode? {
+    let v = self.data[self.pos]
+    self.pos = self.pos + 1
+    if v == 0 - 1000000 { return nil }
+    let n = TNode(val: v)
+    n.left = self.decode()
+    n.right = self.decode()
+    return n
+  }
+}
+func same(a: TNode?, b: TNode?) -> Bool {
+  if a == nil && b == nil { return true }
+  if a == nil || b == nil { return false }
+  if let x = a {
+    if let y = b {
+      if x.val != y.val { return false }
+      return same(a: x.left, b: y.left) && same(a: x.right, b: y.right)
+    }
+  }
+  return false
+}
+func main() {
+  var root: TNode? = nil
+  for i in 0 ..< 60 { root = insertBST(root: root, v: (i * 43) % 127) }
+  let enc = encode(n: root, out: Array<Int>(0))
+  let d = Decoder(data: enc)
+  let back = d.decode()
+  print(enc.count)
+  print(same(a: root, b: back))
+}

@@ -1,0 +1,20 @@
+// Greatest common divisor (Euclid) over many pairs.
+func gcd(a: Int, b: Int) -> Int {
+  var x = a
+  var y = b
+  while y != 0 {
+    let t = x % y
+    x = y
+    y = t
+  }
+  return x
+}
+func main() {
+  var sum = 0
+  for i in 1 ..< 150 {
+    for j in 1 ..< 40 {
+      sum = sum + gcd(a: i * 12, b: j * 18)
+    }
+  }
+  print(sum)
+}

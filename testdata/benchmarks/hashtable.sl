@@ -1,0 +1,41 @@
+// Open-addressing hash table (linear probing) insert/lookup churn.
+class HashTable {
+  var keys: [Int]
+  var vals: [Int]
+  var used: [Int]
+  var cap: Int
+  init(cap: Int) {
+    self.cap = cap
+    self.keys = Array<Int>(cap)
+    self.vals = Array<Int>(cap)
+    self.used = Array<Int>(cap)
+  }
+  func put(k: Int, v: Int) {
+    var i = (k * 2654435761) % self.cap
+    if i < 0 { i = i + self.cap }
+    while self.used[i] == 1 && self.keys[i] != k {
+      i = (i + 1) % self.cap
+    }
+    self.used[i] = 1
+    self.keys[i] = k
+    self.vals[i] = v
+  }
+  func get(k: Int) -> Int {
+    var i = (k * 2654435761) % self.cap
+    if i < 0 { i = i + self.cap }
+    var probes = 0
+    while self.used[i] == 1 && probes < self.cap {
+      if self.keys[i] == k { return self.vals[i] }
+      i = (i + 1) % self.cap
+      probes = probes + 1
+    }
+    return 0 - 1
+  }
+}
+func main() {
+  let t = HashTable(cap: 512)
+  for i in 0 ..< 300 { t.put(k: i * 17 % 1000, v: i) }
+  var sum = 0
+  for i in 0 ..< 300 { sum = sum + t.get(k: i * 17 % 1000) }
+  print(sum)
+}

@@ -1,0 +1,41 @@
+// Huffman coding: build the tree from frequencies, sum weighted depths.
+func huffmanCost(freq: [Int]) -> Int {
+  let n = freq.count
+  var weight = Array<Int>(2 * n)
+  var alive = Array<Int>(2 * n)
+  var count = n
+  for i in 0 ..< n {
+    weight[i] = freq[i]
+    alive[i] = 1
+  }
+  var cost = 0
+  var remaining = n
+  while remaining > 1 {
+    // find two smallest alive weights
+    var a = 0 - 1
+    var b = 0 - 1
+    for i in 0 ..< count {
+      if alive[i] == 1 {
+        if a < 0 || weight[i] < weight[a] {
+          b = a
+          a = i
+        } else {
+          if b < 0 || weight[i] < weight[b] { b = i }
+        }
+      }
+    }
+    alive[a] = 0
+    alive[b] = 0
+    weight[count] = weight[a] + weight[b]
+    alive[count] = 1
+    cost = cost + weight[count]
+    count = count + 1
+    remaining = remaining - 1
+  }
+  return cost
+}
+func main() {
+  var freq = Array<Int>(32)
+  for i in 0 ..< 32 { freq[i] = (i * i + 5) % 97 + 1 }
+  print(huffmanCost(freq: freq))
+}

@@ -1,0 +1,48 @@
+// JSON-style parsing: a throwing initializer decodes fields from a keyed
+// store (the paper's Listing 10 shape).
+func lookup(store: [Int], key: Int) throws -> Int {
+  if key < 0 { throw 1 }
+  if key >= store.count { throw 2 }
+  let v = store[key]
+  if v == 0 - 999 { throw 3 }
+  return v
+}
+class Record {
+  var uuid: Int
+  var dest: Int
+  var fare: Int
+  var eta: Int
+  var rating: Int
+  var surge: Int
+  init(store: [Int], base: Int) throws {
+    self.uuid = try lookup(store: store, key: base)
+    self.dest = try lookup(store: store, key: base + 1)
+    self.fare = try lookup(store: store, key: base + 2)
+    self.eta = try lookup(store: store, key: base + 3)
+    self.rating = try lookup(store: store, key: base + 4)
+    self.surge = try lookup(store: store, key: base + 5)
+  }
+  func sum() -> Int {
+    return self.uuid + self.dest + self.fare + self.eta + self.rating + self.surge
+  }
+}
+func main() {
+  var store = Array<Int>(600)
+  for i in 0 ..< 600 { store[i] = i * 3 + 1 }
+  store[123] = 0 - 999
+  var ok = 0
+  var failed = 0
+  var total = 0
+  for r in 0 ..< 95 {
+    do {
+      let rec = try Record(store: store, base: r * 6)
+      ok = ok + 1
+      total = total + rec.sum()
+    } catch {
+      failed = failed + error
+    }
+  }
+  print(ok)
+  print(failed)
+  print(total % 100000)
+}

@@ -1,0 +1,33 @@
+// Knuth-Morris-Pratt substring search.
+func kmpSearch(text: [Int], pat: [Int]) -> Int {
+  let m = pat.count
+  var fail = Array<Int>(m)
+  var k = 0
+  for i in 1 ..< m {
+    while k > 0 && pat[k] != pat[i] { k = fail[k - 1] }
+    if pat[k] == pat[i] { k = k + 1 }
+    fail[i] = k
+  }
+  var q = 0
+  var found = 0
+  var count = 0
+  for i in 0 ..< text.count {
+    while q > 0 && pat[q] != text[i] { q = fail[q - 1] }
+    if pat[q] == text[i] { q = q + 1 }
+    if q == m {
+      if count == 0 { found = i - m + 1 }
+      count = count + 1
+      q = fail[q - 1]
+    }
+  }
+  print(found)
+  return count
+}
+func main() {
+  let n = 700
+  var text = Array<Int>(n)
+  for i in 0 ..< n { text[i] = (i * 13 + 5) % 4 }
+  var pat = Array<Int>(6)
+  for i in 0 ..< 6 { pat[i] = (i * 13 + 5) % 4 }
+  print(kmpSearch(text: text, pat: pat))
+}

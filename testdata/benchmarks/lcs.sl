@@ -1,0 +1,28 @@
+// Longest common subsequence length by dynamic programming.
+func lcs(a: [Int], b: [Int]) -> Int {
+  let n = a.count
+  let m = b.count
+  var dp = Array<Int>((n + 1) * (m + 1))
+  for i in 1 ..< n + 1 {
+    for j in 1 ..< m + 1 {
+      if a[i - 1] == b[j - 1] {
+        dp[i * (m + 1) + j] = dp[(i - 1) * (m + 1) + j - 1] + 1
+      } else {
+        let up = dp[(i - 1) * (m + 1) + j]
+        let left = dp[i * (m + 1) + j - 1]
+        if up > left { dp[i * (m + 1) + j] = up } else { dp[i * (m + 1) + j] = left }
+      }
+    }
+  }
+  return dp[n * (m + 1) + m]
+}
+func main() {
+  let n = 90
+  var a = Array<Int>(n)
+  var b = Array<Int>(n)
+  for i in 0 ..< n {
+    a[i] = (i * 7 + 1) % 10
+    b[i] = (i * 11 + 3) % 10
+  }
+  print(lcs(a: a, b: b))
+}

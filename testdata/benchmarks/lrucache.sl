@@ -1,0 +1,81 @@
+// LRU cache as a doubly linked list over parallel arrays plus a hash map.
+class LRU {
+  var cap: Int
+  var size: Int
+  var keys: [Int]
+  var vals: [Int]
+  var prev: [Int]
+  var next: [Int]
+  var head: Int
+  var tail: Int
+  init(cap: Int) {
+    self.cap = cap
+    self.size = 0
+    self.keys = Array<Int>(cap)
+    self.vals = Array<Int>(cap)
+    self.prev = Array<Int>(cap)
+    self.next = Array<Int>(cap)
+    self.head = 0 - 1
+    self.tail = 0 - 1
+  }
+  func find(k: Int) -> Int {
+    for i in 0 ..< self.size { if self.keys[i] == k { return i } }
+    return 0 - 1
+  }
+  func moveToFront(i: Int) {
+    if self.head == i { return }
+    // unlink
+    if self.prev[i] >= 0 { self.next[self.prev[i]] = self.next[i] }
+    if self.next[i] >= 0 { self.prev[self.next[i]] = self.prev[i] }
+    if self.tail == i { self.tail = self.prev[i] }
+    // push front
+    self.prev[i] = 0 - 1
+    self.next[i] = self.head
+    if self.head >= 0 { self.prev[self.head] = i }
+    self.head = i
+    if self.tail < 0 { self.tail = i }
+  }
+  func put(k: Int, v: Int) {
+    let at = self.find(k: k)
+    if at >= 0 {
+      self.vals[at] = v
+      self.moveToFront(i: at)
+      return
+    }
+    var slot = self.size
+    if self.size == self.cap {
+      slot = self.tail
+      self.tail = self.prev[slot]
+      if self.tail >= 0 { self.next[self.tail] = 0 - 1 }
+      self.prev[slot] = 0 - 1
+    } else {
+      self.size = self.size + 1
+      self.prev[slot] = 0 - 1
+      self.next[slot] = 0 - 1
+    }
+    self.keys[slot] = k
+    self.vals[slot] = v
+    if slot != self.head {
+      self.next[slot] = self.head
+      if self.head >= 0 { self.prev[self.head] = slot }
+      self.head = slot
+      if self.tail < 0 { self.tail = slot }
+    }
+  }
+  func get(k: Int) -> Int {
+    let at = self.find(k: k)
+    if at < 0 { return 0 - 1 }
+    self.moveToFront(i: at)
+    return self.vals[at]
+  }
+}
+func main() {
+  let c = LRU(cap: 16)
+  var hits = 0
+  for i in 0 ..< 400 {
+    let k = (i * i) % 40
+    let v = c.get(k: k)
+    if v >= 0 { hits = hits + 1 } else { c.put(k: k, v: i) }
+  }
+  print(hits)
+}

@@ -1,0 +1,75 @@
+// Octree point insertion and range counting over integer 3D points.
+class Oct {
+  var x: Int
+  var y: Int
+  var z: Int
+  var half: Int
+  var count: Int
+  var kids: [Oct?]
+  var px: [Int]
+  var py: [Int]
+  var pz: [Int]
+  var np: Int
+  init(x: Int, y: Int, z: Int, half: Int) {
+    self.x = x
+    self.y = y
+    self.z = z
+    self.half = half
+    self.count = 0
+    self.kids = Array<Oct?>(8)
+    self.px = Array<Int>(8)
+    self.py = Array<Int>(8)
+    self.pz = Array<Int>(8)
+    self.np = 0
+  }
+  func octant(qx: Int, qy: Int, qz: Int) -> Int {
+    var o = 0
+    if qx >= self.x { o = o + 1 }
+    if qy >= self.y { o = o + 2 }
+    if qz >= self.z { o = o + 4 }
+    return o
+  }
+  func insert(qx: Int, qy: Int, qz: Int) {
+    self.count = self.count + 1
+    if self.np < 8 && self.half <= 2 {
+      self.px[self.np] = qx
+      self.py[self.np] = qy
+      self.pz[self.np] = qz
+      self.np = self.np + 1
+      return
+    }
+    if self.np < 8 && self.kids[0] == nil && self.np + 1 < 8 {
+      self.px[self.np] = qx
+      self.py[self.np] = qy
+      self.pz[self.np] = qz
+      self.np = self.np + 1
+      return
+    }
+    let o = self.octant(qx: qx, qy: qy, qz: qz)
+    if self.kids[o] == nil {
+      var dx = self.half / 2
+      if dx < 1 { dx = 1 }
+      var nx = self.x - dx
+      if o % 2 == 1 { nx = self.x + dx }
+      var ny = self.y - dx
+      if (o / 2) % 2 == 1 { ny = self.y + dx }
+      var nz = self.z - dx
+      if o / 4 == 1 { nz = self.z + dx }
+      self.kids[o] = Oct(x: nx, y: ny, z: nz, half: dx)
+    }
+    if let k = self.kids[o] { k.insert(qx: qx, qy: qy, qz: qz) }
+  }
+}
+func main() {
+  let root = Oct(x: 0, y: 0, z: 0, half: 64)
+  for i in 0 ..< 200 {
+    let qx = (i * 37) % 128 - 64
+    let qy = (i * 53) % 128 - 64
+    let qz = (i * 71) % 128 - 64
+    root.insert(qx: qx, qy: qy, qz: qz)
+  }
+  print(root.count)
+  var kidCount = 0
+  for o in 0 ..< 8 { if root.kids[o] != nil { kidCount = kidCount + 1 } }
+  print(kidCount)
+}

@@ -1,0 +1,31 @@
+// In-place quicksort (Hoare-style recursion on index ranges).
+func quicksort(a: [Int], lo: Int, hi: Int) {
+  if lo >= hi { return }
+  let pivot = a[(lo + hi) / 2]
+  var i = lo
+  var j = hi
+  while i <= j {
+    while a[i] < pivot { i = i + 1 }
+    while a[j] > pivot { j = j - 1 }
+    if i <= j {
+      let t = a[i]
+      a[i] = a[j]
+      a[j] = t
+      i = i + 1
+      j = j - 1
+    }
+  }
+  quicksort(a: a, lo: lo, hi: j)
+  quicksort(a: a, lo: i, hi: hi)
+}
+func main() {
+  let n = 200
+  var a = Array<Int>(n)
+  for i in 0 ..< n { a[i] = (i * 7919 + 13) % 1000 }
+  quicksort(a: a, lo: 0, hi: n - 1)
+  var check = 0
+  for i in 0 ..< n { check = check + a[i] * (i + 1) }
+  print(check)
+  print(a[0])
+  print(a[n - 1])
+}

@@ -1,0 +1,149 @@
+// Red-black tree (insert only) with explicit rotations.
+class RBNode {
+  var key: Int
+  var red: Bool
+  var left: RBNode?
+  var right: RBNode?
+  var parent: RBNode?
+  init(key: Int) {
+    self.key = key
+    self.red = true
+    self.left = nil
+    self.right = nil
+    self.parent = nil
+  }
+}
+class RBTree {
+  var root: RBNode?
+  init() { self.root = nil }
+  func rotateLeft(x: RBNode) {
+    if let y = x.right {
+      x.right = y.left
+      if let yl = y.left { yl.parent = x }
+      y.parent = x.parent
+      if x.parent == nil {
+        self.root = y
+      } else {
+        if let p = x.parent {
+          if p.left == x { p.left = y } else { p.right = y }
+        }
+      }
+      y.left = x
+      x.parent = y
+    }
+  }
+  func rotateRight(x: RBNode) {
+    if let y = x.left {
+      x.left = y.right
+      if let yr = y.right { yr.parent = x }
+      y.parent = x.parent
+      if x.parent == nil {
+        self.root = y
+      } else {
+        if let p = x.parent {
+          if p.right == x { p.right = y } else { p.left = y }
+        }
+      }
+      y.right = x
+      x.parent = y
+    }
+  }
+  func insert(key: Int) {
+    let node = RBNode(key: key)
+    var parent: RBNode? = nil
+    var cur = self.root
+    while cur != nil {
+      if let c = cur {
+        parent = c
+        if key < c.key { cur = c.left } else { cur = c.right }
+      }
+    }
+    node.parent = parent
+    if parent == nil {
+      self.root = node
+    } else {
+      if let p = parent {
+        if key < p.key { p.left = node } else { p.right = node }
+      }
+    }
+    self.fixup(z: node)
+  }
+  func isRed(n: RBNode?) -> Bool {
+    if let x = n { return x.red }
+    return false
+  }
+  func fixup(z: RBNode) {
+    var cur = z
+    while self.isRed(n: cur.parent) {
+      var advanced = false
+      if let p = cur.parent {
+        if let g = p.parent {
+          if g.left == p {
+            if self.isRed(n: g.right) {
+              p.red = false
+              if let u = g.right { u.red = false }
+              g.red = true
+              cur = g
+              advanced = true
+            } else {
+              if p.right == cur {
+                cur = p
+                self.rotateLeft(x: cur)
+              }
+              if let p2 = cur.parent {
+                p2.red = false
+                if let g2 = p2.parent {
+                  g2.red = true
+                  self.rotateRight(x: g2)
+                }
+              }
+            }
+          } else {
+            if self.isRed(n: g.left) {
+              p.red = false
+              if let u = g.left { u.red = false }
+              g.red = true
+              cur = g
+              advanced = true
+            } else {
+              if p.left == cur {
+                cur = p
+                self.rotateRight(x: cur)
+              }
+              if let p2 = cur.parent {
+                p2.red = false
+                if let g2 = p2.parent {
+                  g2.red = true
+                  self.rotateLeft(x: g2)
+                }
+              }
+            }
+          }
+        }
+      }
+      let unused = advanced
+    }
+    if let r = self.root { r.red = false }
+  }
+  func blackHeight(n: RBNode?) -> Int {
+    if n == nil { return 1 }
+    var h = 0
+    if let x = n {
+      h = self.blackHeight(n: x.left)
+      if x.red == false { h = h + 1 }
+    }
+    return h
+  }
+  func count(n: RBNode?) -> Int {
+    if n == nil { return 0 }
+    var c = 0
+    if let x = n { c = 1 + self.count(n: x.left) + self.count(n: x.right) }
+    return c
+  }
+}
+func main() {
+  let t = RBTree()
+  for i in 0 ..< 120 { t.insert(key: (i * 37) % 251) }
+  print(t.count(n: t.root))
+  print(t.blackHeight(n: t.root))
+}

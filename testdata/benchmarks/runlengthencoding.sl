@@ -1,0 +1,38 @@
+// Run-length encode and decode, verifying a round trip.
+func rleEncode(s: [Int]) -> [Int] {
+  var out = Array<Int>(0)
+  var i = 0
+  while i < s.count {
+    var run = 1
+    while i + run < s.count && s[i + run] == s[i] { run = run + 1 }
+    out = append(out, s[i])
+    out = append(out, run)
+    i = i + run
+  }
+  return out
+}
+func rleDecode(e: [Int]) -> [Int] {
+  var out = Array<Int>(0)
+  var i = 0
+  while i < e.count {
+    let sym = e[i]
+    let run = e[i + 1]
+    for k in 0 ..< run {
+      out = append(out, sym)
+      let unused = k
+    }
+    i = i + 2
+  }
+  return out
+}
+func main() {
+  let n = 240
+  var s = Array<Int>(n)
+  for i in 0 ..< n { s[i] = (i / 9) % 5 }
+  let enc = rleEncode(s: s)
+  let dec = rleDecode(e: enc)
+  var ok = 1
+  for i in 0 ..< n { if dec[i] != s[i] { ok = 0 } }
+  print(enc.count)
+  print(ok)
+}

@@ -1,0 +1,41 @@
+// Simulated annealing on a 1D integer energy landscape with a deterministic
+// linear-congruential "temperature" schedule (integer arithmetic).
+func energy(x: Int) -> Int {
+  let a = (x - 311) * (x - 311) / 64
+  let b = (x % 37) * 5
+  return a + b
+}
+func main() {
+  var rngState = 12345
+  var x = 0
+  var best = energy(x: x)
+  var bestX = x
+  var temp = 4096
+  while temp > 1 {
+    for step in 0 ..< 16 {
+      rngState = (rngState * 1103515245 + 12345) % 2147483648
+      if rngState < 0 { rngState = 0 - rngState }
+      var delta = rngState % (temp / 16 + 1) - temp / 32
+      if delta == 0 { delta = 1 }
+      let cand = x + delta
+      let e = energy(x: cand)
+      let cur = energy(x: x)
+      var accept = false
+      if e < cur { accept = true } else {
+        // Accept uphill moves with probability ~ temp (integer proxy).
+        rngState = (rngState * 1103515245 + 12345) % 2147483648
+        if rngState < 0 { rngState = 0 - rngState }
+        if rngState % 4096 < temp / 4 { accept = true }
+      }
+      if accept { x = cand }
+      if e < best {
+        best = e
+        bestX = cand
+      }
+      let unused = step
+    }
+    temp = temp * 9 / 10
+  }
+  print(best)
+  print(bestX % 100)
+}

@@ -1,0 +1,106 @@
+// Splay tree: insert + access with splaying (zig/zig-zig/zig-zag).
+class SNode {
+  var key: Int
+  var left: SNode?
+  var right: SNode?
+  init(key: Int) {
+    self.key = key
+    self.left = nil
+    self.right = nil
+  }
+}
+func splay(root: SNode?, key: Int) -> SNode? {
+  if root == nil { return nil }
+  if let r = root {
+    if key < r.key {
+      if r.left == nil { return r }
+      if let l = r.left {
+        if key < l.key {
+          l.left = splay(root: l.left, key: key)
+          if let ll = l.left {
+            // rotate right at r (zig-zig part 1)
+            r.left = ll.right
+            ll.right = r
+            let unused = ll
+          }
+        } else {
+          if key > l.key {
+            l.right = splay(root: l.right, key: key)
+            if let lr = l.right {
+              l.right = lr.left
+              lr.left = l
+              r.left = lr
+            }
+          }
+        }
+      }
+      if let l2 = r.left {
+        r.left = l2.right
+        l2.right = r
+        return l2
+      }
+      return r
+    }
+    if key > r.key {
+      if r.right == nil { return r }
+      if let rr = r.right {
+        if key > rr.key {
+          rr.right = splay(root: rr.right, key: key)
+          if let rrr = rr.right {
+            r.right = rrr.left
+            rrr.left = r
+            let unused = rrr
+          }
+        } else {
+          if key < rr.key {
+            rr.left = splay(root: rr.left, key: key)
+            if let rl = rr.left {
+              rr.left = rl.right
+              rl.right = rr
+              r.right = rl
+            }
+          }
+        }
+      }
+      if let r2 = r.right {
+        r.right = r2.left
+        r2.left = r
+        return r2
+      }
+      return r
+    }
+    return r
+  }
+  return root
+}
+func insert(root: SNode?, key: Int) -> SNode {
+  if root == nil { return SNode(key: key) }
+  let r = splay(root: root, key: key)
+  if let s = r {
+    if s.key == key { return s }
+    let n = SNode(key: key)
+    if key < s.key {
+      n.right = s
+      n.left = s.left
+      s.left = nil
+    } else {
+      n.left = s
+      n.right = s.right
+      s.right = nil
+    }
+    return n
+  }
+  return SNode(key: key)
+}
+func depthSum(n: SNode?, d: Int) -> Int {
+  if n == nil { return 0 }
+  var s = 0
+  if let x = n { s = d + depthSum(n: x.left, d: d + 1) + depthSum(n: x.right, d: d + 1) }
+  return s
+}
+func main() {
+  var root: SNode? = nil
+  for i in 0 ..< 100 { root = insert(root: root, key: (i * 61) % 509) }
+  for i in 0 ..< 100 { root = splay(root: root, key: (i * 13) % 509) }
+  print(depthSum(n: root, d: 0))
+}

@@ -1,0 +1,86 @@
+// Strassen matrix multiplication (one recursion level over 2x2 blocks,
+// falling back to the classic algorithm for the base case).
+func mmAdd(a: [Int], b: [Int], n: Int) -> [Int] {
+  var c = Array<Int>(n * n)
+  for i in 0 ..< n * n { c[i] = a[i] + b[i] }
+  return c
+}
+func mmSub(a: [Int], b: [Int], n: Int) -> [Int] {
+  var c = Array<Int>(n * n)
+  for i in 0 ..< n * n { c[i] = a[i] - b[i] }
+  return c
+}
+func mmMulClassic(a: [Int], b: [Int], n: Int) -> [Int] {
+  var c = Array<Int>(n * n)
+  for i in 0 ..< n {
+    for k in 0 ..< n {
+      let av = a[i * n + k]
+      for j in 0 ..< n {
+        c[i * n + j] = c[i * n + j] + av * b[k * n + j]
+      }
+    }
+  }
+  return c
+}
+func quadrant(a: [Int], n: Int, qi: Int, qj: Int) -> [Int] {
+  let h = n / 2
+  var q = Array<Int>(h * h)
+  for i in 0 ..< h {
+    for j in 0 ..< h {
+      q[i * h + j] = a[(qi * h + i) * n + qj * h + j]
+    }
+  }
+  return q
+}
+func strassen(a: [Int], b: [Int], n: Int) -> [Int] {
+  if n <= 8 { return mmMulClassic(a: a, b: b, n: n) }
+  let h = n / 2
+  let a11 = quadrant(a: a, n: n, qi: 0, qj: 0)
+  let a12 = quadrant(a: a, n: n, qi: 0, qj: 1)
+  let a21 = quadrant(a: a, n: n, qi: 1, qj: 0)
+  let a22 = quadrant(a: a, n: n, qi: 1, qj: 1)
+  let b11 = quadrant(a: b, n: n, qi: 0, qj: 0)
+  let b12 = quadrant(a: b, n: n, qi: 0, qj: 1)
+  let b21 = quadrant(a: b, n: n, qi: 1, qj: 0)
+  let b22 = quadrant(a: b, n: n, qi: 1, qj: 1)
+  let m1 = strassen(a: mmAdd(a: a11, b: a22, n: h), b: mmAdd(a: b11, b: b22, n: h), n: h)
+  let m2 = strassen(a: mmAdd(a: a21, b: a22, n: h), b: b11, n: h)
+  let m3 = strassen(a: a11, b: mmSub(a: b12, b: b22, n: h), n: h)
+  let m4 = strassen(a: a22, b: mmSub(a: b21, b: b11, n: h), n: h)
+  let m5 = strassen(a: mmAdd(a: a11, b: a12, n: h), b: b22, n: h)
+  let m6 = strassen(a: mmSub(a: a21, b: a11, n: h), b: mmAdd(a: b11, b: b12, n: h), n: h)
+  let m7 = strassen(a: mmSub(a: a12, b: a22, n: h), b: mmAdd(a: b21, b: b22, n: h), n: h)
+  var c = Array<Int>(n * n)
+  for i in 0 ..< h {
+    for j in 0 ..< h {
+      let c11 = m1[i * h + j] + m4[i * h + j] - m5[i * h + j] + m7[i * h + j]
+      let c12 = m3[i * h + j] + m5[i * h + j]
+      let c21 = m2[i * h + j] + m4[i * h + j]
+      let c22 = m1[i * h + j] - m2[i * h + j] + m3[i * h + j] + m6[i * h + j]
+      c[i * n + j] = c11
+      c[i * n + (j + h)] = c12
+      c[(i + h) * n + j] = c21
+      c[(i + h) * n + (j + h)] = c22
+    }
+  }
+  return c
+}
+func main() {
+  let n = 16
+  var a = Array<Int>(n * n)
+  var b = Array<Int>(n * n)
+  for i in 0 ..< n * n {
+    a[i] = (i * 7) % 13
+    b[i] = (i * 5) % 11
+  }
+  let c = strassen(a: a, b: b, n: n)
+  let ref = mmMulClassic(a: a, b: b, n: n)
+  var diff = 0
+  var check = 0
+  for i in 0 ..< n * n {
+    if c[i] != ref[i] { diff = diff + 1 }
+    check = check + c[i] * (i % 9 + 1)
+  }
+  print(diff)
+  print(check % 1000000)
+}

@@ -1,0 +1,47 @@
+// Topological sort by Kahn's algorithm over a DAG.
+func toposort(adj: [Int], n: Int) -> Int {
+  var indeg = Array<Int>(n)
+  for u in 0 ..< n {
+    for v in 0 ..< n {
+      if adj[u * n + v] == 1 { indeg[v] = indeg[v] + 1 }
+    }
+  }
+  var queue = Array<Int>(n)
+  var head = 0
+  var tail = 0
+  for u in 0 ..< n {
+    if indeg[u] == 0 {
+      queue[tail] = u
+      tail = tail + 1
+    }
+  }
+  var order = 0
+  var check = 0
+  while head < tail {
+    let u = queue[head]
+    head = head + 1
+    order = order + 1
+    check = check + u * order
+    for v in 0 ..< n {
+      if adj[u * n + v] == 1 {
+        indeg[v] = indeg[v] - 1
+        if indeg[v] == 0 {
+          queue[tail] = v
+          tail = tail + 1
+        }
+      }
+    }
+  }
+  if order != n { return 0 - 1 }
+  return check
+}
+func main() {
+  let n = 30
+  var adj = Array<Int>(n * n)
+  for u in 0 ..< n {
+    for v in u + 1 ..< n {
+      if (u * 31 + v * 7) % 5 == 0 { adj[u * n + v] = 1 }
+    }
+  }
+  print(toposort(adj: adj, n: n))
+}

@@ -1,0 +1,30 @@
+// Z-algorithm: longest common prefix of s and each suffix.
+func zArray(s: [Int]) -> [Int] {
+  let n = s.count
+  var z = Array<Int>(n)
+  z[0] = n
+  var l = 0
+  var r = 0
+  for i in 1 ..< n {
+    if i < r {
+      let cand = z[i - l]
+      let lim = r - i
+      if cand < lim { z[i] = cand } else { z[i] = lim }
+    }
+    while i + z[i] < n && s[z[i]] == s[i + z[i]] { z[i] = z[i] + 1 }
+    if i + z[i] > r {
+      l = i
+      r = i + z[i]
+    }
+  }
+  return z
+}
+func main() {
+  let n = 500
+  var s = Array<Int>(n)
+  for i in 0 ..< n { s[i] = (i / 3) % 3 }
+  let z = zArray(s: s)
+  var sum = 0
+  for i in 0 ..< n { sum = sum + z[i] }
+  print(sum)
+}
