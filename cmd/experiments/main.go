@@ -31,8 +31,10 @@ func main() {
 	var (
 		scale   = flag.Float64("scale", experiments.DefaultScale, "app scale (1.0 = full synthetic app)")
 		samples = flag.Int("samples", 3, "device-population samples per fig13 cell")
+		jobs    = flag.Int("j", 0, "parallel build workers (0 = one per CPU, 1 = serial); results are identical for any value")
 	)
 	flag.Parse()
+	experiments.Parallelism = *jobs
 	args := flag.Args()
 	if len(args) == 0 {
 		flag.Usage()

@@ -27,6 +27,7 @@ func main() {
 		analyze = flag.Bool("analyze", false, "print the repeating-pattern report instead of transforming")
 		flat    = flag.Bool("flat-cost", false, "ablation: flat outlining cost model")
 		quiet   = flag.Bool("q", false, "suppress the transformed program (stats only)")
+		jobs    = flag.Int("j", 0, "candidate-analysis workers (0 = one per CPU, 1 = serial); output is identical for any value")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -61,6 +62,7 @@ func main() {
 		FlatCostModel: *flat,
 		Verify:        true,
 		ExternSyms:    llir.RuntimeSyms,
+		Parallelism:   *jobs,
 	})
 	if err != nil {
 		fatal(err)

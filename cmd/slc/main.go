@@ -41,6 +41,7 @@ func main() {
 		flat     = flag.Bool("flat-cost", false, "ablation: flat outlining cost model")
 		maxSteps = flag.Int64("max-steps", 500_000_000, "interpreter step limit for -run")
 		showOutl = flag.Bool("outline-stats", false, "print per-round outlining statistics")
+		jobs     = flag.Int("j", 0, "parallel build workers (0 = one per CPU, 1 = serial); output is identical for any value")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -72,6 +73,7 @@ func main() {
 		SplitGCMetadata:    true,
 		FlatOutlineCost:    *flat,
 		Verify:             true,
+		Parallelism:        *jobs,
 	}
 	res, err := pipeline.Build(sources, cfg)
 	if err != nil {

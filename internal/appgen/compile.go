@@ -2,9 +2,11 @@ package appgen
 
 import (
 	"fmt"
+	"time"
 
 	"outliner/internal/frontend"
 	"outliner/internal/llir"
+	"outliner/internal/par"
 	"outliner/internal/pipeline"
 )
 
@@ -22,25 +24,33 @@ func CompileModules(mods []Module, cfg pipeline.Config) ([]*llir.Module, error) 
 		}
 		parsed[i] = files
 	}
-	var out []*llir.Module
-	for i, m := range mods {
+	// Imports share AST nodes across modules and NewImports synthesizes
+	// memberwise initializers in place, so import construction stays
+	// serial; per-module lowering then fans out over private ASTs
+	// (CompileToLLIR re-parses the module's own files), collecting results
+	// in module order.
+	imports := make([]*frontend.Imports, len(mods))
+	for i := range mods {
 		var others []*frontend.File
 		for j, files := range parsed {
 			if j != i {
 				others = append(others, files...)
 			}
 		}
+		imports[i] = frontend.NewImports(others...)
+	}
+	return par.Map(cfg.Parallelism, len(mods), func(i int) (*llir.Module, error) {
+		m := mods[i]
 		lm, err := pipeline.CompileToLLIR(pipeline.Source{Name: m.Name, Files: m.Files},
-			cfg, frontend.NewImports(others...))
+			cfg, imports[i])
 		if err != nil {
 			return nil, fmt.Errorf("appgen: module %s: %w", m.Name, err)
 		}
 		if m.ObjC {
 			applyObjCFlavour(lm)
 		}
-		out = append(out, lm)
-	}
-	return out, nil
+		return lm, nil
+	})
 }
 
 // applyObjCFlavour rewrites a module as if clang had produced it.
@@ -67,9 +77,16 @@ func applyObjCFlavour(m *llir.Module) {
 // BuildApp generates, compiles, and links an app profile at the given scale
 // under cfg.
 func BuildApp(p Profile, scale float64, cfg pipeline.Config) (*pipeline.Result, error) {
+	tFront := time.Now()
 	mods, err := CompileModules(Generate(p, scale), cfg)
 	if err != nil {
 		return nil, err
 	}
-	return pipeline.BuildFromLLIR(mods, cfg)
+	frontDur := time.Since(tFront)
+	res, err := pipeline.BuildFromLLIR(mods, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Timings["frontend+permodule"] = frontDur
+	return res, nil
 }

@@ -18,18 +18,31 @@ import (
 
 	"outliner/internal/llir"
 	"outliner/internal/mir"
+	"outliner/internal/par"
 )
 
 // Compile lowers every function of an LLIR module and returns a machine
 // program (functions keep their source-module provenance; globals carry
-// over).
-func Compile(m *llir.Module) (*mir.Program, error) {
-	prog := mir.NewProgram()
-	for _, f := range m.Funcs {
-		mf, err := compileFunc(f)
+// over). It uses one worker per CPU; see CompileWith for the knob.
+func Compile(m *llir.Module) (*mir.Program, error) { return CompileWith(m, 0) }
+
+// CompileWith is Compile with an explicit worker bound (0 = one per CPU,
+// 1 = serial). Functions lower independently (ISel → out-of-SSA → regalloc
+// read only their own cloned function), and the results are appended in
+// module order, so the machine program is identical for any worker count.
+func CompileWith(m *llir.Module, parallelism int) (*mir.Program, error) {
+	funcs, err := par.Map(parallelism, len(m.Funcs), func(i int) (*mir.Function, error) {
+		mf, err := compileFunc(m.Funcs[i])
 		if err != nil {
-			return nil, fmt.Errorf("codegen: @%s: %w", f.Name, err)
+			return nil, fmt.Errorf("codegen: @%s: %w", m.Funcs[i].Name, err)
 		}
+		return mf, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	prog := mir.NewProgram()
+	for _, mf := range funcs {
 		prog.AddFunc(mf)
 	}
 	for _, g := range m.Globals {

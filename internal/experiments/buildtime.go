@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"outliner/internal/appgen"
@@ -12,37 +13,81 @@ import (
 // BuildTimeResult reproduces §VII-C: the default pipeline is fast; the
 // whole-program pipeline pays for llvm-link + whole-program opt + llc; each
 // extra outlining round adds progressively less. (The paper: 21 min default,
-// 53 min new pipeline without outlining, 66 min with five rounds.)
+// 53 min new pipeline without outlining, 66 min with five rounds.) The
+// serial-vs-parallel axis is the reproduction's addition: the paper's
+// whole-program pipeline forfeits per-module build parallelism, and the
+// Serial/Parallel columns measure how much of that cost the deterministic
+// parallel execution layer (internal/par) recovers on this machine.
 type BuildTimeResult struct {
 	DefaultDur  time.Duration
 	WholeNoOut  time.Duration
 	WholeRounds []time.Duration // index = rounds (1..5)
 	Stages      map[string]time.Duration
+
+	// Serial (Parallelism=1) vs parallel (one worker per CPU) timings for
+	// the same configurations, and the worker count used for the latter.
+	DefaultSerial   time.Duration
+	DefaultParallel time.Duration
+	WholeSerial     []time.Duration // index = rounds (0..5); [0] = no outlining
+	WholeParallel   []time.Duration
+	Workers         int
+}
+
+// Speedup is the parallel speedup of the full whole-program build (five
+// rounds of outlining) — the configuration the paper ships.
+func (r *BuildTimeResult) Speedup() float64 {
+	n := len(r.WholeSerial) - 1
+	if n < 0 || r.WholeParallel[n] <= 0 {
+		return 1
+	}
+	return float64(r.WholeSerial[n]) / float64(r.WholeParallel[n])
 }
 
 // RunBuildTime measures wall-clock build times on the synthetic app.
 func RunBuildTime(w io.Writer, scale float64) (*BuildTimeResult, error) {
-	res := &BuildTimeResult{Stages: map[string]time.Duration{}}
+	res := &BuildTimeResult{
+		Stages:  map[string]time.Duration{},
+		Workers: runtime.GOMAXPROCS(0),
+	}
 
 	timeBuild := func(cfg pipeline.Config) (time.Duration, *pipeline.Result, error) {
 		start := time.Now()
 		r, err := appgen.BuildApp(appgen.UberRider, scale, cfg)
 		return time.Since(start), r, err
 	}
+	// Each configuration builds twice: fully serial (Parallelism=1, the
+	// paper's situation) and with one worker per CPU. The outputs are
+	// byte-identical; only the wall clock differs.
+	timeBoth := func(cfg pipeline.Config) (serial, parallel time.Duration, r *pipeline.Result, err error) {
+		cfg.Parallelism = 1
+		serial, r, err = timeBuild(cfg)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		cfg.Parallelism = 0 // one worker per CPU
+		parallel, _, err = timeBuild(cfg)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		return serial, parallel, r, nil
+	}
 
-	d, _, err := timeBuild(baselineConfig())
+	s, p, _, err := timeBoth(baselineConfig())
 	if err != nil {
 		return nil, err
 	}
-	res.DefaultDur = d
+	res.DefaultSerial, res.DefaultParallel = s, p
+	res.DefaultDur = s
 
 	noOut := optimizedConfig()
 	noOut.OutlineRounds = 0
-	d, r, err := timeBuild(noOut)
+	s, p, r, err := timeBoth(noOut)
 	if err != nil {
 		return nil, err
 	}
-	res.WholeNoOut = d
+	res.WholeNoOut = s
+	res.WholeSerial = append(res.WholeSerial, s)
+	res.WholeParallel = append(res.WholeParallel, p)
 	for k, v := range r.Timings {
 		res.Stages[k] = v
 	}
@@ -50,32 +95,42 @@ func RunBuildTime(w io.Writer, scale float64) (*BuildTimeResult, error) {
 	for rounds := 1; rounds <= 5; rounds++ {
 		cfg := optimizedConfig()
 		cfg.OutlineRounds = rounds
-		d, _, err := timeBuild(cfg)
+		s, p, _, err := timeBoth(cfg)
 		if err != nil {
 			return nil, err
 		}
-		res.WholeRounds = append(res.WholeRounds, d)
+		res.WholeRounds = append(res.WholeRounds, s)
+		res.WholeSerial = append(res.WholeSerial, s)
+		res.WholeParallel = append(res.WholeParallel, p)
 	}
 
+	ms := func(d time.Duration) string { return d.Round(time.Millisecond).String() }
 	fmt.Fprintln(w, "BUILD TIME (§VII-C): wall-clock on this machine, synthetic app")
-	fmt.Fprintln(w, "(paper shape: default << whole-program; rounds add diminishing time)")
+	fmt.Fprintln(w, "(paper shape: default << whole-program; rounds add diminishing time;")
+	fmt.Fprintf(w, " parallel column = internal/par with %d worker(s), byte-identical output)\n", res.Workers)
 	fmt.Fprintln(w)
 	rows := [][]string{
-		{"configuration", "time"},
-		{"default pipeline (per-module, 1 round)", res.DefaultDur.Round(time.Millisecond).String()},
-		{"whole-program, no outlining", res.WholeNoOut.Round(time.Millisecond).String()},
+		{"configuration", "serial (-j1)", fmt.Sprintf("parallel (-j%d)", res.Workers)},
+		{"default pipeline (per-module, 1 round)", ms(res.DefaultSerial), ms(res.DefaultParallel)},
+		{"whole-program, no outlining", ms(res.WholeSerial[0]), ms(res.WholeParallel[0])},
 	}
-	for i, d := range res.WholeRounds {
+	for i := 1; i < len(res.WholeSerial); i++ {
 		rows = append(rows, []string{
-			fmt.Sprintf("whole-program, %d round(s)", i+1),
-			d.Round(time.Millisecond).String(),
+			fmt.Sprintf("whole-program, %d round(s)", i),
+			ms(res.WholeSerial[i]), ms(res.WholeParallel[i]),
 		})
 	}
+	full := len(res.WholeSerial) - 1
+	rows = append(rows, []string{
+		"recovered by parallelism (5 rounds)",
+		ms(res.WholeSerial[full] - res.WholeParallel[full]),
+		fmt.Sprintf("%.2fx speedup", res.Speedup()),
+	})
 	table(w, rows)
-	fmt.Fprintln(w, "\nwhole-program stage breakdown (no outlining):")
+	fmt.Fprintln(w, "\nwhole-program stage breakdown (no outlining, serial):")
 	srows := [][]string{{"stage", "time"}}
 	for _, k := range sortedKeys(res.Stages) {
-		srows = append(srows, []string{k, res.Stages[k].Round(time.Millisecond).String()})
+		srows = append(srows, []string{k, ms(res.Stages[k])})
 	}
 	table(w, srows)
 	return res, nil

@@ -28,6 +28,12 @@ import (
 // synthetic app (hundreds of functions), smaller values keep CI fast.
 const DefaultScale = 0.6
 
+// Parallelism is the worker bound handed to every pipeline build the
+// experiments run (0 = one per CPU, 1 = fully serial); cmd/experiments'
+// -j flag sets it. Results are byte-identical for every value — only the
+// wall-clock numbers of the buildtime experiment change.
+var Parallelism int
+
 // BenchmarksDir locates testdata/benchmarks relative to the repo root.
 func BenchmarksDir() string {
 	for _, dir := range []string{"testdata/benchmarks", "../testdata/benchmarks", "../../testdata/benchmarks"} {
@@ -73,6 +79,7 @@ func buildBench(name, text string, rounds int) (*pipeline.Result, error) {
 		MergeFunctions:     true,
 		PreserveDataLayout: true,
 		SplitGCMetadata:    true,
+		Parallelism:        Parallelism,
 	}
 	return pipeline.Build([]pipeline.Source{{Name: name, Files: map[string]string{name + ".sl": text}}}, cfg)
 }
@@ -108,6 +115,7 @@ func baselineConfig() pipeline.Config {
 		OutlineRounds:      1,
 		SILOutline:         true,
 		SpecializeClosures: true,
+		Parallelism:        Parallelism,
 	}
 }
 
@@ -115,6 +123,7 @@ func baselineConfig() pipeline.Config {
 // rounds of repeated machine outlining, both linker fixes.
 func optimizedConfig() pipeline.Config {
 	cfg := pipeline.OSize
+	cfg.Parallelism = Parallelism
 	return cfg
 }
 

@@ -39,7 +39,7 @@ func RunFig12(w io.Writer, scale float64, maxRounds int) (*Fig12Result, error) {
 		}
 		intra := pipeline.Config{
 			OutlineRounds: rounds, SILOutline: true, SpecializeClosures: true,
-			MergeFunctions: true,
+			MergeFunctions: true, Parallelism: Parallelism,
 		}
 		intraRes, err := appgen.BuildApp(appgen.UberRider, scale, intra)
 		if err != nil {

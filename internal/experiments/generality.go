@@ -61,7 +61,7 @@ func RunGenerality(w io.Writer, scale float64) (*GeneralityResult, error) {
 	for _, m := range clangMods {
 		sources = append(sources, pipeline.Source{Name: m.Name, Files: m.Files})
 	}
-	baseCfg := pipeline.Config{WholeProgram: true, SplitGCMetadata: true, PreserveDataLayout: true}
+	baseCfg := pipeline.Config{WholeProgram: true, SplitGCMetadata: true, PreserveDataLayout: true, Parallelism: Parallelism}
 	optCfg := optimizedConfig()
 	cb, err := pipeline.Build(sources, baseCfg)
 	if err != nil {

@@ -2,6 +2,7 @@ package llir
 
 import (
 	"fmt"
+	"sort"
 
 	"outliner/internal/sir"
 )
@@ -178,8 +179,16 @@ func (lo *lowerer) seal(bs *blockState) {
 		return
 	}
 	bs.sealed = true
-	for variable, phiDst := range bs.incomplete {
-		lo.addPhiOperands(variable, phiDst, bs)
+	// addPhiOperands can allocate fresh values (new phis in predecessors),
+	// so the iteration order here decides value numbering. Sort the pending
+	// variables: map order would make the numbering vary run to run.
+	vars := make([]sir.Value, 0, len(bs.incomplete))
+	for variable := range bs.incomplete {
+		vars = append(vars, variable)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	for _, variable := range vars {
+		lo.addPhiOperands(variable, bs.incomplete[variable], bs)
 	}
 	bs.incomplete = make(map[sir.Value]Value)
 }

@@ -1,6 +1,9 @@
 package mir
 
-import "outliner/internal/isa"
+import (
+	"outliner/internal/isa"
+	"outliner/internal/par"
+)
 
 // RegSet is a bitset over machine registers plus the NZCV flags.
 type RegSet uint64
@@ -137,6 +140,21 @@ func ComputeLiveness(f *Function, externLive RegSet) *Liveness {
 		}
 	}
 	return lv
+}
+
+// ComputeLivenessFuncs computes liveness for the selected functions of prog
+// using at most parallelism workers (0 = one per CPU, 1 = serial). Entry i
+// of the result holds prog.Funcs[i]'s liveness when want(i) is true and nil
+// otherwise; want == nil selects every function. Each function's analysis
+// is independent, so the result is identical for any worker count.
+func ComputeLivenessFuncs(prog *Program, externLive RegSet, parallelism int, want func(i int) bool) []*Liveness {
+	out := make([]*Liveness, len(prog.Funcs))
+	par.Do(parallelism, len(prog.Funcs), func(i int) {
+		if want == nil || want(i) {
+			out[i] = ComputeLiveness(prog.Funcs[i], externLive)
+		}
+	})
+	return out
 }
 
 func endsUnconditional(b *Block) bool {

@@ -6,6 +6,7 @@ import (
 
 	"outliner/internal/isa"
 	"outliner/internal/mir"
+	"outliner/internal/par"
 	"outliner/internal/suffixtree"
 )
 
@@ -33,6 +34,12 @@ type Options struct {
 	// ExternSyms lists symbols that may be called without a definition
 	// (runtime entry points); used only when Verify is set.
 	ExternSyms map[string]bool
+	// Parallelism bounds the workers used for candidate analysis (liveness
+	// precomputation and candidate-set construction). 0 means one worker
+	// per CPU, 1 is fully serial. The outliner's output is byte-identical
+	// for every value: candidates are collected in suffix-tree order and
+	// greedy selection stays serial.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -118,6 +125,10 @@ type candSet struct {
 	readsSP    bool
 	cands      []candidate
 	frameBytes int // extra bytes in the outlined function beyond the sequence
+	// ben caches benefit() so the greedy sort's comparator does not re-walk
+	// the candidate list O(n log n) times; it is recomputed only after
+	// occurrence pruning changes cands.
+	ben int
 	// flatCost pessimizes the benefit estimate (the cost-model ablation):
 	// every candidate is costed as a full LR spill and every function as a
 	// full frame, regardless of the strategy actually emitted.
@@ -159,30 +170,43 @@ func outlineOnce(prog *mir.Program, opts Options, counter *int) (RoundStats, err
 	}
 	tree := suffixtree.New(m.str)
 
-	// Per-function liveness, computed on demand.
-	liveCache := make(map[int]*mir.Liveness)
-	liveness := func(fi int) *mir.Liveness {
-		lv, ok := liveCache[fi]
-		if !ok {
-			lv = mir.ComputeLiveness(prog.Funcs[fi], mir.DefaultExternLive)
-			liveCache[fi] = lv
+	// Collect every repeat first (suffix-tree order is deterministic), then
+	// analyze candidates in parallel: liveness for every function touched
+	// by an occurrence, then one candidate set per repeat. Both are
+	// read-only over prog/m, so workers never interact; results land at
+	// their repeat index, keeping the order the serial loop produced.
+	var repeats []suffixtree.Repeat
+	tree.ForEachRepeat(opts.MinLength, 2, func(r suffixtree.Repeat) {
+		repeats = append(repeats, r)
+	})
+	needLive := make([]bool, len(prog.Funcs))
+	for _, r := range repeats {
+		for _, st := range r.Starts {
+			if l := m.locs[st]; l.fn >= 0 {
+				needLive[l.fn] = true
+			}
 		}
-		return lv
 	}
+	live := mir.ComputeLivenessFuncs(prog, mir.DefaultExternLive, opts.Parallelism,
+		func(i int) bool { return needLive[i] })
+	liveness := func(fi int) *mir.Liveness { return live[fi] }
 
 	spSensitive := spSensitiveFuncs(prog)
+	byRepeat := make([]*candSet, len(repeats))
+	par.Do(opts.Parallelism, len(repeats), func(i int) {
+		byRepeat[i] = buildSet(prog, m, repeats[i], liveness, spSensitive, opts)
+	})
 	var sets []*candSet
-	tree.ForEachRepeat(opts.MinLength, 2, func(r suffixtree.Repeat) {
-		set := buildSet(prog, m, r, liveness, spSensitive, opts)
+	for _, set := range byRepeat {
 		if set != nil {
 			sets = append(sets, set)
 		}
-	})
+	}
 
 	// Greedy: most beneficial first. Ties resolve to longer sequences, then
 	// earliest occurrence, for determinism.
 	sort.SliceStable(sets, func(i, j int) bool {
-		bi, bj := sets[i].benefit(), sets[j].benefit()
+		bi, bj := sets[i].ben, sets[j].ben
 		if bi != bj {
 			return bi > bj
 		}
@@ -210,7 +234,8 @@ func outlineOnce(prog *mir.Program, opts Options, counter *int) (RoundStats, err
 			}
 		}
 		set.cands = kept
-		if len(set.cands) < 2 || set.benefit() < opts.MinBenefit {
+		set.ben = set.benefit() // occurrence pruning changed cands
+		if len(set.cands) < 2 || set.ben < opts.MinBenefit {
 			continue
 		}
 		name := fmt.Sprintf("%s%d", opts.FuncPrefix, *counter)
@@ -226,7 +251,7 @@ func outlineOnce(prog *mir.Program, opts Options, counter *int) (RoundStats, err
 		}
 		rs.FunctionsCreated++
 		rs.OutlinedBytes += fn.CodeSize()
-		rs.BytesSaved += set.benefit()
+		rs.BytesSaved += set.ben
 	}
 
 	applyEdits(prog, edits)
@@ -311,7 +336,8 @@ func buildSet(prog *mir.Program, m *mapping, r suffixtree.Repeat, liveness func(
 		set.cands = append(set.cands, c)
 		lastEnd = st + r.Length
 	}
-	if len(set.cands) < 2 || set.benefit() < opts.MinBenefit {
+	set.ben = set.benefit()
+	if len(set.cands) < 2 || set.ben < opts.MinBenefit {
 		return nil
 	}
 	return set

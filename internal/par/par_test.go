@@ -1,0 +1,107 @@
+package par_test
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"outliner/internal/par"
+)
+
+func TestWorkers(t *testing.T) {
+	cases := []struct{ p, n, want int }{
+		{0, 100, runtime.GOMAXPROCS(0)},
+		{-3, 100, runtime.GOMAXPROCS(0)},
+		{1, 100, 1},
+		{4, 2, 2},
+		{4, 0, 1},
+		{8, 8, 8},
+	}
+	for _, c := range cases {
+		if got := par.Workers(c.p, c.n); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.p, c.n, got, c.want)
+		}
+	}
+}
+
+func TestDoCoversAllIndices(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 0} {
+		const n = 1000
+		var hits [n]atomic.Int32
+		par.Do(p, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("p=%d: index %d executed %d times", p, i, got)
+			}
+		}
+	}
+}
+
+func TestDoSerialIsInOrder(t *testing.T) {
+	var order []int
+	par.Do(1, 10, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial Do out of order: %v", order)
+		}
+	}
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, p := range []int{1, 3, 0} {
+		out, err := par.Map(p, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("p=%d: out[%d] = %d", p, i, v)
+			}
+		}
+	}
+}
+
+func TestMapLowestIndexError(t *testing.T) {
+	// Indices 30 and 70 both fail; the reported error must always be 30's,
+	// whatever the worker count or scheduling.
+	for _, p := range []int{1, 2, 8, 0} {
+		for trial := 0; trial < 10; trial++ {
+			_, err := par.Map(p, 100, func(i int) (int, error) {
+				if i == 30 || i == 70 {
+					return 0, fmt.Errorf("fail at %d", i)
+				}
+				return i, nil
+			})
+			if err == nil || err.Error() != "fail at 30" {
+				t.Fatalf("p=%d: got error %v, want fail at 30", p, err)
+			}
+		}
+	}
+}
+
+func TestMapSerialStopsAtFirstError(t *testing.T) {
+	var calls int
+	sentinel := errors.New("boom")
+	_, err := par.Map(1, 100, func(i int) (int, error) {
+		calls++
+		if i == 5 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v", err)
+	}
+	if calls != 6 {
+		t.Fatalf("serial Map made %d calls after error at index 5, want 6", calls)
+	}
+}
+
+func TestMapZeroItems(t *testing.T) {
+	out, err := par.Map(4, 0, func(i int) (int, error) { return 0, errors.New("never") })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("got %v, %v", out, err)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"outliner/internal/llir"
 	"outliner/internal/mir"
 	"outliner/internal/outline"
+	"outliner/internal/par"
 	"outliner/internal/sir"
 )
 
@@ -63,6 +64,13 @@ type Config struct {
 	LayoutOutlined bool
 	// Verify runs IR and machine verifiers between stages.
 	Verify bool
+	// Parallelism bounds the workers of the parallel build stages:
+	// per-module frontend+lowering, per-function codegen, per-module
+	// codegen+outlining in the default pipeline, and the outliner's
+	// candidate analysis. 0 means one worker per CPU
+	// (runtime.GOMAXPROCS(0)); 1 reproduces the fully serial pipeline.
+	// The built image is byte-identical for every value.
+	Parallelism int
 }
 
 // OSize is the production configuration the paper ships: whole program,
@@ -191,11 +199,14 @@ func CompileToLLIR(src Source, cfg Config, imports *frontend.Imports) (*llir.Mod
 // the public declarations of every other module (as if all swiftmodule
 // interfaces were imported).
 func Build(sources []Source, cfg Config) (*Result, error) {
-	var mods []*llir.Module
 	timings := map[string]time.Duration{}
 	tFront := time.Now()
 
-	// Parse everything once and build per-module import sets.
+	// Parse everything once and build per-module import sets. Import
+	// construction stays serial: the sets share AST nodes across modules,
+	// and NewImports synthesizes missing memberwise initializers in place,
+	// so building them concurrently would race. After this point the
+	// imported declarations are only read.
 	parsed := make([][]*frontend.File, len(sources))
 	for i, src := range sources {
 		files, err := ParseSource(src)
@@ -204,18 +215,30 @@ func Build(sources []Source, cfg Config) (*Result, error) {
 		}
 		parsed[i] = files
 	}
-	for i, src := range sources {
+	imports := make([]*frontend.Imports, len(sources))
+	for i := range sources {
 		var others []*frontend.File
 		for j, files := range parsed {
 			if j != i {
 				others = append(others, files...)
 			}
 		}
-		lm, err := CompileToLLIR(src, cfg, frontend.NewImports(others...))
+		imports[i] = frontend.NewImports(others...)
+	}
+
+	// Each module compiles to LLIR independently given its import set
+	// (CompileToLLIR re-parses the module's own files, so every worker
+	// type-checks private ASTs); results are collected in source order, so
+	// irlink.Link sees the same module sequence as the serial build.
+	mods, err := par.Map(cfg.Parallelism, len(sources), func(i int) (*llir.Module, error) {
+		lm, err := CompileToLLIR(sources[i], cfg, imports[i])
 		if err != nil {
-			return nil, fmt.Errorf("pipeline: module %s: %w", src.Name, err)
+			return nil, fmt.Errorf("pipeline: module %s: %w", sources[i].Name, err)
 		}
-		mods = append(mods, lm)
+		return lm, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	timings["frontend+permodule"] = time.Since(tFront)
 	res, err := BuildFromLLIR(mods, cfg)
@@ -252,10 +275,10 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (*Result, error) {
 		if cfg.FMSA {
 			llir.MergeBySequenceAlignment(merged)
 		}
-		for _, f := range merged.Funcs {
-			llir.SimplifyCFG(f)
-			llir.DCE(f)
-		}
+		par.Do(cfg.Parallelism, len(merged.Funcs), func(i int) {
+			llir.SimplifyCFG(merged.Funcs[i])
+			llir.DCE(merged.Funcs[i])
+		})
 		if cfg.Verify {
 			if err := merged.Verify(); err != nil {
 				return nil, fmt.Errorf("pipeline: after whole-program opt: %w", err)
@@ -264,7 +287,7 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (*Result, error) {
 		timings["opt"] = time.Since(tOpt)
 
 		tLLC := time.Now()
-		p, err := codegen.Compile(merged)
+		p, err := codegen.CompileWith(merged, cfg.Parallelism)
 		if err != nil {
 			return nil, err
 		}
@@ -272,17 +295,22 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (*Result, error) {
 		timings["llc"] = time.Since(tLLC)
 	} else {
 		// Default pipeline: per-module codegen (and per-module outlining),
-		// then the system linker concatenates machine code.
+		// then the system linker concatenates machine code. Modules are
+		// independent here — that is exactly the parallelism the paper's
+		// whole-program pipeline forfeits — so fan out one worker per
+		// module (inner stages stay serial to avoid oversubscription) and
+		// concatenate the parts in module order.
 		tLLC := time.Now()
-		var parts []*mir.Program
-		for _, lm := range mods {
+		extern := externSyms(mods) // shared, read-only across workers
+		parts, err := par.Map(cfg.Parallelism, len(mods), func(i int) (*mir.Program, error) {
+			lm := mods[i]
 			if cfg.MergeFunctions {
 				llir.MergeFunctions(lm)
 			}
 			if cfg.FMSA {
 				llir.MergeBySequenceAlignment(lm)
 			}
-			p, err := codegen.Compile(lm)
+			p, err := codegen.CompileWith(lm, 1)
 			if err != nil {
 				return nil, fmt.Errorf("pipeline: module %s: %w", lm.Name, err)
 			}
@@ -292,13 +320,17 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (*Result, error) {
 					FlatCostModel: cfg.FlatOutlineCost,
 					FuncPrefix:    "OUTLINED_FUNCTION_" + lm.Name + "_",
 					Verify:        cfg.Verify,
-					ExternSyms:    externSyms(mods),
+					ExternSyms:    extern,
+					Parallelism:   1,
 				})
 				if err != nil {
 					return nil, err
 				}
 			}
-			parts = append(parts, p)
+			return p, nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		timings["llc"] = time.Since(tLLC)
 		tLD := time.Now()
@@ -318,6 +350,7 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (*Result, error) {
 			FlatCostModel: cfg.FlatOutlineCost,
 			Verify:        cfg.Verify,
 			ExternSyms:    llir.RuntimeSyms,
+			Parallelism:   cfg.Parallelism,
 		})
 		if err != nil {
 			return nil, err
