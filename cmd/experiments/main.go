@@ -25,6 +25,7 @@ import (
 	"os"
 
 	"outliner/internal/experiments"
+	"outliner/internal/obs"
 )
 
 func main() {
@@ -32,9 +33,17 @@ func main() {
 		scale   = flag.Float64("scale", experiments.DefaultScale, "app scale (1.0 = full synthetic app)")
 		samples = flag.Int("samples", 3, "device-population samples per fig13 cell")
 		jobs    = flag.Int("j", 0, "parallel build workers (0 = one per CPU, 1 = serial); results are identical for any value")
+		trace   = flag.String("trace", "", "write a Chrome trace-event JSON file covering every build the experiments run")
+		remarks = flag.String("remarks", "", "write outliner decision remarks as JSONL")
+		summary = flag.Bool("summary", false, "print a cumulative telemetry summary to stderr after all experiments")
 	)
 	flag.Parse()
 	experiments.Parallelism = *jobs
+	var tracer *obs.Tracer
+	if *trace != "" || *remarks != "" || *summary {
+		tracer = obs.NewWith(obs.Config{MemStats: true})
+		experiments.Tracer = tracer
+	}
 	args := flag.Args()
 	if len(args) == 0 {
 		flag.Usage()
@@ -99,6 +108,24 @@ func main() {
 		}
 		if err := run(); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	if *trace != "" {
+		if err := tracer.WriteTraceFile(*trace); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *remarks != "" {
+		if err := tracer.WriteRemarksFile(*remarks); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *summary {
+		if err := tracer.WriteSummary(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
 	}

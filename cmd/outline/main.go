@@ -18,6 +18,7 @@ import (
 
 	"outliner/internal/llir"
 	"outliner/internal/mir"
+	"outliner/internal/obs"
 	"outliner/internal/outline"
 )
 
@@ -28,6 +29,9 @@ func main() {
 		flat    = flag.Bool("flat-cost", false, "ablation: flat outlining cost model")
 		quiet   = flag.Bool("q", false, "suppress the transformed program (stats only)")
 		jobs    = flag.Int("j", 0, "candidate-analysis workers (0 = one per CPU, 1 = serial); output is identical for any value")
+		trace   = flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto or chrome://tracing)")
+		remarks = flag.String("remarks", "", "write candidate decision remarks as JSONL")
+		summary = flag.Bool("summary", false, "print per-round counters and stage times to stderr")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -56,6 +60,10 @@ func main() {
 		return
 	}
 
+	var tracer *obs.Tracer
+	if *trace != "" || *remarks != "" || *summary {
+		tracer = obs.NewWith(obs.Config{MemStats: true})
+	}
 	before := prog.CodeSize()
 	stats, err := outline.Outline(prog, outline.Options{
 		Rounds:        *rounds,
@@ -63,11 +71,27 @@ func main() {
 		Verify:        true,
 		ExternSyms:    llir.RuntimeSyms,
 		Parallelism:   *jobs,
+		Tracer:        tracer,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	after := prog.CodeSize()
+	if *trace != "" {
+		if err := tracer.WriteTraceFile(*trace); err != nil {
+			fatal(err)
+		}
+	}
+	if *remarks != "" {
+		if err := tracer.WriteRemarksFile(*remarks); err != nil {
+			fatal(err)
+		}
+	}
+	if *summary {
+		if err := tracer.WriteSummary(os.Stderr); err != nil {
+			fatal(err)
+		}
+	}
 	if !*quiet {
 		fmt.Print(prog.String())
 	}

@@ -27,6 +27,7 @@ import (
 	"outliner/internal/exec"
 	"outliner/internal/frontend"
 	"outliner/internal/llir"
+	"outliner/internal/obs"
 	"outliner/internal/outline"
 	"outliner/internal/pipeline"
 )
@@ -42,6 +43,9 @@ func main() {
 		maxSteps = flag.Int64("max-steps", 500_000_000, "interpreter step limit for -run")
 		showOutl = flag.Bool("outline-stats", false, "print per-round outlining statistics")
 		jobs     = flag.Int("j", 0, "parallel build workers (0 = one per CPU, 1 = serial); output is identical for any value")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto or chrome://tracing)")
+		remarks  = flag.String("remarks", "", "write outliner decision remarks as JSONL (one record per candidate decision)")
+		summary  = flag.Bool("summary", false, "print an end-of-build summary: stage times, counters, outlining convergence")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -63,6 +67,10 @@ func main() {
 		})
 	}
 
+	var tracer *obs.Tracer
+	if *traceOut != "" || *remarks != "" || *summary {
+		tracer = obs.NewWith(obs.Config{FineSpans: *traceOut != "", MemStats: true})
+	}
 	cfg := pipeline.Config{
 		WholeProgram:       *whole,
 		OutlineRounds:      *rounds,
@@ -74,10 +82,26 @@ func main() {
 		FlatOutlineCost:    *flat,
 		Verify:             true,
 		Parallelism:        *jobs,
+		Tracer:             tracer,
 	}
 	res, err := pipeline.Build(sources, cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *traceOut != "" {
+		if err := tracer.WriteTraceFile(*traceOut); err != nil {
+			fatal(err)
+		}
+	}
+	if *remarks != "" {
+		if err := tracer.WriteRemarksFile(*remarks); err != nil {
+			fatal(err)
+		}
+	}
+	if *summary {
+		if err := tracer.WriteSummary(os.Stderr); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *showOutl && res.Outline != nil {

@@ -1,0 +1,77 @@
+// telemetry builds a small program with the observability layer enabled and
+// shows all three products: the remarks stream (why each outlining candidate
+// was selected or rejected), the counters, and a Chrome trace file viewable
+// in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+//
+//	go run ./examples/telemetry
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"outliner"
+)
+
+const src = `
+class Point {
+  var x: Int
+  var y: Int
+  init(x: Int, y: Int) {
+    self.x = x
+    self.y = y
+  }
+  func dot(o: Point) -> Int { return self.x * o.x + self.y * o.y }
+  func manhattan(o: Point) -> Int {
+    var dx = self.x - o.x
+    if dx < 0 { dx = 0 - dx }
+    var dy = self.y - o.y
+    if dy < 0 { dy = 0 - dy }
+    return dx + dy
+  }
+}
+
+func main() {
+  let a = Point(x: 3, y: 4)
+  let b = Point(x: 6, y: 8)
+  print(a.dot(o: b))
+  print(a.manhattan(o: b))
+}
+`
+
+func main() {
+	mods := []outliner.Module{{Name: "Geo", Files: map[string]string{"geo.sl": src}}}
+
+	tr := outliner.NewTracer(outliner.TracerConfig{FineSpans: true, MemStats: true})
+	opts := outliner.Production()
+	opts.Tracer = tr
+	res, err := outliner.Build(mods, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built: %d bytes of code, %d bytes total\n\n", res.CodeSize, res.BinarySize)
+
+	fmt.Println("outliner decisions (the remarks stream):")
+	for _, r := range tr.Remarks() {
+		switch r.Status {
+		case "selected":
+			fmt.Printf("  round %d: selected %d×%d-instruction pattern -> %s (saves %d bytes)\n",
+				r.Round, r.Occurrences, r.PatternLen, r.Function, r.Benefit)
+		case "rejected":
+			fmt.Printf("  round %d: rejected %d×%d-instruction pattern: %s\n",
+				r.Round, r.Occurrences, r.PatternLen, r.Reason)
+		}
+	}
+
+	trace := filepath.Join(os.TempDir(), "outliner-telemetry.trace.json")
+	if err := tr.WriteTraceFile(trace); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntrace written to %s — open it in https://ui.perfetto.dev\n\n", trace)
+
+	if err := tr.WriteSummary(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

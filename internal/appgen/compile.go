@@ -2,10 +2,10 @@ package appgen
 
 import (
 	"fmt"
-	"time"
 
 	"outliner/internal/frontend"
 	"outliner/internal/llir"
+	"outliner/internal/obs"
 	"outliner/internal/par"
 	"outliner/internal/pipeline"
 )
@@ -39,8 +39,10 @@ func CompileModules(mods []Module, cfg pipeline.Config) ([]*llir.Module, error) 
 		}
 		imports[i] = frontend.NewImports(others...)
 	}
-	return par.Map(cfg.Parallelism, len(mods), func(i int) (*llir.Module, error) {
+	return par.MapLanes(cfg.Parallelism, len(mods), func(lane, i int) (*llir.Module, error) {
 		m := mods[i]
+		sp := cfg.Tracer.StartSpan("frontend "+m.Name, lane+1)
+		defer sp.End()
 		lm, err := pipeline.CompileToLLIR(pipeline.Source{Name: m.Name, Files: m.Files},
 			cfg, imports[i])
 		if err != nil {
@@ -77,16 +79,21 @@ func applyObjCFlavour(m *llir.Module) {
 // BuildApp generates, compiles, and links an app profile at the given scale
 // under cfg.
 func BuildApp(p Profile, scale float64, cfg pipeline.Config) (*pipeline.Result, error) {
-	tFront := time.Now()
-	mods, err := CompileModules(Generate(p, scale), cfg)
+	tr := obs.Ensure(cfg.Tracer)
+	cfg.Tracer = tr
+	mark := tr.Mark()
+	sp := tr.StartStage("frontend+permodule", 0)
+	generated := Generate(p, scale)
+	tr.Add("appgen/modules", int64(len(generated)))
+	mods, err := CompileModules(generated, cfg)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	frontDur := time.Since(tFront)
 	res, err := pipeline.BuildFromLLIR(mods, cfg)
 	if err != nil {
 		return nil, err
 	}
-	res.Timings["frontend+permodule"] = frontDur
+	res.Timings = tr.StageTotalsSince(mark)
 	return res, nil
 }

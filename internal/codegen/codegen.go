@@ -18,6 +18,7 @@ import (
 
 	"outliner/internal/llir"
 	"outliner/internal/mir"
+	"outliner/internal/obs"
 	"outliner/internal/par"
 )
 
@@ -31,13 +32,26 @@ func Compile(m *llir.Module) (*mir.Program, error) { return CompileWith(m, 0) }
 // read only their own cloned function), and the results are appended in
 // module order, so the machine program is identical for any worker count.
 func CompileWith(m *llir.Module, parallelism int) (*mir.Program, error) {
-	funcs, err := par.Map(parallelism, len(m.Funcs), func(i int) (*mir.Function, error) {
+	return CompileTraced(m, parallelism, nil, 0)
+}
+
+// CompileTraced is CompileWith with telemetry: the functions-compiled
+// counter, and (when the tracer collects fine spans) one span per function
+// on trace lane baseLane+worker. The caller picks baseLane so spans land on
+// the track of whichever pool is running: the whole-program pipeline passes
+// 1 (its codegen workers are lanes 1..p), the default pipeline's per-module
+// workers pass their own lane (their inner codegen is serial).
+func CompileTraced(m *llir.Module, parallelism int, tr *obs.Tracer, baseLane int) (*mir.Program, error) {
+	funcs, err := par.MapLanes(parallelism, len(m.Funcs), func(lane, i int) (*mir.Function, error) {
+		sp := tr.StartFine("codegen @"+m.Funcs[i].Name, baseLane+lane)
 		mf, err := compileFunc(m.Funcs[i])
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("codegen: @%s: %w", m.Funcs[i].Name, err)
 		}
 		return mf, nil
 	})
+	tr.Add("codegen/functions", int64(len(m.Funcs)))
 	if err != nil {
 		return nil, err
 	}

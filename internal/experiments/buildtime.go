@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 	"time"
 
 	"outliner/internal/appgen"
@@ -22,7 +23,11 @@ type BuildTimeResult struct {
 	DefaultDur  time.Duration
 	WholeNoOut  time.Duration
 	WholeRounds []time.Duration // index = rounds (1..5)
-	Stages      map[string]time.Duration
+	// Stages sums the obs stage spans of the no-outlining whole-program
+	// serial build; Counters is the obs counter delta of the full 5-round
+	// serial build (the configuration the paper ships).
+	Stages   map[string]time.Duration
+	Counters map[string]int64
 
 	// Serial (Parallelism=1) vs parallel (one worker per CPU) timings for
 	// the same configurations, and the worker count used for the latter.
@@ -50,26 +55,34 @@ func RunBuildTime(w io.Writer, scale float64) (*BuildTimeResult, error) {
 		Workers: runtime.GOMAXPROCS(0),
 	}
 
+	// All builds run under one obs.Tracer; stage times and counters are read
+	// back from it (Mark / Counters snapshots scope them to a single build)
+	// instead of keeping private bookkeeping.
+	tr := countingTracer()
 	timeBuild := func(cfg pipeline.Config) (time.Duration, *pipeline.Result, error) {
+		cfg.Tracer = tr
 		start := time.Now()
 		r, err := appgen.BuildApp(appgen.UberRider, scale, cfg)
 		return time.Since(start), r, err
 	}
 	// Each configuration builds twice: fully serial (Parallelism=1, the
 	// paper's situation) and with one worker per CPU. The outputs are
-	// byte-identical; only the wall clock differs.
-	timeBoth := func(cfg pipeline.Config) (serial, parallel time.Duration, r *pipeline.Result, err error) {
+	// byte-identical; only the wall clock differs. delta holds the counter
+	// change of the serial build.
+	timeBoth := func(cfg pipeline.Config) (serial, parallel time.Duration, delta map[string]int64, err error) {
 		cfg.Parallelism = 1
-		serial, r, err = timeBuild(cfg)
+		before := tr.Counters()
+		serial, _, err = timeBuild(cfg)
 		if err != nil {
 			return 0, 0, nil, err
 		}
+		delta = counterDelta(before, tr.Counters())
 		cfg.Parallelism = 0 // one worker per CPU
 		parallel, _, err = timeBuild(cfg)
 		if err != nil {
 			return 0, 0, nil, err
 		}
-		return serial, parallel, r, nil
+		return serial, parallel, delta, nil
 	}
 
 	s, p, _, err := timeBoth(baselineConfig())
@@ -81,27 +94,35 @@ func RunBuildTime(w io.Writer, scale float64) (*BuildTimeResult, error) {
 
 	noOut := optimizedConfig()
 	noOut.OutlineRounds = 0
-	s, p, r, err := timeBoth(noOut)
+	noOut.Parallelism = 1
+	mark := tr.Mark()
+	s, _, err = timeBuild(noOut)
+	if err != nil {
+		return nil, err
+	}
+	res.Stages = tr.StageTotalsSince(mark)
+	noOut.Parallelism = 0
+	p, _, err = timeBuild(noOut)
 	if err != nil {
 		return nil, err
 	}
 	res.WholeNoOut = s
 	res.WholeSerial = append(res.WholeSerial, s)
 	res.WholeParallel = append(res.WholeParallel, p)
-	for k, v := range r.Timings {
-		res.Stages[k] = v
-	}
 
 	for rounds := 1; rounds <= 5; rounds++ {
 		cfg := optimizedConfig()
 		cfg.OutlineRounds = rounds
-		s, p, _, err := timeBoth(cfg)
+		s, p, delta, err := timeBoth(cfg)
 		if err != nil {
 			return nil, err
 		}
 		res.WholeRounds = append(res.WholeRounds, s)
 		res.WholeSerial = append(res.WholeSerial, s)
 		res.WholeParallel = append(res.WholeParallel, p)
+		if rounds == 5 {
+			res.Counters = delta
+		}
 	}
 
 	ms := func(d time.Duration) string { return d.Round(time.Millisecond).String() }
@@ -133,5 +154,16 @@ func RunBuildTime(w io.Writer, scale float64) (*BuildTimeResult, error) {
 		srows = append(srows, []string{k, ms(res.Stages[k])})
 	}
 	table(w, srows)
+	if len(res.Counters) > 0 {
+		fmt.Fprintln(w, "\npipeline counters (5 rounds, serial; mem/* and per-round keys omitted):")
+		crows := [][]string{{"counter", "value"}}
+		for _, k := range sortedKeys(res.Counters) {
+			if strings.HasPrefix(k, "mem/") || strings.HasPrefix(k, "outline/round") {
+				continue
+			}
+			crows = append(crows, []string{k, fmt.Sprintf("%d", res.Counters[k])})
+		}
+		table(w, crows)
+	}
 	return res, nil
 }

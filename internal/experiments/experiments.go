@@ -20,6 +20,7 @@ import (
 
 	"outliner/internal/appgen"
 	"outliner/internal/exec"
+	"outliner/internal/obs"
 	"outliner/internal/perf"
 	"outliner/internal/pipeline"
 )
@@ -33,6 +34,36 @@ const DefaultScale = 0.6
 // -j flag sets it. Results are byte-identical for every value — only the
 // wall-clock numbers of the buildtime experiment change.
 var Parallelism int
+
+// Tracer, when set by cmd/experiments' -trace/-remarks/-summary flags, is
+// handed to every pipeline build the experiments run; the driver writes the
+// accumulated trace, remarks, and summary after all subcommands finish.
+// Telemetry is strictly observational, so experiment results are identical
+// with or without it.
+var Tracer *obs.Tracer
+
+// countingTracer returns the shared Tracer when telemetry was requested and
+// otherwise a private full collector, so experiments that derive their tables
+// from counters (fig12, buildtime) always have something to read.
+func countingTracer() *obs.Tracer {
+	if Tracer != nil {
+		return Tracer
+	}
+	return obs.New()
+}
+
+// counterDelta returns after-before for every counter, dropping zero deltas.
+// Experiments bracket a single build with Counters snapshots to scope the
+// shared Tracer's cumulative counters to that build.
+func counterDelta(before, after map[string]int64) map[string]int64 {
+	out := map[string]int64{}
+	for k, v := range after {
+		if d := v - before[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	return out
+}
 
 // BenchmarksDir locates testdata/benchmarks relative to the repo root.
 func BenchmarksDir() string {
@@ -80,6 +111,7 @@ func buildBench(name, text string, rounds int) (*pipeline.Result, error) {
 		PreserveDataLayout: true,
 		SplitGCMetadata:    true,
 		Parallelism:        Parallelism,
+		Tracer:             Tracer,
 	}
 	return pipeline.Build([]pipeline.Source{{Name: name, Files: map[string]string{name + ".sl": text}}}, cfg)
 }
@@ -116,6 +148,7 @@ func baselineConfig() pipeline.Config {
 		SILOutline:         true,
 		SpecializeClosures: true,
 		Parallelism:        Parallelism,
+		Tracer:             Tracer,
 	}
 }
 
@@ -124,6 +157,7 @@ func baselineConfig() pipeline.Config {
 func optimizedConfig() pipeline.Config {
 	cfg := pipeline.OSize
 	cfg.Parallelism = Parallelism
+	cfg.Tracer = Tracer
 	return cfg
 }
 

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"outliner/internal/appgen"
+	"outliner/internal/obs"
 	"outliner/internal/outline"
 	"outliner/internal/pipeline"
 )
@@ -23,23 +24,48 @@ type Fig12Point struct {
 // statistics for the whole-program configuration).
 type Fig12Result struct {
 	Points []Fig12Point
-	// Table II cumulative statistics after rounds 1..5 (whole program).
+	// Table II cumulative statistics after rounds 1..5 (whole program),
+	// derived from the outliner's obs.RoundCounter counter stream.
 	Table2 []outline.RoundStats
 }
 
 // RunFig12 sweeps outline rounds 0..maxRounds for both pipelines.
 func RunFig12(w io.Writer, scale float64, maxRounds int) (*Fig12Result, error) {
 	res := &Fig12Result{}
+	// Table II is derived from the obs counter stream the outliner emits
+	// (obs.RoundCounter), not from the pipeline's private Stats struct:
+	// snapshots bracket the rounds=5 whole-program build so the shared
+	// Tracer's cumulative counters scope to that one build.
+	tr := countingTracer()
 	for rounds := 0; rounds <= maxRounds; rounds++ {
 		inter := optimizedConfig()
 		inter.OutlineRounds = rounds
+		inter.Tracer = tr
+		var before map[string]int64
+		if rounds == 5 {
+			before = tr.Counters()
+		}
 		interRes, err := appgen.BuildApp(appgen.UberRider, scale, inter)
 		if err != nil {
 			return nil, fmt.Errorf("fig12 inter rounds=%d: %w", rounds, err)
 		}
+		if rounds == 5 {
+			d := counterDelta(before, tr.Counters())
+			ran := int(d["outline/rounds"])
+			cum := outline.RoundStats{}
+			for r := 1; r <= ran; r++ {
+				cum.SequencesOutlined += int(d[obs.RoundCounter(r, obs.RoundSequences)])
+				cum.FunctionsCreated += int(d[obs.RoundCounter(r, obs.RoundFunctions)])
+				cum.OutlinedBytes += int(d[obs.RoundCounter(r, obs.RoundOutlinedBytes)])
+				cum.BytesSaved += int(d[obs.RoundCounter(r, obs.RoundBytesSaved)])
+				c := cum
+				c.Round = r
+				res.Table2 = append(res.Table2, c)
+			}
+		}
 		intra := pipeline.Config{
 			OutlineRounds: rounds, SILOutline: true, SpecializeClosures: true,
-			MergeFunctions: true, Parallelism: Parallelism,
+			MergeFunctions: true, Parallelism: Parallelism, Tracer: Tracer,
 		}
 		intraRes, err := appgen.BuildApp(appgen.UberRider, scale, intra)
 		if err != nil {
@@ -50,18 +76,6 @@ func RunFig12(w io.Writer, scale float64, maxRounds int) (*Fig12Result, error) {
 			InterBinary: interRes.BinarySize(), InterCode: interRes.CodeSize(),
 			IntraBinary: intraRes.BinarySize(), IntraCode: intraRes.CodeSize(),
 		})
-		if rounds == 5 && interRes.Outline != nil {
-			// Table II: convert per-round to cumulative.
-			cum := outline.RoundStats{}
-			for _, r := range interRes.Outline.Rounds {
-				cum.SequencesOutlined += r.SequencesOutlined
-				cum.FunctionsCreated += r.FunctionsCreated
-				cum.OutlinedBytes += r.OutlinedBytes
-				c := cum
-				c.Round = r.Round
-				res.Table2 = append(res.Table2, c)
-			}
-		}
 	}
 
 	fmt.Fprintln(w, "FIGURE 12: size vs rounds of machine outlining, inter- vs intra-module")
@@ -90,12 +104,14 @@ func RunFig12(w io.Writer, scale float64, maxRounds int) (*Fig12Result, error) {
 		seq := []string{"# sequences outlined"}
 		fns := []string{"# functions created"}
 		bytes := []string{"bytes of outlined functions"}
+		saved := []string{"net bytes saved"}
 		for _, c := range res.Table2 {
 			seq = append(seq, fmt.Sprintf("%d", c.SequencesOutlined))
 			fns = append(fns, fmt.Sprintf("%d", c.FunctionsCreated))
 			bytes = append(bytes, fmt.Sprintf("%d", c.OutlinedBytes))
+			saved = append(saved, fmt.Sprintf("%d", c.BytesSaved))
 		}
-		rows = append(rows, seq, fns, bytes)
+		rows = append(rows, seq, fns, bytes, saved)
 		table(w, rows)
 	}
 	return res, nil

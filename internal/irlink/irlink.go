@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"outliner/internal/llir"
+	"outliner/internal/obs"
 )
 
 // Options configures the merge.
@@ -34,6 +35,9 @@ type Options struct {
 	PreserveModuleOrder bool
 	// MergedName names the output module.
 	MergedName string
+	// Tracer receives link counters (modules, functions, globals merged);
+	// nil disables.
+	Tracer *obs.Tracer
 }
 
 // GCFlagKey is the module flag whose conflict §VI-2 describes.
@@ -60,6 +64,8 @@ func Link(modules []*llir.Module, opts Options) (*llir.Module, error) {
 			out.AddFunc(f)
 		}
 	}
+	opts.Tracer.Add("irlink/modules", int64(len(modules)))
+	opts.Tracer.Add("irlink/functions", int64(len(out.Funcs)))
 
 	seen := make(map[string]string)
 	if opts.PreserveModuleOrder {
@@ -72,6 +78,7 @@ func Link(modules []*llir.Module, opts Options) (*llir.Module, error) {
 				out.Globals = append(out.Globals, g)
 			}
 		}
+		opts.Tracer.Add("irlink/globals", int64(len(out.Globals)))
 		return out, nil
 	}
 	// Default llvm-link-like behaviour: a global ordering that ignores
@@ -96,6 +103,7 @@ func Link(modules []*llir.Module, opts Options) (*llir.Module, error) {
 		}
 		return out.Globals[i].Name < out.Globals[j].Name
 	})
+	opts.Tracer.Add("irlink/globals", int64(len(out.Globals)))
 	return out, nil
 }
 

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Counter names the outliner emits per round; RoundCounter builds them so
+// the summary, the fig12 experiment, and the outliner itself agree on the
+// schema.
+const (
+	RoundSequences     = "sequences"
+	RoundFunctions     = "functions"
+	RoundOutlinedBytes = "outlined_bytes"
+	RoundBytesSaved    = "bytes_saved"
+)
+
+// RoundCounter returns the counter name for one per-round outlining metric,
+// e.g. RoundCounter(3, RoundBytesSaved) = "outline/round3/bytes_saved".
+func RoundCounter(round int, metric string) string {
+	return fmt.Sprintf("outline/round%d/%s", round, metric)
+}
+
+// WriteSummary renders the human-readable end-of-build report: stage times,
+// counter totals, and the per-round outlining convergence table.
+func (t *Tracer) WriteSummary(w io.Writer) error {
+	if t == nil {
+		_, err := fmt.Fprintln(w, "telemetry disabled")
+		return err
+	}
+	totals := t.StageTotals()
+	counters := t.Counters()
+
+	fmt.Fprintln(w, "== build summary ==")
+	if len(totals) > 0 {
+		fmt.Fprintln(w, "\nstage times (same-name stages summed across modules and rounds):")
+		rows := [][]string{{"stage", "total"}}
+		for _, k := range sortedCounterKeys(totals) {
+			rows = append(rows, []string{k, totals[k].Round(time.Microsecond).String()})
+		}
+		writeTable(w, rows)
+	}
+
+	// Per-round convergence: every round r with any outline/round<r>/ key.
+	maxRound := 0
+	for name := range counters {
+		var r int
+		var metric string
+		if n, _ := fmt.Sscanf(name, "outline/round%d/%s", &r, &metric); n == 2 && r > maxRound {
+			maxRound = r
+		}
+	}
+	if maxRound > 0 {
+		fmt.Fprintln(w, "\noutlining convergence (per round):")
+		rows := [][]string{{"round", "sequences", "functions", "outlined bytes", "bytes saved"}}
+		for r := 1; r <= maxRound; r++ {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", r),
+				fmt.Sprintf("%d", counters[RoundCounter(r, RoundSequences)]),
+				fmt.Sprintf("%d", counters[RoundCounter(r, RoundFunctions)]),
+				fmt.Sprintf("%d", counters[RoundCounter(r, RoundOutlinedBytes)]),
+				fmt.Sprintf("%d", counters[RoundCounter(r, RoundBytesSaved)]),
+			})
+		}
+		writeTable(w, rows)
+	}
+
+	general := make([]string, 0, len(counters))
+	for name := range counters {
+		if !strings.HasPrefix(name, "outline/round") {
+			general = append(general, name)
+		}
+	}
+	if len(general) > 0 {
+		sort.Strings(general)
+		fmt.Fprintln(w, "\ncounters:")
+		rows := [][]string{{"counter", "value"}}
+		for _, k := range general {
+			rows = append(rows, []string{k, fmt.Sprintf("%d", counters[k])})
+		}
+		writeTable(w, rows)
+	}
+
+	if n := len(t.Remarks()); n > 0 {
+		selected := int64(0)
+		for _, r := range t.Remarks() {
+			if r.Status == "selected" {
+				selected++
+			}
+		}
+		fmt.Fprintf(w, "\nremarks: %d candidate decisions (%d selected, %d rejected)\n",
+			n, selected, int64(n)-selected)
+	}
+	return nil
+}
+
+func sortedCounterKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// writeTable renders rows with aligned columns (two-space gutters).
+func writeTable(w io.Writer, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, len(rows[0]))
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, r := range rows {
+		var b strings.Builder
+		b.WriteString("  ")
+		for i, c := range r {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// traceEvent is one record of the Chrome trace-event format ("X" = complete
+// event, "M" = metadata). See the Trace Event Format spec; Perfetto and
+// chrome://tracing both load it.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts,omitempty"`  // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace renders every completed span as Chrome trace-event JSON. Track
+// (tid) 0 is the main goroutine; tid n ≥ 1 is worker lane n of whichever
+// internal/par pool was running — the pools render as real lanes in
+// Perfetto. Events on one track are well-nested by construction: each lane
+// runs one worker at a time, and a worker's spans strictly contain the spans
+// it opens beneath them.
+func (t *Tracer) WriteTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`)
+		return err
+	}
+	t.mu.Lock()
+	events := append([]event(nil), t.events...)
+	t.mu.Unlock()
+
+	tids := map[int]bool{}
+	for _, e := range events {
+		tids[e.tid] = true
+	}
+	sortedTids := make([]int, 0, len(tids))
+	for tid := range tids {
+		sortedTids = append(sortedTids, tid)
+	}
+	sort.Ints(sortedTids)
+
+	tf := traceFile{DisplayTimeUnit: "ms"}
+	tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]any{"name": "outliner build"},
+	})
+	for _, tid := range sortedTids {
+		name := "main"
+		if tid > 0 {
+			name = fmt.Sprintf("worker %d", tid)
+		}
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	// Sort spans by start time so the file reads chronologically; ties put
+	// the longer (enclosing) span first, which keeps viewers' nesting
+	// heuristics happy.
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].start != events[j].start {
+			return events[i].start < events[j].start
+		}
+		return events[i].dur > events[j].dur
+	})
+	for _, e := range events {
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: e.name, Ph: "X", Pid: 1, Tid: e.tid,
+			Ts:   float64(e.start.Nanoseconds()) / 1e3,
+			Dur:  float64(e.dur.Nanoseconds()) / 1e3,
+			Args: e.args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}
+
+// WriteTraceFile writes the trace to path.
+func (t *Tracer) WriteTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

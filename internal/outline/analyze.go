@@ -47,8 +47,8 @@ func Analyze(prog *mir.Program, opts Options) []Pattern {
 	spSensitive := spSensitiveFuncs(prog)
 	var patterns []Pattern
 	tree.ForEachRepeat(opts.MinLength, 2, func(r suffixtree.Repeat) {
-		set := buildSet(prog, m, r, liveness, spSensitive, opts)
-		if set == nil {
+		set, reject := buildSet(prog, m, r, liveness, spSensitive, opts)
+		if reject != "" {
 			return
 		}
 		pat := Pattern{

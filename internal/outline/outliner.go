@@ -6,6 +6,7 @@ import (
 
 	"outliner/internal/isa"
 	"outliner/internal/mir"
+	"outliner/internal/obs"
 	"outliner/internal/par"
 	"outliner/internal/suffixtree"
 )
@@ -40,6 +41,19 @@ type Options struct {
 	// for every value: candidates are collected in suffix-tree order and
 	// greedy selection stays serial.
 	Parallelism int
+	// Tracer receives per-round stage spans, counters, and one decision
+	// remark per candidate set (selected or rejected, with the reason).
+	// Telemetry is strictly observational — the transformed program is
+	// byte-identical with Tracer set or nil.
+	Tracer *obs.Tracer
+	// TraceLane is the trace track outlining spans land on: 0 for
+	// whole-program outlining on the main goroutine; per-module outlining
+	// inside a parallel build passes its worker lane so concurrent rounds
+	// render on separate tracks.
+	TraceLane int
+	// RemarkModule tags emitted remarks with the module being outlined
+	// (empty for whole-program outlining).
+	RemarkModule string
 }
 
 func (o Options) withDefaults() Options {
@@ -108,6 +122,17 @@ const (
 	stratPlain                    // sequence needs an added return
 )
 
+func (s strategy) String() string {
+	switch s {
+	case stratTailCall:
+		return "tail-call"
+	case stratThunk:
+		return "thunk"
+	default:
+		return "plain"
+	}
+}
+
 // candidate is one occurrence of a repeated sequence.
 type candidate struct {
 	start  int // position in the flattened string
@@ -140,20 +165,41 @@ type candSet struct {
 // identical outputs, regardless of map iteration order.
 func Outline(prog *mir.Program, opts Options) (*Stats, error) {
 	opts = opts.withDefaults()
+	tr := opts.Tracer
 	stats := &Stats{}
 	counter := 0
 	for round := 1; round <= opts.Rounds; round++ {
-		rs, err := outlineOnce(prog, opts, &counter)
+		// One stage span per round, all named "machine-outline": stage
+		// totals sum them, so repeated rounds (and per-module runs in the
+		// default pipeline) report total time, not last-round time.
+		sp := tr.StartStage("machine-outline", opts.TraceLane).Arg("round", round)
+		rs, rems, err := outlineOnce(prog, opts, &counter, round)
 		if err != nil {
+			sp.End()
 			return stats, fmt.Errorf("outline round %d: %w", round, err)
 		}
 		rs.Round = round
 		stats.Rounds = append(stats.Rounds, rs)
 		if opts.Verify {
 			if err := prog.Verify(opts.ExternSyms); err != nil {
+				sp.End()
 				return stats, fmt.Errorf("outline round %d broke the program: %w", round, err)
 			}
 		}
+		sp.End()
+		tr.EmitBatch(opts.FuncPrefix, rems)
+		// "outline/rounds" counts executed rounds; diffing it across Counters
+		// snapshots tells a consumer how many rounds one build actually ran
+		// (the loop stops early at a fixed point).
+		tr.Add("outline/rounds", 1)
+		tr.Add(obs.RoundCounter(round, obs.RoundSequences), int64(rs.SequencesOutlined))
+		tr.Add(obs.RoundCounter(round, obs.RoundFunctions), int64(rs.FunctionsCreated))
+		tr.Add(obs.RoundCounter(round, obs.RoundOutlinedBytes), int64(rs.OutlinedBytes))
+		tr.Add(obs.RoundCounter(round, obs.RoundBytesSaved), int64(rs.BytesSaved))
+		tr.Add("outline/sequences", int64(rs.SequencesOutlined))
+		tr.Add("outline/functions", int64(rs.FunctionsCreated))
+		tr.Add("outline/outlined_bytes", int64(rs.OutlinedBytes))
+		tr.Add("outline/bytes_saved", int64(rs.BytesSaved))
 		if rs.SequencesOutlined == 0 {
 			// Fixed point: later rounds cannot find anything either.
 			break
@@ -162,13 +208,35 @@ func Outline(prog *mir.Program, opts Options) (*Stats, error) {
 	return stats, nil
 }
 
-func outlineOnce(prog *mir.Program, opts Options, counter *int) (RoundStats, error) {
+// candRemark records one candidate-set decision. occ is the occurrence
+// count at decision time (sets rejected before occurrence collection pass
+// the raw repeat count).
+func candRemark(set *candSet, occ, round int, opts Options, status, reason, fn string) obs.Remark {
+	return obs.Remark{
+		Pass:        "machine-outliner",
+		Status:      status,
+		Reason:      reason,
+		Round:       round,
+		Module:      opts.RemarkModule,
+		Function:    fn,
+		PatternLen:  len(set.seq),
+		Occurrences: occ,
+		Benefit:     set.ben,
+		Strategy:    set.strat.String(),
+	}
+}
+
+func outlineOnce(prog *mir.Program, opts Options, counter *int, round int) (RoundStats, []obs.Remark, error) {
+	tr := opts.Tracer
+	remarks := tr.RemarksEnabled()
 	var rs RoundStats
+	var rems []obs.Remark
 	m := mapProgram(prog)
 	if len(m.str) == 0 {
-		return rs, nil
+		return rs, nil, nil
 	}
 	tree := suffixtree.New(m.str)
+	tr.Add("outline/suffixtree/nodes", int64(tree.NodeCount()))
 
 	// Collect every repeat first (suffix-tree order is deterministic), then
 	// analyze candidates in parallel: liveness for every function touched
@@ -191,16 +259,34 @@ func outlineOnce(prog *mir.Program, opts Options, counter *int) (RoundStats, err
 		func(i int) bool { return needLive[i] })
 	liveness := func(fi int) *mir.Liveness { return live[fi] }
 
+	tr.Add("outline/candidates/found", int64(len(repeats)))
+
 	spSensitive := spSensitiveFuncs(prog)
-	byRepeat := make([]*candSet, len(repeats))
+	type repeatResult struct {
+		set    *candSet
+		reject string
+	}
+	byRepeat := make([]repeatResult, len(repeats))
 	par.Do(opts.Parallelism, len(repeats), func(i int) {
-		byRepeat[i] = buildSet(prog, m, repeats[i], liveness, spSensitive, opts)
+		set, reject := buildSet(prog, m, repeats[i], liveness, spSensitive, opts)
+		byRepeat[i] = repeatResult{set, reject}
 	})
+	// Collect in repeat (suffix-tree) order: both the greedy input and the
+	// remark stream stay deterministic for any worker count.
 	var sets []*candSet
-	for _, set := range byRepeat {
-		if set != nil {
-			sets = append(sets, set)
+	for i, rr := range byRepeat {
+		if rr.reject != "" {
+			if remarks {
+				occ := len(rr.set.cands)
+				if occ == 0 {
+					occ = len(repeats[i].Starts)
+				}
+				rems = append(rems, candRemark(rr.set, occ, round,
+					opts, "rejected", rr.reject, ""))
+			}
+			continue
 		}
+		sets = append(sets, rr.set)
 	}
 
 	// Greedy: most beneficial first. Ties resolve to longer sequences, then
@@ -235,7 +321,18 @@ func outlineOnce(prog *mir.Program, opts Options, counter *int) (RoundStats, err
 		}
 		set.cands = kept
 		set.ben = set.benefit() // occurrence pruning changed cands
-		if len(set.cands) < 2 || set.ben < opts.MinBenefit {
+		if len(set.cands) < 2 {
+			if remarks {
+				rems = append(rems, candRemark(set, len(set.cands), round,
+					opts, "rejected", "occurrences-overlap", ""))
+			}
+			continue
+		}
+		if set.ben < opts.MinBenefit {
+			if remarks {
+				rems = append(rems, candRemark(set, len(set.cands), round,
+					opts, "rejected", "unprofitable-after-overlap", ""))
+			}
 			continue
 		}
 		name := fmt.Sprintf("%s%d", opts.FuncPrefix, *counter)
@@ -252,20 +349,27 @@ func outlineOnce(prog *mir.Program, opts Options, counter *int) (RoundStats, err
 		rs.FunctionsCreated++
 		rs.OutlinedBytes += fn.CodeSize()
 		rs.BytesSaved += set.ben
+		if remarks {
+			rems = append(rems, candRemark(set, len(set.cands), round,
+				opts, "selected", "", name))
+		}
 	}
+	tr.Add("outline/candidates/selected", int64(rs.FunctionsCreated))
+	tr.Add("outline/candidates/rejected", int64(len(repeats)-rs.FunctionsCreated))
 
 	applyEdits(prog, edits)
 	for _, fn := range newFuncs {
 		prog.AddFunc(fn)
 	}
-	return rs, nil
+	return rs, rems, nil
 }
 
-// buildSet classifies one repeated substring into a costed candidate set, or
-// returns nil if it can never be profitable. spSensitive lists outlined
-// functions whose execution depends on SP pointing at the original frame
-// (see spSensitiveFuncs).
-func buildSet(prog *mir.Program, m *mapping, r suffixtree.Repeat, liveness func(int) *mir.Liveness, spSensitive map[string]bool, opts Options) *candSet {
+// buildSet classifies one repeated substring into a costed candidate set.
+// A non-empty reject reason means the set can never be profitably outlined;
+// the partially-built set is still returned so the decision can be reported
+// as a remark. spSensitive lists outlined functions whose execution depends
+// on SP pointing at the original frame (see spSensitiveFuncs).
+func buildSet(prog *mir.Program, m *mapping, r suffixtree.Repeat, liveness func(int) *mir.Liveness, spSensitive map[string]bool, opts Options) (*candSet, string) {
 	seq := m.instsAt(prog, r.Starts[0], r.Length)
 	set := &candSet{seq: seq}
 	for _, in := range seq {
@@ -301,7 +405,7 @@ func buildSet(prog *mir.Program, m *mapping, r suffixtree.Repeat, liveness func(
 			set.frameBytes = 12
 			if set.readsSP {
 				// The LR spill moves SP under SP-relative accesses.
-				return nil
+				return set, "sp-access-under-lr-spill"
 			}
 		} else {
 			set.frameBytes = 4 // appended RET
@@ -337,10 +441,13 @@ func buildSet(prog *mir.Program, m *mapping, r suffixtree.Repeat, liveness func(
 		lastEnd = st + r.Length
 	}
 	set.ben = set.benefit()
-	if len(set.cands) < 2 || set.ben < opts.MinBenefit {
-		return nil
+	if len(set.cands) < 2 {
+		return set, "too-few-occurrences"
 	}
-	return set
+	if set.ben < opts.MinBenefit {
+		return set, "unprofitable"
+	}
+	return set, ""
 }
 
 // callOverhead returns the bytes of the instructions replacing one candidate.

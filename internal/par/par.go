@@ -40,10 +40,19 @@ func Workers(p, n int) int {
 // shared counter, so item k never starts before item k-1 has been claimed.
 // Do returns once every call has finished.
 func Do(p, n int, f func(i int)) {
+	DoLanes(p, n, func(_, i int) { f(i) })
+}
+
+// DoLanes is Do with the worker's lane (0 ≤ lane < effective worker count)
+// passed to every call. Each lane is one goroutine: calls on the same lane
+// never overlap in time, which is what lets the telemetry layer render the
+// pool as per-worker tracks in a trace. The lane an item lands on is
+// scheduling-dependent; callers must not let it influence results.
+func DoLanes(p, n int, f func(lane, i int)) {
 	p = Workers(p, n)
 	if p == 1 {
 		for i := 0; i < n; i++ {
-			f(i)
+			f(0, i)
 		}
 		return
 	}
@@ -51,6 +60,7 @@ func Do(p, n int, f func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for w := 0; w < p; w++ {
+		w := w
 		go func() {
 			defer wg.Done()
 			for {
@@ -58,7 +68,7 @@ func Do(p, n int, f func(i int)) {
 				if i >= n {
 					return
 				}
-				f(i)
+				f(w, i)
 			}
 		}()
 	}
@@ -73,14 +83,19 @@ func Do(p, n int, f func(i int)) {
 // are skipped (with one worker this degenerates to the serial
 // stop-at-first-error loop).
 func Map[T any](p, n int, f func(i int) (T, error)) ([]T, error) {
+	return MapLanes(p, n, func(_, i int) (T, error) { return f(i) })
+}
+
+// MapLanes is Map with the worker's lane passed to every call (see DoLanes).
+func MapLanes[T any](p, n int, f func(lane, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	errs := make([]error, n)
 	var failed atomic.Bool
-	Do(p, n, func(i int) {
+	DoLanes(p, n, func(lane, i int) {
 		if failed.Load() {
 			return
 		}
-		v, err := f(i)
+		v, err := f(lane, i)
 		if err != nil {
 			errs[i] = err
 			failed.Store(true)

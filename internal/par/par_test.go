@@ -99,6 +99,51 @@ func TestMapSerialStopsAtFirstError(t *testing.T) {
 	}
 }
 
+// TestDoLanesCoversAllIndices: every index runs exactly once, every lane is
+// within [0, effective workers), and one lane never runs two calls at once.
+func TestDoLanesCoversAllIndices(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 0} {
+		const n = 500
+		workers := par.Workers(p, n)
+		var hits [n]atomic.Int32
+		busy := make([]atomic.Int32, workers)
+		par.DoLanes(p, n, func(lane, i int) {
+			if lane < 0 || lane >= workers {
+				t.Errorf("p=%d: lane %d out of range [0,%d)", p, lane, workers)
+			}
+			if busy[lane].Add(1) != 1 {
+				t.Errorf("p=%d: lane %d ran two items concurrently", p, lane)
+			}
+			hits[i].Add(1)
+			busy[lane].Add(-1)
+		})
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("p=%d: index %d executed %d times", p, i, got)
+			}
+		}
+	}
+}
+
+func TestMapLanesOrderedResults(t *testing.T) {
+	for _, p := range []int{1, 3, 0} {
+		out, err := par.MapLanes(p, 100, func(lane, i int) (int, error) {
+			if lane < 0 || lane >= par.Workers(p, 100) {
+				return 0, fmt.Errorf("lane %d out of range", lane)
+			}
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("p=%d: out[%d] = %d", p, i, v)
+			}
+		}
+	}
+}
+
 func TestMapZeroItems(t *testing.T) {
 	out, err := par.Map(4, 0, func(i int) (int, error) { return 0, errors.New("never") })
 	if err != nil || len(out) != 0 {

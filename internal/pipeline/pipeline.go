@@ -21,6 +21,7 @@ import (
 	"outliner/internal/irlink"
 	"outliner/internal/llir"
 	"outliner/internal/mir"
+	"outliner/internal/obs"
 	"outliner/internal/outline"
 	"outliner/internal/par"
 	"outliner/internal/sir"
@@ -71,6 +72,13 @@ type Config struct {
 	// (runtime.GOMAXPROCS(0)); 1 reproduces the fully serial pipeline.
 	// The built image is byte-identical for every value.
 	Parallelism int
+	// Tracer receives build telemetry: stage and worker spans (exportable
+	// as a Chrome trace), counters, and outliner decision remarks. nil
+	// means "telemetry off": the pipeline then runs a private timing-only
+	// collector (so Result.Timings stays available) whose overhead is a
+	// few time.Now calls per stage. Telemetry is strictly observational —
+	// the built image is byte-identical with any Tracer or none.
+	Tracer *obs.Tracer
 }
 
 // OSize is the production configuration the paper ships: whole program,
@@ -104,6 +112,10 @@ type Result struct {
 	Prog    *mir.Program
 	Image   *binimg.Image
 	Outline *outline.Stats
+	// Timings maps stage name to total time, derived from the tracer's
+	// stage spans: a stage that runs more than once — per outlining round,
+	// or per module in the default pipeline — reports the sum of its runs,
+	// never just the last one.
 	Timings map[string]time.Duration
 }
 
@@ -120,6 +132,7 @@ func CompileToSIR(src Source, cfg Config, imports *frontend.Imports) (*sir.Modul
 	if err != nil {
 		return nil, err
 	}
+	cfg.Tracer.Add("frontend/files", int64(len(files)))
 	prog, err := frontend.CheckModule(src.Name, imports, files...)
 	if err != nil {
 		return nil, err
@@ -128,6 +141,7 @@ func CompileToSIR(src Source, cfg Config, imports *frontend.Imports) (*sir.Modul
 	if err != nil {
 		return nil, err
 	}
+	cfg.Tracer.Add("frontend/sir_functions", int64(len(sm.Funcs)))
 	if cfg.SpecializeClosures {
 		sir.SpecializeClosures(sm)
 	}
@@ -199,8 +213,10 @@ func CompileToLLIR(src Source, cfg Config, imports *frontend.Imports) (*llir.Mod
 // the public declarations of every other module (as if all swiftmodule
 // interfaces were imported).
 func Build(sources []Source, cfg Config) (*Result, error) {
-	timings := map[string]time.Duration{}
-	tFront := time.Now()
+	tr := obs.Ensure(cfg.Tracer)
+	cfg.Tracer = tr
+	mark := tr.Mark()
+	front := tr.StartStage("frontend+permodule", 0)
 
 	// Parse everything once and build per-module import sets. Import
 	// construction stays serial: the sets share AST nodes across modules,
@@ -211,6 +227,7 @@ func Build(sources []Source, cfg Config) (*Result, error) {
 	for i, src := range sources {
 		files, err := ParseSource(src)
 		if err != nil {
+			front.End()
 			return nil, fmt.Errorf("pipeline: module %s: %w", src.Name, err)
 		}
 		parsed[i] = files
@@ -230,45 +247,48 @@ func Build(sources []Source, cfg Config) (*Result, error) {
 	// (CompileToLLIR re-parses the module's own files, so every worker
 	// type-checks private ASTs); results are collected in source order, so
 	// irlink.Link sees the same module sequence as the serial build.
-	mods, err := par.Map(cfg.Parallelism, len(sources), func(i int) (*llir.Module, error) {
+	mods, err := par.MapLanes(cfg.Parallelism, len(sources), func(lane, i int) (*llir.Module, error) {
+		sp := tr.StartSpan("frontend "+sources[i].Name, lane+1)
+		defer sp.End()
 		lm, err := CompileToLLIR(sources[i], cfg, imports[i])
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: module %s: %w", sources[i].Name, err)
 		}
 		return lm, nil
 	})
+	front.End()
 	if err != nil {
 		return nil, err
 	}
-	timings["frontend+permodule"] = time.Since(tFront)
 	res, err := BuildFromLLIR(mods, cfg)
 	if err != nil {
 		return nil, err
 	}
-	for k, v := range timings {
-		res.Timings[k] = v
-	}
+	res.Timings = tr.StageTotalsSince(mark)
 	return res, nil
 }
 
 // BuildFromLLIR finishes a build from per-module LLIR (used by the synthetic
 // app generator, which fabricates IR directly).
 func BuildFromLLIR(mods []*llir.Module, cfg Config) (*Result, error) {
-	timings := map[string]time.Duration{}
+	tr := obs.Ensure(cfg.Tracer)
+	cfg.Tracer = tr
+	mark := tr.Mark()
 	var prog *mir.Program
 
 	if cfg.WholeProgram {
-		tLink := time.Now()
+		sp := tr.StartStage("llvm-link", 0)
 		merged, err := irlink.Link(mods, irlink.Options{
 			SplitGCMetadata:     cfg.SplitGCMetadata,
 			PreserveModuleOrder: cfg.PreserveDataLayout,
+			Tracer:              tr,
 		})
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: irlink: %w", err)
 		}
-		timings["llvm-link"] = time.Since(tLink)
 
-		tOpt := time.Now()
+		sp = tr.StartStage("opt", 0)
 		if cfg.MergeFunctions {
 			llir.MergeFunctions(merged)
 		}
@@ -281,36 +301,41 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (*Result, error) {
 		})
 		if cfg.Verify {
 			if err := merged.Verify(); err != nil {
+				sp.End()
 				return nil, fmt.Errorf("pipeline: after whole-program opt: %w", err)
 			}
 		}
-		timings["opt"] = time.Since(tOpt)
+		sp.End()
 
-		tLLC := time.Now()
-		p, err := codegen.CompileWith(merged, cfg.Parallelism)
+		sp = tr.StartStage("llc", 0)
+		p, err := codegen.CompileTraced(merged, cfg.Parallelism, tr, 1)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		prog = p
-		timings["llc"] = time.Since(tLLC)
 	} else {
 		// Default pipeline: per-module codegen (and per-module outlining),
 		// then the system linker concatenates machine code. Modules are
 		// independent here — that is exactly the parallelism the paper's
 		// whole-program pipeline forfeits — so fan out one worker per
 		// module (inner stages stay serial to avoid oversubscription) and
-		// concatenate the parts in module order.
-		tLLC := time.Now()
+		// concatenate the parts in module order. Each worker's spans land
+		// on its own trace lane; the per-module "machine-outline" stage
+		// spans emitted inside workers sum into one total.
+		sp := tr.StartStage("llc", 0)
 		extern := externSyms(mods) // shared, read-only across workers
-		parts, err := par.Map(cfg.Parallelism, len(mods), func(i int) (*mir.Program, error) {
+		parts, err := par.MapLanes(cfg.Parallelism, len(mods), func(lane, i int) (*mir.Program, error) {
 			lm := mods[i]
+			wsp := tr.StartSpan("module "+lm.Name, lane+1)
+			defer wsp.End()
 			if cfg.MergeFunctions {
 				llir.MergeFunctions(lm)
 			}
 			if cfg.FMSA {
 				llir.MergeBySequenceAlignment(lm)
 			}
-			p, err := codegen.CompileWith(lm, 1)
+			p, err := codegen.CompileTraced(lm, 1, tr, lane+1)
 			if err != nil {
 				return nil, fmt.Errorf("pipeline: module %s: %w", lm.Name, err)
 			}
@@ -322,6 +347,9 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (*Result, error) {
 					Verify:        cfg.Verify,
 					ExternSyms:    extern,
 					Parallelism:   1,
+					Tracer:        tr,
+					TraceLane:     lane + 1,
+					RemarkModule:  lm.Name,
 				})
 				if err != nil {
 					return nil, err
@@ -329,34 +357,36 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (*Result, error) {
 			}
 			return p, nil
 		})
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
-		timings["llc"] = time.Since(tLLC)
-		tLD := time.Now()
+		sp = tr.StartStage("ld", 0)
 		prog = linkMachine(parts)
-		timings["ld"] = time.Since(tLD)
+		sp.End()
 	}
 
-	res := &Result{Prog: prog, Timings: timings}
+	res := &Result{Prog: prog}
 
 	if cfg.WholeProgram && cfg.CanonicalizeSequences {
 		outline.CanonicalizeCommutative(prog)
 	}
 	if cfg.WholeProgram && cfg.OutlineRounds > 0 {
-		tOutline := time.Now()
+		// No enclosing stage span here: the outliner emits one
+		// "machine-outline" stage span per round itself, and stage totals
+		// sum them into the Timings entry.
 		st, err := outline.Outline(prog, outline.Options{
 			Rounds:        cfg.OutlineRounds,
 			FlatCostModel: cfg.FlatOutlineCost,
 			Verify:        cfg.Verify,
 			ExternSyms:    llir.RuntimeSyms,
 			Parallelism:   cfg.Parallelism,
+			Tracer:        tr,
 		})
 		if err != nil {
 			return nil, err
 		}
 		res.Outline = st
-		timings["machine-outline"] = time.Since(tOutline)
 	}
 	if cfg.LayoutOutlined {
 		outline.LayoutOutlined(prog)
@@ -368,6 +398,7 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (*Result, error) {
 		}
 	}
 	res.Image = binimg.Build(prog)
+	res.Timings = tr.StageTotalsSince(mark)
 	return res, nil
 }
 

@@ -1,0 +1,142 @@
+package pipeline_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"outliner/internal/obs"
+	"outliner/internal/pipeline"
+)
+
+// TestTelemetryDoesNotPerturbBuild is the observability PR's hard
+// requirement: a build with full telemetry (fine spans, memstats, remarks)
+// is byte-identical to one with no tracer at all, at any worker count.
+func TestTelemetryDoesNotPerturbBuild(t *testing.T) {
+	plain := buildParallel(t, pipeline.OSize, 1)
+	for _, workers := range []int{1, 4} {
+		cfg := pipeline.OSize
+		cfg.Tracer = obs.NewWith(obs.Config{FineSpans: true, MemStats: true})
+		got := buildParallel(t, cfg, workers)
+		assertSameBuild(t, plain, got, "traced OSize, j="+itoa(workers))
+	}
+	// The default pipeline exercises the per-module codegen+outline fan-out.
+	def := pipeline.Default
+	def.SpecializeClosures = true
+	def.MergeFunctions = true
+	plainDef := buildParallel(t, def, 1)
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		cfg := def
+		cfg.Tracer = obs.NewWith(obs.Config{FineSpans: true, MemStats: true})
+		got := buildParallel(t, cfg, workers)
+		assertSameBuild(t, plainDef, got, "traced default, j="+itoa(workers))
+	}
+}
+
+// TestRemarksDeterministicAcrossWorkers asserts the serialized remarks
+// stream is byte-identical for serial and parallel builds — per-module
+// outlining emits remark batches from worker goroutines, and WriteRemarks
+// must order them stably.
+func TestRemarksDeterministicAcrossWorkers(t *testing.T) {
+	cfg := pipeline.Default
+	cfg.SpecializeClosures = true
+	cfg.MergeFunctions = true
+	remarksFor := func(workers int) string {
+		c := cfg
+		tr := obs.New()
+		c.Tracer = tr
+		buildParallel(t, c, workers)
+		var buf bytes.Buffer
+		if err := tr.WriteRemarks(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := remarksFor(1)
+	if serial == "" {
+		t.Fatal("no remarks emitted")
+	}
+	for _, workers := range []int{2, 4} {
+		if got := remarksFor(workers); got != serial {
+			t.Errorf("remarks stream differs between j=1 and j=%d", workers)
+		}
+	}
+}
+
+// TestTimingsSumAcrossRounds covers the Timings accumulation fix: five
+// outlining rounds each emit a "machine-outline" stage span and
+// Result.Timings must hold their sum, not the last round's time.
+func TestTimingsSumAcrossRounds(t *testing.T) {
+	tr := obs.New()
+	cfg := pipeline.OSize
+	cfg.Tracer = tr
+	res := buildParallel(t, cfg, 1)
+	if res.Timings["machine-outline"] <= 0 {
+		t.Fatalf("Timings missing machine-outline: %v", res.Timings)
+	}
+	rounds := tr.Counter("outline/rounds")
+	if rounds < 2 {
+		t.Fatalf("expected several outlining rounds, got %d", rounds)
+	}
+	if got, want := res.Timings["machine-outline"], tr.StageTotals()["machine-outline"]; got != want {
+		t.Errorf("Timings[machine-outline] = %v, stage total = %v", got, want)
+	}
+	for _, stage := range []string{"llvm-link", "opt", "llc"} {
+		if res.Timings[stage] <= 0 {
+			t.Errorf("Timings missing stage %q: %v", stage, res.Timings)
+		}
+	}
+}
+
+// TestRemarksCoverBuild cross-checks the remarks stream against the build's
+// own statistics: one "selected" remark per function the outliner created,
+// and every rejected remark names a reason.
+func TestRemarksCoverBuild(t *testing.T) {
+	tr := obs.New()
+	cfg := pipeline.OSize
+	cfg.Tracer = tr
+	res := buildParallel(t, cfg, 1)
+	selected := 0
+	for _, r := range tr.Remarks() {
+		switch r.Status {
+		case "selected":
+			selected++
+			if r.Function == "" {
+				t.Error("selected remark without a function name")
+			}
+		case "rejected":
+			if r.Reason == "" {
+				t.Errorf("rejected remark without a reason: %+v", r)
+			}
+		default:
+			t.Errorf("unknown remark status %q", r.Status)
+		}
+	}
+	created := 0
+	for _, rs := range res.Outline.Rounds {
+		created += rs.FunctionsCreated
+	}
+	if selected != created {
+		t.Errorf("%d selected remarks but %d functions created", selected, created)
+	}
+	if created != int(tr.Counter("outline/functions")) {
+		t.Errorf("outline/functions counter %d, stats say %d",
+			tr.Counter("outline/functions"), created)
+	}
+
+	// The trace the same build produced must be valid Chrome trace JSON.
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace has no events")
+	}
+}

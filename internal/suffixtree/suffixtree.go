@@ -51,6 +51,10 @@ func New(s []int) *Tree {
 	return t
 }
 
+// NodeCount returns the number of nodes in the tree (root included) — the
+// structure-size figure the telemetry layer reports per outlining round.
+func (t *Tree) NodeCount() int { return len(t.nodes) }
+
 func (t *Tree) newNode(start, end int) int {
 	t.nodes = append(t.nodes, node{start: start, end: end, link: noNode, suffixIx: -1})
 	return len(t.nodes) - 1

@@ -30,6 +30,7 @@ import (
 	"outliner/internal/exec"
 	"outliner/internal/llir"
 	"outliner/internal/mir"
+	"outliner/internal/obs"
 	"outliner/internal/outline"
 	"outliner/internal/pipeline"
 )
@@ -66,7 +67,35 @@ type Options struct {
 	// caller-adjacent placement of outlined functions after it.
 	CanonicalizeSequences bool
 	LayoutOutlined        bool
+	// Tracer, when non-nil, collects build telemetry: stage spans (Chrome
+	// trace JSON), counters, and outliner decision remarks. Telemetry is
+	// strictly observational — the build output is byte-identical with or
+	// without it.
+	Tracer *Tracer
 }
+
+// Tracer collects spans, counters, and outliner decision remarks for one or
+// more builds; see internal/obs. Create one with NewTracer, pass it in
+// Options, then write out its three products:
+//
+//	tr := outliner.NewTracer(outliner.TracerConfig{MemStats: true})
+//	opts := outliner.Production()
+//	opts.Tracer = tr
+//	res, err := outliner.Build(mods, opts)
+//	tr.WriteTraceFile("build.trace.json")   // open in Perfetto
+//	tr.WriteRemarksFile("remarks.jsonl")    // one record per candidate decision
+//	tr.WriteSummary(os.Stderr)              // human-readable table
+type Tracer = obs.Tracer
+
+// TracerConfig tunes what a Tracer collects beyond spans, counters, and
+// remarks (per-function codegen spans, per-stage allocation deltas).
+type TracerConfig = obs.Config
+
+// Remark is one outliner candidate decision from the remarks stream.
+type Remark = obs.Remark
+
+// NewTracer returns a telemetry collector with full collection tuned by cfg.
+func NewTracer(cfg TracerConfig) *Tracer { return obs.NewWith(cfg) }
 
 // Production returns the configuration the paper deployed: whole-program
 // pipeline, five rounds of repeated outlining, all passes, both fixes.
@@ -101,6 +130,7 @@ func (o Options) toConfig() pipeline.Config {
 		CanonicalizeSequences: o.CanonicalizeSequences,
 		LayoutOutlined:        o.LayoutOutlined,
 		Verify:                true,
+		Tracer:                o.Tracer,
 	}
 }
 
