@@ -20,6 +20,7 @@ import (
 	"outliner/internal/mir"
 	"outliner/internal/obs"
 	"outliner/internal/outline"
+	verifypkg "outliner/internal/verify"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 		trace   = flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto or chrome://tracing)")
 		remarks = flag.String("remarks", "", "write candidate decision remarks as JSONL")
 		summary = flag.Bool("summary", false, "print per-round counters and stage times to stderr")
+		verify  = flag.Bool("verify", true, "verify the input and every outlining round with the machine-code verifier")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -47,8 +49,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if err := prog.Verify(llir.RuntimeSyms); err != nil {
-		fatal(fmt.Errorf("input: %w", err))
+	if *verify {
+		if err := prog.Verify(llir.RuntimeSyms); err != nil {
+			fatal(fmt.Errorf("input: %w", err))
+		}
+		if err := verifypkg.Program(prog, llir.RuntimeSyms).Err(); err != nil {
+			fatal(fmt.Errorf("input: %w", err))
+		}
 	}
 
 	if *analyze {
@@ -68,7 +75,7 @@ func main() {
 	stats, err := outline.Outline(prog, outline.Options{
 		Rounds:        *rounds,
 		FlatCostModel: *flat,
-		Verify:        true,
+		Verify:        *verify,
 		ExternSyms:    llir.RuntimeSyms,
 		Parallelism:   *jobs,
 		Tracer:        tracer,

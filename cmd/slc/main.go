@@ -46,6 +46,7 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto or chrome://tracing)")
 		remarks  = flag.String("remarks", "", "write outliner decision remarks as JSONL (one record per candidate decision)")
 		summary  = flag.Bool("summary", false, "print an end-of-build summary: stage times, counters, outlining convergence")
+		verify   = flag.Bool("verify", true, "run the machine-code verifier after each pipeline stage and outlining round")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -80,7 +81,7 @@ func main() {
 		PreserveDataLayout: true,
 		SplitGCMetadata:    true,
 		FlatOutlineCost:    *flat,
-		Verify:             true,
+		Verify:             *verify,
 		Parallelism:        *jobs,
 		Tracer:             tracer,
 	}

@@ -103,7 +103,10 @@ func GenerateKernelLike(seed int64, nFuncs int) *mir.Program {
 	for fi := 0; fi < nFuncs; fi++ {
 		f := &mir.Function{Name: fmt.Sprintf("sys_handler_%04d", fi), Module: "kernel"}
 		entry := &mir.Block{Label: "entry"}
-		frame := int64(48 + 16*rng.Intn(5))
+		// 64-byte minimum: fp/lr at 0, callee-saved at 16, cookie at 32/40,
+		// scratch slots at 48/56 — everything inside the frame (the machine
+		// verifier checks that SP-relative accesses stay in bounds).
+		frame := int64(64 + 16*rng.Intn(5))
 		cs := csPairs[rng.Intn(len(csPairs))]
 
 		// Prologue with stack-protector setup: load the cookie, stash it in
@@ -152,7 +155,7 @@ func GenerateKernelLike(seed int64, nFuncs int) *mir.Program {
 					isa.Inst{Op: isa.MUL, Rd: cs[0], Rn: cs[0], Rm: t},
 				)
 			default:
-				slot := int64(40 + 8*rng.Intn(2))
+				slot := int64(48 + 8*rng.Intn(2))
 				entry.Insts = append(entry.Insts,
 					isa.Inst{Op: isa.LDRui, Rd: t, Rn: isa.SP, Imm: slot},
 					isa.Inst{Op: isa.ADDri, Rd: t, Rn: t, Imm: int64(rng.Intn(4096))},

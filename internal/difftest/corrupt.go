@@ -1,0 +1,77 @@
+package difftest
+
+import (
+	"outliner/internal/isa"
+	"outliner/internal/mir"
+)
+
+// CorruptOutlined injects a deterministic miscompile into prog: it flips
+// the low bit of the first MOVZ immediate found inside an outlined
+// function, simulating an outliner that extracted a sequence incorrectly.
+// The mutation is semantic, not structural — the corrupted program still
+// passes the machine verifier — so only differential execution can catch
+// it. Returns the corrupted function's name, or "" when prog has no
+// outlined MOVZ (e.g. a build with outlining disabled, which is exactly
+// why an injected corruption shows up as a lattice divergence).
+func CorruptOutlined(prog *mir.Program) string {
+	for _, f := range prog.Funcs {
+		if !f.Outlined {
+			continue
+		}
+		for _, b := range f.Blocks {
+			for i := range b.Insts {
+				if b.Insts[i].Op == isa.MOVZ {
+					b.Insts[i].Imm ^= 1
+					return f.Name
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// CorruptOutlinedImm flips the low bit of every MOVZ with immediate imm
+// inside outlined functions, returning the number of corrupted sites. This
+// corrupts one outlined *pattern* — the repeated sequence materializing
+// that constant — which keeps the injection stable while a reducer shrinks
+// the program around it: as long as any survivor of the pattern remains
+// outlined, the miscompile persists.
+func CorruptOutlinedImm(prog *mir.Program, imm int64) int {
+	n := 0
+	for _, f := range prog.Funcs {
+		if !f.Outlined {
+			continue
+		}
+		for _, b := range f.Blocks {
+			for i := range b.Insts {
+				if b.Insts[i].Op == isa.MOVZ && b.Insts[i].Imm == imm {
+					b.Insts[i].Imm ^= 1
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// OutlinedMOVZImms returns the distinct MOVZ immediates appearing in
+// prog's outlined functions, in first-appearance order — the candidate
+// injection sites for CorruptOutlinedImm.
+func OutlinedMOVZImms(prog *mir.Program) []int64 {
+	seen := map[int64]bool{}
+	var out []int64
+	for _, f := range prog.Funcs {
+		if !f.Outlined {
+			continue
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Insts {
+				if in.Op == isa.MOVZ && !seen[in.Imm] {
+					seen[in.Imm] = true
+					out = append(out, in.Imm)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+// Package difftest is the repo's differential-testing engine: it compiles
+// the same program under a lattice of pipeline configurations, executes
+// every build, and requires semantic agreement. Any miscompilation anywhere
+// in the stack — frontend, SIL passes, IR linking, codegen, or any number
+// of outlining rounds — surfaces as a Divergence between two lattice points.
+//
+// The package generalizes what the pipeline's differential test did inline:
+//
+//   - Lattice: named pipeline.Config points ordered by aggressiveness, from
+//     the per-module no-outlining baseline up to the paper's full -Osize
+//     whole-program configuration plus the §VIII extensions.
+//   - Oracle: builds and runs a program at each point and classifies
+//     disagreements (build failure, output mismatch, trap mismatch, step
+//     budget divergence). Step-budget exhaustion on the reference build is
+//     inconclusive, never a failure.
+//   - Reduce: a delta-debugging reducer that shrinks a divergent program to
+//     a locally-minimal SwiftLite reproduction by dropping whole modules,
+//     then top-level declarations, then brace-balanced statement groups,
+//     re-checking the oracle after every candidate.
+//
+// FuzzFrontend and FuzzPipeline (in this package's test files) feed both
+// ends: random bytes through the frontend, and random appgen seeds times
+// config bits through the oracle. cmd/reduce wraps Reduce as a CLI.
+package difftest
+
+import (
+	"fmt"
+
+	"outliner/internal/pipeline"
+)
+
+// Point is one named configuration in the lattice. Rank orders points by
+// aggressiveness: a higher rank enables at least as many transformations.
+type Point struct {
+	Name   string
+	Rank   int
+	Config pipeline.Config
+}
+
+// Lattice returns the standard comparison points in aggressiveness order.
+// The first point is the reference: the default per-module pipeline with no
+// outlining at all. Every point has Verify forced on, so the machine
+// verifier gates each build before the oracle ever executes it.
+func Lattice() []Point {
+	pts := []Point{
+		{Name: "baseline", Config: pipeline.Config{}},
+		{Name: "default-osize", Config: pipeline.Default},
+		{Name: "wp-1round", Config: pipeline.Config{
+			WholeProgram: true, OutlineRounds: 1,
+			SplitGCMetadata: true, PreserveDataLayout: true}},
+		{Name: "wp-flatcost", Config: pipeline.Config{
+			WholeProgram: true, OutlineRounds: 5, FlatOutlineCost: true,
+			SplitGCMetadata: true}},
+		{Name: "wp-merge-fmsa", Config: pipeline.Config{
+			WholeProgram: true, OutlineRounds: 4, MergeFunctions: true,
+			FMSA: true, SILOutline: true, SpecializeClosures: true,
+			SplitGCMetadata: true}},
+		{Name: "osize", Config: pipeline.OSize},
+		{Name: "wp-extensions", Config: pipeline.Config{
+			WholeProgram: true, OutlineRounds: 5, CanonicalizeSequences: true,
+			LayoutOutlined: true, SILOutline: true, SpecializeClosures: true,
+			SplitGCMetadata: true}},
+	}
+	for i := range pts {
+		pts[i].Rank = i
+		pts[i].Config.Verify = true
+	}
+	return pts
+}
+
+// SmokeLattice returns the three cheapest representative points — the
+// baseline, the default per-module -Osize pipeline, and the full
+// whole-program -Osize pipeline — for always-on smoke testing.
+func SmokeLattice() []Point {
+	all := Lattice()
+	return []Point{all[0], pointNamed(all, "default-osize"), pointNamed(all, "osize")}
+}
+
+func pointNamed(pts []Point, name string) Point {
+	for _, p := range pts {
+		if p.Name == name {
+			return p
+		}
+	}
+	panic("difftest: no lattice point named " + name)
+}
+
+// PointNamed looks up a standard lattice point by name.
+func PointNamed(name string) (Point, bool) {
+	for _, p := range Lattice() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+// PointFromBits derives a configuration from fuzzed bits, so the pipeline
+// fuzzer explores config corners the named lattice does not enumerate.
+// SplitGCMetadata is forced on for whole-program builds: mixed
+// Swift/Objective-C programs are documented (§VI-2) not to link without it,
+// so its absence is a known limitation rather than a miscompile.
+func PointFromBits(bits uint64) Point {
+	cfg := pipeline.Config{
+		WholeProgram:          bits&1 != 0,
+		OutlineRounds:         int(bits>>1) & 3,
+		SILOutline:            bits&(1<<3) != 0,
+		SpecializeClosures:    bits&(1<<4) != 0,
+		MergeFunctions:        bits&(1<<5) != 0,
+		FMSA:                  bits&(1<<6) != 0,
+		FlatOutlineCost:       bits&(1<<7) != 0,
+		PreserveDataLayout:    bits&(1<<8) != 0,
+		CanonicalizeSequences: bits&(1<<9) != 0,
+		LayoutOutlined:        bits&(1<<10) != 0,
+		Verify:                true,
+	}
+	cfg.SplitGCMetadata = cfg.WholeProgram
+	return Point{Name: fmt.Sprintf("bits-%#x", bits), Rank: 1, Config: cfg}
+}

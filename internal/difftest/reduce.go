@@ -1,0 +1,335 @@
+package difftest
+
+import (
+	"strings"
+
+	"outliner/internal/appgen"
+)
+
+// ReduceOptions tunes the delta-debugging reducer.
+type ReduceOptions struct {
+	// MaxAttempts bounds how many candidate programs the reducer may test
+	// (0 = 2000). Each attempt costs one Interesting call, which for the
+	// oracle-backed predicate means building at every lattice point.
+	MaxAttempts int
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// Reduce delta-debugs mods to a locally-minimal program that still
+// satisfies interesting. It drops candidates at three granularities —
+// whole modules, then top-level declarations (column-0 func/class blocks),
+// then brace-balanced statement groups inside declarations — re-testing
+// interesting after every drop and looping to a fixpoint. Candidates that
+// no longer compile simply fail the predicate (the oracle reports a
+// reference build error), so the reducer never needs source-level validity
+// analysis. mods is not modified; the reduced copy is returned.
+//
+// If mods is not interesting to begin with, it is returned unchanged.
+func Reduce(mods []appgen.Module, interesting func([]appgen.Module) bool, opts ReduceOptions) []appgen.Module {
+	r := &reducer{
+		interesting: interesting,
+		maxAttempts: opts.MaxAttempts,
+		logf:        opts.Log,
+	}
+	if r.maxAttempts <= 0 {
+		r.maxAttempts = 2000
+	}
+	if r.logf == nil {
+		r.logf = func(string, ...any) {}
+	}
+	cur := copyModules(mods)
+	if !r.try(cur) {
+		r.logf("input is not interesting; nothing to reduce")
+		return cur
+	}
+	for pass := 1; ; pass++ {
+		before := Size(cur)
+		cur = r.dropModules(cur)
+		cur = r.dropChunks(cur, false)
+		cur = r.dropChunks(cur, true)
+		r.logf("pass %d: %d -> %d bytes (%d attempts)", pass, before, Size(cur), r.attempts)
+		if Size(cur) == before || r.exhausted() {
+			return cur
+		}
+	}
+}
+
+// Size returns the total source byte count of mods — the metric Reduce
+// minimizes.
+func Size(mods []appgen.Module) int {
+	n := 0
+	for _, m := range mods {
+		for _, text := range m.Files {
+			n += len(text)
+		}
+	}
+	return n
+}
+
+type reducer struct {
+	interesting func([]appgen.Module) bool
+	attempts    int
+	maxAttempts int
+	logf        func(string, ...any)
+}
+
+func (r *reducer) exhausted() bool { return r.attempts >= r.maxAttempts }
+
+func (r *reducer) try(mods []appgen.Module) bool {
+	if r.exhausted() {
+		return false
+	}
+	r.attempts++
+	return r.interesting(mods)
+}
+
+// dropModules greedily removes whole modules.
+func (r *reducer) dropModules(cur []appgen.Module) []appgen.Module {
+	for i := len(cur) - 1; i >= 0 && len(cur) > 1; i-- {
+		cand := append(append([]appgen.Module{}, cur[:i]...), cur[i+1:]...)
+		if r.try(cand) {
+			r.logf("dropped module %s", cur[i].Name)
+			cur = cand
+		}
+	}
+	return cur
+}
+
+// dropChunks removes declarations (stmts=false) or statement groups inside
+// declarations (stmts=true) from every file of every module.
+func (r *reducer) dropChunks(cur []appgen.Module, stmts bool) []appgen.Module {
+	for mi := 0; mi < len(cur) && !r.exhausted(); mi++ {
+		name := cur[mi].Name
+		for _, fname := range sortedKeys(cur[mi].Files) {
+			cur = r.reduceFile(cur, mi, fname, stmts)
+			if mi >= len(cur) || cur[mi].Name != name {
+				mi-- // the module emptied out and was removed; revisit the slot
+				break
+			}
+			if r.exhausted() {
+				return cur
+			}
+		}
+	}
+	return cur
+}
+
+// reduceFile sweeps one file's chunks back to front exactly once, applying
+// every accepted drop in place — a rejected chunk is never re-tried within
+// the sweep, which keeps the attempt count linear in the chunk count (the
+// outer fixpoint loop in Reduce provides the re-tries).
+func (r *reducer) reduceFile(cur []appgen.Module, mi int, fname string, stmts bool) []appgen.Module {
+	modName := cur[mi].Name
+	chunks := splitDecls(cur[mi].Files[fname])
+	if !stmts {
+		for ci := len(chunks) - 1; ci >= 0 && !r.exhausted(); ci-- {
+			if !chunks[ci].decl {
+				continue
+			}
+			cand := rebuildFile(cur, mi, fname, joinChunks(chunks, ci))
+			if !r.try(cand) {
+				continue
+			}
+			r.logf("dropped decl %q from %s/%s", declName(chunks[ci]), modName, fname)
+			cur = cand
+			if mi >= len(cur) || cur[mi].Name != modName {
+				return cur // file emptied; module slot is gone
+			}
+			if _, ok := cur[mi].Files[fname]; !ok {
+				return cur
+			}
+			chunks = append(chunks[:ci], chunks[ci+1:]...)
+		}
+		return cur
+	}
+	for ci := range chunks {
+		if !chunks[ci].decl {
+			continue
+		}
+		groups := stmtGroups(chunks[ci].body())
+		for gi := len(groups) - 1; gi >= 0 && !r.exhausted(); gi-- {
+			cand := rebuildFile(cur, mi, fname, joinChunksWithoutGroup(chunks, ci, groups, gi))
+			if !r.try(cand) {
+				continue
+			}
+			r.logf("dropped %d-line group from %q in %s/%s",
+				len(groups[gi]), declName(chunks[ci]), modName, fname)
+			cur = cand
+			groups = append(groups[:gi], groups[gi+1:]...)
+			// Rebuild the chunk so later joins in this sweep see the drop.
+			lines := []string{chunks[ci].lines[0]}
+			for _, g := range groups {
+				lines = append(lines, g...)
+			}
+			chunks[ci].lines = append(lines, chunks[ci].lines[len(chunks[ci].lines)-1])
+		}
+	}
+	return cur
+}
+
+// rebuildFile returns a copy of cur with module mi's file fname replaced by
+// text (dropping the file when empty, and the module when fileless).
+func rebuildFile(cur []appgen.Module, mi int, fname, text string) []appgen.Module {
+	out := copyModules(cur)
+	if strings.TrimSpace(text) == "" {
+		delete(out[mi].Files, fname)
+	} else {
+		out[mi].Files[fname] = text
+	}
+	if len(out[mi].Files) == 0 && len(out) > 1 {
+		out = append(out[:mi], out[mi+1:]...)
+	}
+	return out
+}
+
+func copyModules(mods []appgen.Module) []appgen.Module {
+	out := make([]appgen.Module, len(mods))
+	for i, m := range mods {
+		files := make(map[string]string, len(m.Files))
+		for k, v := range m.Files {
+			files[k] = v
+		}
+		out[i] = appgen.Module{Name: m.Name, ObjC: m.ObjC, Files: files}
+	}
+	return out
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ { // insertion sort; file counts are tiny
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// ---- SwiftLite source chunking ----
+//
+// Generated (and handwritten) SwiftLite places top-level declarations at
+// column 0 and closes them with a bare "}" at column 0, so the reducer can
+// chunk structurally without a parse. A wrong split merely produces an
+// uninteresting candidate — correctness never depends on the chunker.
+
+// chunk is a run of source lines: either one top-level declaration or the
+// filler between declarations.
+type chunk struct {
+	lines []string
+	decl  bool
+}
+
+// body returns a declaration's interior lines (between the header and the
+// closing brace).
+func (c chunk) body() []string {
+	if !c.decl || len(c.lines) < 2 {
+		return nil
+	}
+	return c.lines[1 : len(c.lines)-1]
+}
+
+func declName(c chunk) string {
+	if len(c.lines) == 0 {
+		return ""
+	}
+	header := c.lines[0]
+	if i := strings.IndexAny(header, "({"); i > 0 {
+		header = header[:i]
+	}
+	return strings.TrimSpace(header)
+}
+
+// splitDecls splits a file into declaration and filler chunks.
+func splitDecls(text string) []chunk {
+	lines := strings.Split(text, "\n")
+	var out []chunk
+	var filler []string
+	flush := func() {
+		if len(filler) > 0 {
+			out = append(out, chunk{lines: filler})
+			filler = nil
+		}
+	}
+	for i := 0; i < len(lines); i++ {
+		l := lines[i]
+		if strings.HasPrefix(l, "func ") || strings.HasPrefix(l, "class ") {
+			// Find the matching column-0 closing brace.
+			end := -1
+			for j := i; j < len(lines); j++ {
+				if lines[j] == "}" {
+					end = j
+					break
+				}
+			}
+			if end < 0 {
+				filler = append(filler, l)
+				continue
+			}
+			flush()
+			out = append(out, chunk{lines: lines[i : end+1], decl: true})
+			i = end
+			continue
+		}
+		filler = append(filler, l)
+	}
+	flush()
+	return out
+}
+
+// stmtGroups splits a declaration body into brace-balanced line groups: a
+// plain statement is its own group; an if/loop/member block spans from its
+// opening line to the line restoring brace balance.
+func stmtGroups(body []string) [][]string {
+	var groups [][]string
+	var group []string
+	depth := 0
+	for _, l := range body {
+		group = append(group, l)
+		depth += strings.Count(l, "{") - strings.Count(l, "}")
+		if depth <= 0 {
+			depth = 0
+			groups = append(groups, group)
+			group = nil
+		}
+	}
+	if len(group) > 0 {
+		groups = append(groups, group)
+	}
+	return groups
+}
+
+// joinChunks reassembles a file, omitting chunk dropCi.
+func joinChunks(chunks []chunk, dropCi int) string {
+	var lines []string
+	for ci, c := range chunks {
+		if ci == dropCi {
+			continue
+		}
+		lines = append(lines, c.lines...)
+	}
+	return strings.Join(lines, "\n")
+}
+
+// joinChunksWithoutGroup reassembles a file with statement group dropGi
+// removed from declaration chunk ci.
+func joinChunksWithoutGroup(chunks []chunk, ci int, groups [][]string, dropGi int) string {
+	var lines []string
+	for i, c := range chunks {
+		if i != ci {
+			lines = append(lines, c.lines...)
+			continue
+		}
+		lines = append(lines, c.lines[0])
+		for gi, g := range groups {
+			if gi == dropGi {
+				continue
+			}
+			lines = append(lines, g...)
+		}
+		lines = append(lines, c.lines[len(c.lines)-1])
+	}
+	return strings.Join(lines, "\n")
+}

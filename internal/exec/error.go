@@ -1,0 +1,75 @@
+package exec
+
+import "fmt"
+
+// ErrorKind classifies why a run stopped abnormally. The differential-testing
+// oracle keys on this: a budget exhaustion is inconclusive, while a trap or a
+// wild memory access after outlining is a miscompile.
+type ErrorKind int
+
+const (
+	// KindTrap covers deliberate machine traps: BRK, division by zero,
+	// unknown symbols, jumps to non-instruction addresses, unimplemented
+	// opcodes.
+	KindTrap ErrorKind = iota
+	// KindMaxSteps means the step budget was exhausted before the program
+	// returned.
+	KindMaxSteps
+	// KindBadMemory covers unaligned and out-of-segment memory accesses.
+	KindBadMemory
+)
+
+func (k ErrorKind) String() string {
+	switch k {
+	case KindTrap:
+		return "trap"
+	case KindMaxSteps:
+		return "max-steps"
+	case KindBadMemory:
+		return "bad-memory"
+	}
+	return fmt.Sprintf("ErrorKind(%d)", int(k))
+}
+
+// Error is the typed failure every abnormal Machine.Run result unwraps to
+// (errors.As). PC, Func, Inst, and Step locate the fault; Msg carries the
+// cause ("division by zero", "bad memory access at 0x40", ...).
+type Error struct {
+	Kind ErrorKind
+	PC   int64  // code address of the faulting instruction (0 when unknown)
+	Func string // function containing PC ("" when unknown)
+	Inst string // disassembled faulting instruction ("" when unknown)
+	Step int64  // dynamic instruction count at the fault (0 when unknown)
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	switch {
+	case e.Func != "" && e.Inst != "":
+		return fmt.Sprintf("exec: at %#x (%s in @%s): %s", e.PC, e.Inst, e.Func, e.Msg)
+	case e.Func != "":
+		return fmt.Sprintf("exec: at %#x (@%s): %s", e.PC, e.Func, e.Msg)
+	}
+	return "exec: " + e.Msg
+}
+
+// trapf builds a context-free trap error; Run attaches PC/function/step.
+func trapf(format string, args ...any) *Error {
+	return &Error{Kind: KindTrap, Msg: fmt.Sprintf(format, args...)}
+}
+
+// memf builds a context-free bad-memory error; Run attaches context.
+func memf(format string, args ...any) *Error {
+	return &Error{Kind: KindBadMemory, Msg: fmt.Sprintf(format, args...)}
+}
+
+// prefixErr prepends printf-style context to an error's message, preserving
+// the typed *Error (kind and all) when there is one.
+func prefixErr(err error, format string, args ...any) error {
+	pre := fmt.Sprintf(format, args...)
+	if e, ok := err.(*Error); ok {
+		e.Msg = pre + ": " + e.Msg
+		return e
+	}
+	return fmt.Errorf("%s: %w", pre, err)
+}

@@ -1,0 +1,168 @@
+package exec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"outliner/internal/mir"
+)
+
+// runErr runs @main and requires a typed *Error failure.
+func runErr(t *testing.T, src string, maxSteps int64) *Error {
+	t.Helper()
+	p, err := mir.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	m, err := New(p, Options{MaxSteps: maxSteps})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	_, err = m.Run("main")
+	if err == nil {
+		t.Fatal("Run succeeded, want a failure")
+	}
+	var e *Error
+	if !errors.As(err, &e) {
+		t.Fatalf("error %v (%T) is not a *exec.Error", err, err)
+	}
+	return e
+}
+
+func TestErrorKindTrap(t *testing.T) {
+	e := runErr(t, `
+func @main {
+entry:
+  MOVZXi $x0, #1
+  BRK #7
+}
+`, 1000)
+	if e.Kind != KindTrap {
+		t.Errorf("Kind = %v, want trap", e.Kind)
+	}
+	if e.Func != "main" || e.PC <= 0 || e.Step != 2 {
+		t.Errorf("context = %+v, want Func=main, PC>0, Step=2", e)
+	}
+	if !strings.Contains(e.Error(), "trap (BRK #7)") || !strings.Contains(e.Error(), "@main") {
+		t.Errorf("Error() = %q", e.Error())
+	}
+}
+
+func TestErrorKindBadMemory(t *testing.T) {
+	e := runErr(t, `
+func @victim {
+entry:
+  LDRXui $x0, $x1, #0
+  RET
+}
+func @main {
+entry:
+  STPXpre $x29, $x30, $sp, #-16
+  MOVZXi $x1, #64
+  BL @victim
+  LDPXpost $x29, $x30, $sp, #16
+  RET
+}
+`, 1000)
+	if e.Kind != KindBadMemory {
+		t.Errorf("Kind = %v, want bad-memory", e.Kind)
+	}
+	if e.Func != "victim" {
+		t.Errorf("Func = %q, want the faulting frame", e.Func)
+	}
+	if !strings.Contains(e.Inst, "LDRXui") {
+		t.Errorf("Inst = %q, want the faulting load", e.Inst)
+	}
+	if !strings.Contains(e.Msg, "bad memory access") {
+		t.Errorf("Msg = %q", e.Msg)
+	}
+}
+
+func TestErrorKindBadMemoryUnaligned(t *testing.T) {
+	e := runErr(t, `
+func @main {
+entry:
+  MOVZXi $x1, #65537
+  LDRXui $x0, $x1, #0
+  RET
+}
+`, 1000)
+	if e.Kind != KindBadMemory || !strings.Contains(e.Msg, "unaligned") {
+		t.Errorf("e = %+v, want unaligned bad-memory", e)
+	}
+}
+
+func TestErrorKindMaxSteps(t *testing.T) {
+	e := runErr(t, `
+func @main {
+entry:
+  B @entry
+}
+`, 1000)
+	if e.Kind != KindMaxSteps {
+		t.Errorf("Kind = %v, want max-steps", e.Kind)
+	}
+	if e.Step != 1000 {
+		t.Errorf("Step = %d, want the exhausted budget", e.Step)
+	}
+	if e.Func != "main" {
+		t.Errorf("Func = %q, want the spinning frame", e.Func)
+	}
+	if !strings.Contains(e.Error(), "step limit (1000)") {
+		t.Errorf("Error() = %q", e.Error())
+	}
+}
+
+func TestErrorKindTrapDivisionByZero(t *testing.T) {
+	e := runErr(t, `
+func @main {
+entry:
+  MOVZXi $x0, #1
+  MOVZXi $x1, #0
+  SDIVXr $x0, $x0, $x1
+  RET
+}
+`, 1000)
+	if e.Kind != KindTrap || !strings.Contains(e.Msg, "division by zero") {
+		t.Errorf("e = %+v, want division-by-zero trap", e)
+	}
+}
+
+// Faults raised inside runtime pseudo-calls keep their kind and are pinned to
+// the calling instruction.
+func TestErrorInRuntimeCallKeepsKind(t *testing.T) {
+	e := runErr(t, `
+func @main {
+entry:
+  STPXpre $x29, $x30, $sp, #-16
+  MOVZXi $x0, #64
+  BL @print_str
+  LDPXpost $x29, $x30, $sp, #16
+  RET
+}
+`, 1000)
+	if e.Kind != KindBadMemory {
+		t.Errorf("Kind = %v, want bad-memory through the runtime call", e.Kind)
+	}
+	if e.Func != "main" || !strings.Contains(e.Inst, "BL") {
+		t.Errorf("context = %+v, want the BL site in @main", e)
+	}
+	if !strings.Contains(e.Msg, "print_str of bad pointer") {
+		t.Errorf("Msg = %q, want the runtime-call prefix", e.Msg)
+	}
+}
+
+func TestErrorKindString(t *testing.T) {
+	cases := map[ErrorKind]string{
+		KindTrap:      "trap",
+		KindMaxSteps:  "max-steps",
+		KindBadMemory: "bad-memory",
+		ErrorKind(99): "ErrorKind(99)",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

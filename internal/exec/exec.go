@@ -188,7 +188,7 @@ func (m *Machine) addrIndex(addr int64) (int, error) {
 			hi = mid - 1
 		}
 	}
-	return 0, fmt.Errorf("exec: jump to non-instruction address %#x", addr)
+	return 0, trapf("jump to non-instruction address %#x", addr)
 }
 
 // Output returns everything printed so far.
@@ -215,15 +215,16 @@ func (m *Machine) Run(name string) (string, error) {
 	}
 	steps := int64(0)
 	for {
+		ci := &m.code[idx]
 		if steps >= m.opts.MaxSteps {
-			return m.Output(), fmt.Errorf("exec: step limit (%d) exceeded — runaway loop?", m.opts.MaxSteps)
+			e := &Error{Kind: KindMaxSteps,
+				Msg: fmt.Sprintf("step limit (%d) exceeded — runaway loop?", m.opts.MaxSteps)}
+			return m.Output(), m.fault(e, ci, steps)
 		}
 		steps++
-		ci := &m.code[idx]
 		nextAddr, err := m.step(ci)
 		if err != nil {
-			return m.Output(), fmt.Errorf("exec: at %#x (%s in @%s): %w",
-				ci.addr, ci.in, m.prog.Funcs[ci.fn].Name, err)
+			return m.Output(), m.fault(err, ci, steps)
 		}
 		m.stats.DynamicInsts++
 		if m.outlined[ci.fn] {
@@ -237,7 +238,7 @@ func (m *Machine) Run(name string) (string, error) {
 			if idx >= len(m.code) || m.code[idx].addr != nextAddr {
 				i, err := m.addrIndex(nextAddr)
 				if err != nil {
-					return m.Output(), err
+					return m.Output(), m.fault(err, ci, steps)
 				}
 				idx = i
 			}
@@ -248,7 +249,7 @@ func (m *Machine) Run(name string) (string, error) {
 			if nextAddr >= rtBase {
 				ret, err := m.runtimeCall(nextAddr)
 				if err != nil {
-					return m.Output(), err
+					return m.Output(), m.fault(err, ci, steps)
 				}
 				nextAddr = ret
 				continue
@@ -260,10 +261,25 @@ func (m *Machine) Run(name string) (string, error) {
 		}
 		i, err := m.addrIndex(nextAddr)
 		if err != nil {
-			return m.Output(), err
+			return m.Output(), m.fault(err, ci, steps)
 		}
 		idx = i
 	}
+}
+
+// fault attaches instruction context to an execution error. Errors raised
+// below step (memory system, runtime calls) are context-free *Error values;
+// anything else is wrapped as a trap so every Run failure unwraps to *Error.
+func (m *Machine) fault(err error, ci *codeInst, steps int64) *Error {
+	e, ok := err.(*Error)
+	if !ok {
+		e = &Error{Kind: KindTrap, Msg: err.Error()}
+	}
+	e.PC = ci.addr
+	e.Func = m.prog.Funcs[ci.fn].Name
+	e.Inst = ci.in.String()
+	e.Step = steps
+	return e
 }
 
 func (m *Machine) get(r isa.Reg) int64 {
@@ -300,7 +316,7 @@ func (m *Machine) store(addr, v int64) error {
 
 func (m *Machine) slot(addr int64) (*int64, error) {
 	if addr%8 != 0 {
-		return nil, fmt.Errorf("unaligned access at %#x", addr)
+		return nil, memf("unaligned access at %#x", addr)
 	}
 	switch {
 	case addr >= globalsBase && addr < globalsBase+int64(len(m.globals))*8:
@@ -310,13 +326,13 @@ func (m *Machine) slot(addr int64) (*int64, error) {
 	case addr >= stackBase && addr < stackBase+stackSize:
 		return &m.stack[(addr-stackBase)/8], nil
 	}
-	return nil, fmt.Errorf("bad memory access at %#x", addr)
+	return nil, memf("bad memory access at %#x", addr)
 }
 
 // alloc bump-allocates n words and returns the block address.
 func (m *Machine) alloc(words int64) (int64, error) {
 	if words < 0 || words > 1<<24 {
-		return 0, fmt.Errorf("bad allocation size %d words", words)
+		return 0, trapf("bad allocation size %d words", words)
 	}
 	addr := m.heapNext
 	m.heap = append(m.heap, make([]int64, words)...)
@@ -357,7 +373,7 @@ func (m *Machine) step(ci *codeInst) (int64, error) {
 		if a, ok := runtimeAddr(sym); ok {
 			return a, nil
 		}
-		return 0, fmt.Errorf("unknown symbol %q", sym)
+		return 0, trapf("unknown symbol %q", sym)
 	}
 
 	switch in.Op {
@@ -382,7 +398,7 @@ func (m *Machine) step(ci *codeInst) (int64, error) {
 	case isa.SDIV:
 		d := m.get(in.Rm)
 		if d == 0 {
-			return 0, fmt.Errorf("division by zero")
+			return 0, trapf("division by zero")
 		}
 		m.set(in.Rd, m.get(in.Rn)/d)
 	case isa.MSUB:
@@ -497,7 +513,7 @@ func (m *Machine) step(ci *codeInst) (int64, error) {
 		} else if a, ok := runtimeAddr(in.Sym); ok {
 			m.set(in.Rd, a)
 		} else {
-			return 0, fmt.Errorf("unknown symbol %q", in.Sym)
+			return 0, trapf("unknown symbol %q", in.Sym)
 		}
 	case isa.B:
 		if a, ok := labelAddr(in.Sym); ok {
@@ -516,7 +532,7 @@ func (m *Machine) step(ci *codeInst) (int64, error) {
 		if m.condHolds(in.Cond) {
 			a, ok := labelAddr(in.Sym)
 			if !ok {
-				return 0, fmt.Errorf("unknown label %q", in.Sym)
+				return 0, trapf("unknown label %q", in.Sym)
 			}
 			branchTo(a)
 			m.stats.Taken++
@@ -527,7 +543,7 @@ func (m *Machine) step(ci *codeInst) (int64, error) {
 		if (in.Op == isa.CBZ && v == 0) || (in.Op == isa.CBNZ && v != 0) {
 			a, ok := labelAddr(in.Sym)
 			if !ok {
-				return 0, fmt.Errorf("unknown label %q", in.Sym)
+				return 0, trapf("unknown label %q", in.Sym)
 			}
 			branchTo(a)
 			m.stats.Taken++
@@ -549,10 +565,10 @@ func (m *Machine) step(ci *codeInst) (int64, error) {
 		m.stats.Branches++
 		m.stats.Taken++
 	case isa.BRK:
-		return 0, fmt.Errorf("trap (BRK #%d)", in.Imm)
+		return 0, trapf("trap (BRK #%d)", in.Imm)
 	case isa.NOP:
 	default:
-		return 0, fmt.Errorf("unimplemented opcode %s", isa.OpName(in.Op))
+		return 0, trapf("unimplemented opcode %s", isa.OpName(in.Op))
 	}
 	return next, nil
 }
@@ -610,7 +626,7 @@ func (m *Machine) runtimeCall(addr int64) (int64, error) {
 		arr, elem := x0, m.regs[isa.X1]
 		n, err := m.load(arr + 8)
 		if err != nil {
-			return 0, fmt.Errorf("append to bad array %#x: %w", arr, err)
+			return 0, prefixErr(err, "append to bad array %#x", arr)
 		}
 		p, err := m.alloc(2 + n + 1)
 		if err != nil {
@@ -639,7 +655,7 @@ func (m *Machine) runtimeCall(addr int64) (int64, error) {
 	case "print_str":
 		n, err := m.load(x0)
 		if err != nil {
-			return 0, fmt.Errorf("print_str of bad pointer %#x: %w", x0, err)
+			return 0, prefixErr(err, "print_str of bad pointer %#x", x0)
 		}
 		var sb strings.Builder
 		for i := int64(0); i < n; i++ {
@@ -652,7 +668,7 @@ func (m *Machine) runtimeCall(addr int64) (int64, error) {
 		m.out.WriteString(sb.String())
 		m.out.WriteByte('\n')
 	default:
-		return 0, fmt.Errorf("unknown runtime entry %q", name)
+		return 0, trapf("unknown runtime entry %q", name)
 	}
 	return m.regs[isa.LR], nil
 }

@@ -25,6 +25,15 @@ const (
 // measured the full version at ~2% savings with an hour of compile time, so
 // the cheap exact-alignment core is the part worth having.
 func MergeBySequenceAlignment(m *Module) FMSAStats {
+	return MergeBySequenceAlignmentKeeping(m, nil)
+}
+
+// MergeBySequenceAlignmentKeeping is MergeBySequenceAlignment with external
+// linkage: functions named in keep may be referenced from outside the
+// module, and FMSA deletes every group member in favour of a freshly built
+// parameterized function, so kept functions are excluded from merging
+// altogether (like address-taken ones).
+func MergeBySequenceAlignmentKeeping(m *Module, keep map[string]bool) FMSAStats {
 	var stats FMSAStats
 
 	addressTaken := make(map[string]bool)
@@ -46,7 +55,7 @@ func MergeBySequenceAlignment(m *Module) FMSAStats {
 	byShape := make(map[string][]*Func)
 	var shapes []string
 	for _, f := range m.Funcs {
-		if f.Name == "main" || addressTaken[f.Name] || f.NumInsts() < fmsaMinBodyInsts {
+		if f.Name == "main" || addressTaken[f.Name] || keep[f.Name] || f.NumInsts() < fmsaMinBodyInsts {
 			continue
 		}
 		h := hashFuncShape(f)

@@ -362,3 +362,73 @@ func main() {
 		t.Fatal(err)
 	}
 }
+
+func TestMergeFunctionsKeeping(t *testing.T) {
+	m := lower(t, `
+func f1(a: Int) -> Int { return a * 2 + 1 }
+func f2(b: Int) -> Int { return b * 2 + 1 }
+func main() {
+  print(f1(a: 1))
+  print(f2(b: 2))
+}
+`)
+	// f2 is referenced from another module: it must survive, and — being
+	// the preferred representative — absorb f1.
+	stats := MergeFunctionsKeeping(m, map[string]bool{"f2": true})
+	if stats.Removed != 1 {
+		t.Fatalf("stats = %+v, want 1 removed", stats)
+	}
+	if m.Func("f2") == nil {
+		t.Fatal("externally referenced f2 was deleted")
+	}
+	if m.Func("f1") != nil {
+		t.Fatal("module-local duplicate f1 survived")
+	}
+	for _, b := range m.Func("main").Blocks {
+		for i := range b.Insts {
+			if in := &b.Insts[i]; in.Op == Call && in.Sym == "f1" {
+				t.Error("call to removed f1 survived")
+			}
+		}
+	}
+
+	// Both duplicates externally referenced: nothing may be deleted.
+	m2 := lower(t, `
+func g1(a: Int) -> Int { return a * 2 + 1 }
+func g2(b: Int) -> Int { return b * 2 + 1 }
+func main() { print(g1(a: 1) + g2(b: 2)) }
+`)
+	stats = MergeFunctionsKeeping(m2, map[string]bool{"g1": true, "g2": true})
+	if stats.Removed != 0 || m2.Func("g1") == nil || m2.Func("g2") == nil {
+		t.Fatalf("kept functions merged anyway: %+v", stats)
+	}
+}
+
+func TestFMSAKeepsExternallyReferenced(t *testing.T) {
+	m := lower(t, `
+func v1(a: Int) -> Int {
+  var acc = a
+  for i in 0 ..< 4 { acc = acc + i * 3 }
+  return acc + 100
+}
+func v2(a: Int) -> Int {
+  var acc = a
+  for i in 0 ..< 4 { acc = acc + i * 3 }
+  return acc + 200
+}
+func main() { print(v1(a: 1) + v2(a: 2)) }
+`)
+	for _, f := range m.Funcs {
+		SimplifyCFG(f)
+		DCE(f)
+	}
+	// v2 is called from another module; FMSA deletes every group member it
+	// merges, so v2 must not participate at all.
+	MergeBySequenceAlignmentKeeping(m, map[string]bool{"v2": true})
+	if m.Func("v2") == nil {
+		t.Fatal("externally referenced v2 was deleted")
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

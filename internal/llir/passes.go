@@ -240,6 +240,16 @@ type MergeStats struct {
 // hash identically after value/label normalization are collapsed onto one
 // representative and all call sites are rewritten.
 func MergeFunctions(m *Module) MergeStats {
+	return MergeFunctionsKeeping(m, nil)
+}
+
+// MergeFunctionsKeeping is MergeFunctions with external linkage: functions
+// named in keep may be referenced from outside the module (the per-module
+// pipeline merges before the system link), so they can serve as a group's
+// representative but are never deleted — only call sites inside m see the
+// rewrite, and deleting a kept function would leave other modules calling
+// an undefined symbol.
+func MergeFunctionsKeeping(m *Module, keep map[string]bool) MergeStats {
 	byHash := make(map[string][]*Func)
 	for _, f := range m.Funcs {
 		if f.Name == "main" {
@@ -259,12 +269,26 @@ func MergeFunctions(m *Module) MergeStats {
 		if len(group) < 2 {
 			continue
 		}
-		sort.Slice(group, func(i, j int) bool { return group[i].Name < group[j].Name })
-		stats.Groups++
-		keep := group[0]
+		// A kept function is the preferred representative: the duplicates
+		// merged into it then resolve to a symbol that survives the link.
+		sort.Slice(group, func(i, j int) bool {
+			if keep[group[i].Name] != keep[group[j].Name] {
+				return keep[group[i].Name]
+			}
+			return group[i].Name < group[j].Name
+		})
+		rep := group[0]
+		removed := 0
 		for _, dup := range group[1:] {
-			replace[dup.Name] = keep.Name
-			stats.Removed++
+			if keep[dup.Name] {
+				continue
+			}
+			replace[dup.Name] = rep.Name
+			removed++
+		}
+		if removed > 0 {
+			stats.Groups++
+			stats.Removed += removed
 		}
 	}
 	if len(replace) == 0 {

@@ -68,6 +68,13 @@ func (t *Tracer) WriteSummary(w io.Writer) error {
 		writeTable(w, rows)
 	}
 
+	// The machine-verifier scoreboard: pass counts accumulate across every
+	// stage and outlining round that ran the verifier.
+	if fn, ok := counters["verify/functions"]; ok {
+		fmt.Fprintf(w, "\nverified %d functions, %d violations\n",
+			fn, counters["verify/violations"])
+	}
+
 	general := make([]string, 0, len(counters))
 	for name := range counters {
 		if !strings.HasPrefix(name, "outline/round") {

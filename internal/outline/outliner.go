@@ -9,6 +9,7 @@ import (
 	"outliner/internal/obs"
 	"outliner/internal/par"
 	"outliner/internal/suffixtree"
+	"outliner/internal/verify"
 )
 
 // Options configures the outliner.
@@ -181,7 +182,13 @@ func Outline(prog *mir.Program, opts Options) (*Stats, error) {
 		rs.Round = round
 		stats.Rounds = append(stats.Rounds, rs)
 		if opts.Verify {
-			if err := prog.Verify(opts.ExternSyms); err != nil {
+			// The machine verifier runs after every round: a bad rewrite is
+			// diagnosed at the instruction that broke, not at the eventual
+			// output divergence.
+			rep := verify.Program(prog, opts.ExternSyms)
+			tr.Add("verify/functions", int64(rep.FuncsChecked))
+			tr.Add("verify/violations", int64(len(rep.Violations)))
+			if err := rep.Err(); err != nil {
 				sp.End()
 				return stats, fmt.Errorf("outline round %d broke the program: %w", round, err)
 			}

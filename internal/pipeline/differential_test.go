@@ -8,31 +8,22 @@ import (
 	"testing"
 
 	"outliner/internal/appgen"
+	"outliner/internal/difftest"
 	"outliner/internal/exec"
 	"outliner/internal/pipeline"
 )
 
 // TestDifferentialFuzz is the repo's semantic fuzzer: generate synthetic
-// apps from a sweep of seeds, compile each under several pipeline
-// configurations, execute, and require identical output everywhere. Any
+// apps from a sweep of seeds, compile each at every point of the difftest
+// lattice, execute, and require the oracle to find no divergence. Any
 // miscompilation anywhere in the stack — frontend, SIL passes, SSA
 // construction, out-of-SSA, register allocation, IR linking, or any number
-// of outlining rounds — shows up as an output mismatch.
+// of outlining rounds — shows up as an output/trap/budget divergence.
 func TestDifferentialFuzz(t *testing.T) {
 	if testing.Short() {
 		t.Skip("differential fuzz is slow")
 	}
-	configs := map[string]pipeline.Config{
-		"default-noopt":  {},
-		"default-osize":  pipeline.Default,
-		"wp-1round":      {WholeProgram: true, OutlineRounds: 1, SplitGCMetadata: true, PreserveDataLayout: true},
-		"wp-5rounds-all": pipeline.OSize,
-		"wp-flatcost":    {WholeProgram: true, OutlineRounds: 5, FlatOutlineCost: true, SplitGCMetadata: true},
-		"wp-merge-fmsa":  {WholeProgram: true, OutlineRounds: 4, MergeFunctions: true, FMSA: true, SILOutline: true, SpecializeClosures: true, SplitGCMetadata: true},
-		"wp-extensions": {WholeProgram: true, OutlineRounds: 5, CanonicalizeSequences: true,
-			LayoutOutlined: true, SILOutline: true, SpecializeClosures: true, SplitGCMetadata: true},
-	}
-
+	pts := difftest.Lattice()
 	for trial := 0; trial < 6; trial++ {
 		trial := trial
 		t.Run(fmt.Sprintf("seed%d", trial), func(t *testing.T) {
@@ -43,34 +34,37 @@ func TestDifferentialFuzz(t *testing.T) {
 			scale := 0.15 + 0.05*float64(trial%3)
 			mods := appgen.Generate(profile, scale)
 
-			want := ""
-			first := ""
-			for name, cfg := range configs {
-				cfg.Verify = true
-				llmods, err := appgen.CompileModules(mods, cfg)
-				if err != nil {
-					t.Fatalf("%s: compile: %v", name, err)
-				}
-				res, err := pipeline.BuildFromLLIR(llmods, cfg)
-				if err != nil {
-					t.Fatalf("%s: build: %v", name, err)
-				}
-				m, err := exec.New(res.Prog, exec.Options{MaxSteps: 100_000_000})
-				if err != nil {
-					t.Fatalf("%s: exec: %v", name, err)
-				}
-				got, err := m.Run("main")
-				if err != nil {
-					t.Fatalf("%s: run: %v", name, err)
-				}
-				if want == "" {
-					want, first = got, name
-					continue
-				}
-				if got != want {
-					t.Fatalf("config %s output %q differs from %s output %q",
-						name, got, first, want)
-				}
+			o := &difftest.Oracle{MaxSteps: 100_000_000}
+			div, err := o.Check(mods, pts)
+			if err != nil {
+				t.Fatalf("reference build: %v", err)
+			}
+			if div != nil {
+				t.Fatal(div)
+			}
+		})
+	}
+}
+
+// TestDifferentialSmoke is the always-on variant: two seeds across the
+// three-point smoke lattice, small enough for -short and every CI run.
+func TestDifferentialSmoke(t *testing.T) {
+	pts := difftest.SmokeLattice()
+	for _, seed := range []int64{11, 23} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			profile := appgen.UberRider
+			profile.Seed = seed
+			profile.Spans = 1
+			mods := appgen.Generate(profile, 0.05)
+			o := &difftest.Oracle{MaxSteps: 50_000_000}
+			div, err := o.Check(mods, pts)
+			if err != nil {
+				t.Fatalf("reference build: %v", err)
+			}
+			if div != nil {
+				t.Fatal(div)
 			}
 		})
 	}

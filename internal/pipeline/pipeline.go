@@ -25,6 +25,7 @@ import (
 	"outliner/internal/outline"
 	"outliner/internal/par"
 	"outliner/internal/sir"
+	"outliner/internal/verify"
 )
 
 // Config selects pipeline and optimization settings.
@@ -313,6 +314,11 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		if cfg.Verify {
+			if err := runVerify(p, llir.RuntimeSyms, tr, "after codegen"); err != nil {
+				return nil, err
+			}
+		}
 		prog = p
 	} else {
 		// Default pipeline: per-module codegen (and per-module outlining),
@@ -325,15 +331,23 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (*Result, error) {
 		// spans emitted inside workers sum into one total.
 		sp := tr.StartStage("llc", 0)
 		extern := externSyms(mods) // shared, read-only across workers
+		var crossRefs map[string]bool
+		if cfg.MergeFunctions || cfg.FMSA {
+			// Per-module merging must not delete a function some other
+			// module calls: the system link would then resolve that call to
+			// nothing. Symbols referenced across module boundaries keep
+			// their definitions.
+			crossRefs = crossModuleRefs(mods)
+		}
 		parts, err := par.MapLanes(cfg.Parallelism, len(mods), func(lane, i int) (*mir.Program, error) {
 			lm := mods[i]
 			wsp := tr.StartSpan("module "+lm.Name, lane+1)
 			defer wsp.End()
 			if cfg.MergeFunctions {
-				llir.MergeFunctions(lm)
+				llir.MergeFunctionsKeeping(lm, crossRefs)
 			}
 			if cfg.FMSA {
-				llir.MergeBySequenceAlignment(lm)
+				llir.MergeBySequenceAlignmentKeeping(lm, crossRefs)
 			}
 			p, err := codegen.CompileTraced(lm, 1, tr, lane+1)
 			if err != nil {
@@ -352,6 +366,13 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (*Result, error) {
 					RemarkModule:  lm.Name,
 				})
 				if err != nil {
+					return nil, err
+				}
+			}
+			if cfg.Verify {
+				// Cross-module references are external at this point, exactly
+				// as the system linker would see them.
+				if err := runVerify(p, extern, tr, "module "+lm.Name+" after codegen"); err != nil {
 					return nil, err
 				}
 			}
@@ -393,13 +414,33 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (*Result, error) {
 	}
 
 	if cfg.Verify {
-		if err := prog.Verify(llir.RuntimeSyms); err != nil {
-			return nil, fmt.Errorf("pipeline: final machine program: %w", err)
+		if err := runVerify(prog, llir.RuntimeSyms, tr, "final machine program"); err != nil {
+			return nil, err
 		}
 	}
 	res.Image = binimg.Build(prog)
+	if cfg.Verify {
+		rep := verify.Image(res.Image, prog)
+		tr.Add("verify/violations", int64(len(rep.Violations)))
+		if err := rep.Err(); err != nil {
+			return nil, fmt.Errorf("pipeline: image layout: %w", err)
+		}
+	}
 	res.Timings = tr.StageTotalsSince(mark)
 	return res, nil
+}
+
+// runVerify runs the machine verifier over prog, records its pass counts on
+// the build's counters (surfaced by -summary), and converts violations into
+// a build error naming the pipeline stage that produced them.
+func runVerify(prog *mir.Program, extern map[string]bool, tr *obs.Tracer, what string) error {
+	rep := verify.Program(prog, extern)
+	tr.Add("verify/functions", int64(rep.FuncsChecked))
+	tr.Add("verify/violations", int64(len(rep.Violations)))
+	if err := rep.Err(); err != nil {
+		return fmt.Errorf("pipeline: %s: %w", what, err)
+	}
+	return nil
 }
 
 func externSyms(mods []*llir.Module) map[string]bool {
@@ -417,6 +458,35 @@ func externSyms(mods []*llir.Module) map[string]bool {
 		}
 	}
 	return syms
+}
+
+// crossModuleRefs returns the function names referenced (by call or taken
+// address) from a module other than the one defining them — the symbols a
+// per-module transformation must leave resolvable for the system link.
+func crossModuleRefs(mods []*llir.Module) map[string]bool {
+	defIn := make(map[string]string)
+	for _, m := range mods {
+		for _, f := range m.Funcs {
+			defIn[f.Name] = m.Name
+		}
+	}
+	refs := make(map[string]bool)
+	for _, m := range mods {
+		for _, f := range m.Funcs {
+			for _, b := range f.Blocks {
+				for i := range b.Insts {
+					in := &b.Insts[i]
+					if in.Op != llir.Call && in.Op != llir.GlobalAddr {
+						continue
+					}
+					if def, ok := defIn[in.Sym]; ok && def != m.Name {
+						refs[in.Sym] = true
+					}
+				}
+			}
+		}
+	}
+	return refs
 }
 
 // linkMachine concatenates per-module machine programs in module order (the

@@ -1,0 +1,330 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"outliner/internal/binimg"
+	"outliner/internal/llir"
+	"outliner/internal/mir"
+)
+
+func parse(t *testing.T, src string) *mir.Program {
+	t.Helper()
+	p, err := mir.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+// expectViolation verifies src and requires a violation whose message
+// contains want; it also requires every violation to carry function and PC
+// context, the diagnostic shape the corrupted-image acceptance test needs.
+func expectViolation(t *testing.T, src, want string) {
+	t.Helper()
+	p := parse(t, src)
+	r := Program(p, llir.RuntimeSyms)
+	if r.OK() {
+		t.Fatalf("program accepted, want violation containing %q", want)
+	}
+	found := false
+	for _, v := range r.Violations {
+		if strings.Contains(v.Msg, want) {
+			found = true
+		}
+		if v.Func == "" {
+			t.Errorf("violation without function context: %s", v)
+		}
+		if v.PC < 0 {
+			t.Errorf("violation without PC context: %s", v)
+		}
+	}
+	if !found {
+		t.Fatalf("violations %v do not mention %q", r.Violations, want)
+	}
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "verify:") {
+		t.Fatalf("Err() = %v, want a verify error", err)
+	}
+}
+
+func TestAcceptsWellFormedFrame(t *testing.T) {
+	p := parse(t, `
+func @leaf {
+entry:
+  ADDXri $x0, $x0, #1
+  RET
+}
+func @main {
+entry:
+  STPXpre $x29, $x30, $sp, #-32
+  STRXui $x19, $sp, #16
+  ADDXri $x29, $sp, #0
+  MOVZXi $x0, #3
+  BL @leaf
+  BL @print_int
+  LDRXui $x19, $sp, #16
+  LDPXpost $x29, $x30, $sp, #32
+  RET
+}
+`)
+	r := Program(p, llir.RuntimeSyms)
+	if err := r.Err(); err != nil {
+		t.Fatalf("well-formed program rejected: %v", err)
+	}
+	if r.FuncsChecked != 2 {
+		t.Errorf("FuncsChecked = %d, want 2", r.FuncsChecked)
+	}
+}
+
+func TestAcceptsOutlinedStrategies(t *testing.T) {
+	// The three outliner strategies: tail-call (ends in RET), thunk (tail B),
+	// plain with an interior call (LR spill frame), plus a caller-side LR
+	// spill around a call to a plain outlined function.
+	p := parse(t, `
+func @callee {
+entry:
+  RET
+}
+func @OUTLINED_FUNCTION_0 outlined {
+entry:
+  MOVZXi $x1, #1
+  RET
+}
+func @OUTLINED_FUNCTION_1 outlined {
+entry:
+  MOVZXi $x1, #2
+  B @callee
+}
+func @OUTLINED_FUNCTION_2 outlined {
+entry:
+  STRXpre $x30, $sp, #-16
+  BL @callee
+  LDRXpost $x30, $sp, #16
+  RET
+}
+func @main {
+entry:
+  STPXpre $x29, $x30, $sp, #-16
+  BL @OUTLINED_FUNCTION_0
+  BL @OUTLINED_FUNCTION_1
+  BL @OUTLINED_FUNCTION_2
+  STRXpre $x30, $sp, #-16
+  BL @OUTLINED_FUNCTION_0
+  LDRXpost $x30, $sp, #16
+  LDPXpost $x29, $x30, $sp, #16
+  RET
+}
+`)
+	if err := Program(p, llir.RuntimeSyms).Err(); err != nil {
+		t.Fatalf("outlined strategies rejected: %v", err)
+	}
+}
+
+func TestRejectsUnbalancedSPAtRet(t *testing.T) {
+	expectViolation(t, `
+func @main {
+entry:
+  STPXpre $x29, $x30, $sp, #-16
+  RET
+}
+`, "unbalanced stack pointer")
+}
+
+func TestRejectsClobberedLRAtRet(t *testing.T) {
+	expectViolation(t, `
+func @f {
+entry:
+  RET
+}
+func @main {
+entry:
+  BL @f
+  RET
+}
+`, "clobbered link register")
+}
+
+func TestRejectsRestoreFromWrongSlot(t *testing.T) {
+	// The entry LR lives at [entry_sp-24] (second register of the STP pair);
+	// reloading x30 from [sp+0] = [entry_sp-32] restores x29's slot instead.
+	expectViolation(t, `
+func @f {
+entry:
+  RET
+}
+func @main {
+entry:
+  STPXpre $x29, $x30, $sp, #-32
+  BL @f
+  LDRXui $x30, $sp, #0
+  ADDXri $sp, $sp, #32
+  RET
+}
+`, "clobbered link register")
+}
+
+func TestRejectsStackDepthJoinMismatch(t *testing.T) {
+	expectViolation(t, `
+func @main {
+entry:
+  CMPXri $x0, #0
+  Bcc.eq @done
+body:
+  STPXpre $x29, $x30, $sp, #-16
+  B @done
+done:
+  RET
+}
+`, "stack depth disagrees")
+}
+
+func TestRejectsOutOfFrameAccess(t *testing.T) {
+	expectViolation(t, `
+func @main {
+entry:
+  STPXpre $x29, $x30, $sp, #-16
+  STRXui $x19, $sp, #24
+  LDPXpost $x29, $x30, $sp, #16
+  RET
+}
+`, "escapes the 16-byte frame")
+}
+
+func TestRejectsTailCallWithLiveFrame(t *testing.T) {
+	expectViolation(t, `
+func @f {
+entry:
+  RET
+}
+func @main {
+entry:
+  STPXpre $x29, $x30, $sp, #-16
+  B @f
+}
+`, "tail call to \"f\" with unbalanced stack pointer")
+}
+
+func TestRejectsBranchToUnknownLabel(t *testing.T) {
+	expectViolation(t, `
+func @main {
+entry:
+  CMPXri $x0, #0
+  Bcc.eq @nowhere
+exit:
+  RET
+}
+`, "unknown label")
+}
+
+func TestRejectsCallToUndefinedSymbol(t *testing.T) {
+	expectViolation(t, `
+func @main {
+entry:
+  STPXpre $x29, $x30, $sp, #-16
+  BL @missing_helper
+  LDPXpost $x29, $x30, $sp, #16
+  RET
+}
+`, `call to undefined symbol "missing_helper"`)
+}
+
+func TestRejectsFallThroughOffEnd(t *testing.T) {
+	expectViolation(t, `
+func @main {
+entry:
+  MOVZXi $x0, #1
+}
+`, "falls through off the end")
+}
+
+func TestRejectsInstructionAfterTerminator(t *testing.T) {
+	expectViolation(t, `
+func @main {
+entry:
+  RET
+  MOVZXi $x0, #1
+}
+`, "after terminator")
+}
+
+func TestRejectsMultiBlockOutlined(t *testing.T) {
+	expectViolation(t, `
+func @OUTLINED_FUNCTION_9 outlined {
+entry:
+  MOVZXi $x0, #1
+a:
+  RET
+}
+`, "single straight-line block")
+}
+
+func TestRejectsSPFromNonSP(t *testing.T) {
+	expectViolation(t, `
+func @main {
+entry:
+  ADDXri $sp, $x1, #0
+  RET
+}
+`, "SP assigned from non-SP")
+}
+
+func TestViolationCarriesPC(t *testing.T) {
+	// The bad RET is the second instruction of @second; @first occupies 8
+	// bytes, the STPXpre 4 more, so the violation PC must be 0xc.
+	p := parse(t, `
+func @first {
+entry:
+  MOVZXi $x0, #1
+  RET
+}
+func @second {
+entry:
+  STPXpre $x29, $x30, $sp, #-16
+  RET
+}
+`)
+	r := Program(p, nil)
+	if r.OK() {
+		t.Fatal("expected violations")
+	}
+	v := r.Violations[0]
+	if v.Func != "second" || v.PC != 0xc {
+		t.Errorf("violation = %+v, want Func=second PC=0xc", v)
+	}
+	if !strings.Contains(v.String(), "@second+0xc") {
+		t.Errorf("String() = %q, want @second+0xc", v.String())
+	}
+}
+
+func TestImageMatchesProgram(t *testing.T) {
+	p := parse(t, `
+func @main {
+entry:
+  MOVZXi $x0, #1
+  RET
+}
+global @g = [1, 2]
+`)
+	img := binimg.Build(p)
+	if err := Image(img, p).Err(); err != nil {
+		t.Fatalf("consistent image rejected: %v", err)
+	}
+
+	// Corrupt the image: shrink a code symbol. Both the size mismatch and
+	// the symbol-gap invariants must fire, each naming the symbol.
+	img.Symbols[0].Size -= 4
+	r := Image(img, p)
+	if r.OK() {
+		t.Fatal("corrupted image accepted")
+	}
+	if !strings.Contains(r.Err().Error(), "main") {
+		t.Errorf("diagnostic %v does not name the symbol", r.Err())
+	}
+
+	img2 := binimg.Build(p)
+	img2.CodeSize += 8
+	if Image(img2, p).OK() {
+		t.Fatal("image with wrong code-section size accepted")
+	}
+}
