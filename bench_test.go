@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"outliner/internal/appgen"
+	"outliner/internal/benchkit"
 	"outliner/internal/exec"
 	"outliner/internal/experiments"
 	"outliner/internal/isa"
@@ -149,6 +150,26 @@ func BenchmarkParallelBuild(b *testing.B) {
 				b.ReportMetric(float64(res.CodeSize()), "code-bytes")
 			}
 		})
+	}
+}
+
+// BenchmarkColdVsWarmBuild measures the incremental build cache on both
+// pipelines: the uncached baseline, a cold build into a fresh cache (write
+// path included), and a fully warm rebuild (the warm runs report their cache
+// hit rate, which must be 100). The bodies live in internal/benchkit so
+// cmd/bench emits the same measurements as machine-readable JSON
+// (BENCH_pr4.json is the committed baseline).
+func BenchmarkColdVsWarmBuild(b *testing.B) {
+	for _, pc := range []struct {
+		name string
+		cfg  pipeline.Config
+	}{
+		{"default", pipeline.Default},
+		{"wholeprog", pipeline.OSize},
+	} {
+		b.Run(pc.name+"/uncached", benchkit.UncachedBuild(pc.cfg, benchScale))
+		b.Run(pc.name+"/cold", benchkit.ColdBuild(pc.cfg, benchScale))
+		b.Run(pc.name+"/warm", benchkit.WarmBuild(pc.cfg, benchScale))
 	}
 }
 

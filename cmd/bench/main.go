@@ -1,0 +1,95 @@
+// Command bench runs the repository's cache and outliner benchmarks outside
+// `go test` and emits machine-readable JSON, one record per benchmark with
+// ns/op, allocation stats, and every custom metric. BENCH_pr4.json at the
+// repo root is a committed baseline produced by this command; regenerate it
+// with:
+//
+//	go run ./cmd/bench -out BENCH_pr4.json
+//
+// The bodies are shared with bench_test.go via internal/benchkit, so
+// `go test -bench ColdVsWarm` measures exactly the same code.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"outliner/internal/benchkit"
+	"outliner/internal/pipeline"
+)
+
+// Record is one benchmark result in the emitted JSON.
+type Record struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the file cmd/bench writes.
+type Report struct {
+	Scale   float64  `json:"scale"`
+	Results []Record `json:"results"`
+}
+
+func main() {
+	var (
+		scale = flag.Float64("scale", 0.35, "synthetic app scale (matches bench_test.go's benchScale)")
+		out   = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	benches := []struct {
+		name string
+		body func(*testing.B)
+	}{
+		{"ColdVsWarmBuild/default/uncached", benchkit.UncachedBuild(pipeline.Default, *scale)},
+		{"ColdVsWarmBuild/default/cold", benchkit.ColdBuild(pipeline.Default, *scale)},
+		{"ColdVsWarmBuild/default/warm", benchkit.WarmBuild(pipeline.Default, *scale)},
+		{"ColdVsWarmBuild/wholeprog/uncached", benchkit.UncachedBuild(pipeline.OSize, *scale)},
+		{"ColdVsWarmBuild/wholeprog/cold", benchkit.ColdBuild(pipeline.OSize, *scale)},
+		{"ColdVsWarmBuild/wholeprog/warm", benchkit.WarmBuild(pipeline.OSize, *scale)},
+		{"OutlineRounds/1", benchkit.OutlineRounds(*scale, 1)},
+		{"OutlineRounds/5", benchkit.OutlineRounds(*scale, 5)},
+	}
+
+	report := Report{Scale: *scale}
+	for _, bm := range benches {
+		fmt.Fprintf(os.Stderr, "bench: %s...\n", bm.name)
+		r := testing.Benchmark(bm.body)
+		rec := Record{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			rec.Metrics = r.Extra
+		}
+		report.Results = append(report.Results, rec)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

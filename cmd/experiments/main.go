@@ -36,9 +36,11 @@ func main() {
 		trace   = flag.String("trace", "", "write a Chrome trace-event JSON file covering every build the experiments run")
 		remarks = flag.String("remarks", "", "write outliner decision remarks as JSONL")
 		summary = flag.Bool("summary", false, "print a cumulative telemetry summary to stderr after all experiments")
+		cchDir  = flag.String("cache-dir", "", "incremental build cache directory shared by every build the experiments run (results are identical cold or warm)")
 	)
 	flag.Parse()
 	experiments.Parallelism = *jobs
+	experiments.CacheDir = *cchDir
 	var tracer *obs.Tracer
 	if *trace != "" || *remarks != "" || *summary {
 		tracer = obs.NewWith(obs.Config{MemStats: true})

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"os"
 
+	"outliner/internal/artifact"
+	"outliner/internal/cache"
 	"outliner/internal/llir"
 	"outliner/internal/mir"
 	"outliner/internal/obs"
@@ -34,6 +36,7 @@ func main() {
 		remarks = flag.String("remarks", "", "write candidate decision remarks as JSONL")
 		summary = flag.Bool("summary", false, "print per-round counters and stage times to stderr")
 		verify  = flag.Bool("verify", true, "verify the input and every outlining round with the machine-code verifier")
+		cchDir  = flag.String("cache-dir", "", "content-addressed cache directory for outlining results (empty = cache off)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -72,6 +75,32 @@ func main() {
 		tracer = obs.NewWith(obs.Config{MemStats: true})
 	}
 	before := prog.CodeSize()
+
+	// The outlined program is a pure function of the input text and the
+	// flags above, so the whole transformation caches under one key. A
+	// corrupted entry decodes to an error and falls through to outlining.
+	var (
+		c   *cache.Cache
+		key cache.Key
+	)
+	if *cchDir != "" {
+		c, err = cache.Shared(*cchDir)
+		if err != nil {
+			fatal(err)
+		}
+		key = cache.Key{
+			Stage:  "outline-cli",
+			Input:  cache.HashBytes(text),
+			Config: fmt.Sprintf("rounds=%d flat=%t verify=%t", *rounds, *flat, *verify),
+			Schema: artifact.SchemaVersion,
+		}
+		if data, ok := c.Get(key); ok {
+			if cached, stats, err := artifact.DecodeMachine(data); err == nil {
+				report(cached, stats, before, *quiet)
+				return
+			}
+		}
+	}
 	stats, err := outline.Outline(prog, outline.Options{
 		Rounds:        *rounds,
 		FlatCostModel: *flat,
@@ -83,7 +112,6 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	after := prog.CodeSize()
 	if *trace != "" {
 		if err := tracer.WriteTraceFile(*trace); err != nil {
 			fatal(err)
@@ -99,14 +127,26 @@ func main() {
 			fatal(err)
 		}
 	}
-	if !*quiet {
+	if c != nil {
+		c.Put(key, artifact.EncodeMachine(prog, stats))
+	}
+	report(prog, stats, before, *quiet)
+}
+
+// report prints the transformed program and the per-round size summary,
+// identically for fresh and cache-hit results.
+func report(prog *mir.Program, stats *outline.Stats, before int, quiet bool) {
+	if !quiet {
 		fmt.Print(prog.String())
 	}
+	after := prog.CodeSize()
 	fmt.Fprintf(os.Stderr, "code size: %d -> %d bytes (%.1f%% saving)\n",
 		before, after, 100*(1-float64(after)/float64(before)))
-	for _, r := range stats.Rounds {
-		fmt.Fprintf(os.Stderr, "  round %d: %d sequences, %d functions, %d outlined bytes\n",
-			r.Round, r.SequencesOutlined, r.FunctionsCreated, r.OutlinedBytes)
+	if stats != nil {
+		for _, r := range stats.Rounds {
+			fmt.Fprintf(os.Stderr, "  round %d: %d sequences, %d functions, %d outlined bytes\n",
+				r.Round, r.SequencesOutlined, r.FunctionsCreated, r.OutlinedBytes)
+		}
 	}
 }
 

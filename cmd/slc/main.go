@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -47,6 +48,9 @@ func main() {
 		remarks  = flag.String("remarks", "", "write outliner decision remarks as JSONL (one record per candidate decision)")
 		summary  = flag.Bool("summary", false, "print an end-of-build summary: stage times, counters, outlining convergence")
 		verify   = flag.Bool("verify", true, "run the machine-code verifier after each pipeline stage and outlining round")
+		cacheDir = flag.String("cache-dir", "", "content-addressed incremental build cache directory (empty = cache off); the built image is byte-identical cold or warm")
+		counters = flag.String("counters", "", "write build counters as a JSON object to this file")
+		outFile  = flag.String("o", "", "write a deterministic image listing to this file (byte-comparable across builds)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -69,7 +73,7 @@ func main() {
 	}
 
 	var tracer *obs.Tracer
-	if *traceOut != "" || *remarks != "" || *summary {
+	if *traceOut != "" || *remarks != "" || *summary || *counters != "" {
 		tracer = obs.NewWith(obs.Config{FineSpans: *traceOut != "", MemStats: true})
 	}
 	cfg := pipeline.Config{
@@ -84,6 +88,7 @@ func main() {
 		Verify:             *verify,
 		Parallelism:        *jobs,
 		Tracer:             tracer,
+		CacheDir:           *cacheDir,
 	}
 	res, err := pipeline.Build(sources, cfg)
 	if err != nil {
@@ -101,6 +106,27 @@ func main() {
 	}
 	if *summary {
 		if err := tracer.WriteSummary(os.Stderr); err != nil {
+			fatal(err)
+		}
+	}
+	if *counters != "" {
+		data, err := json.MarshalIndent(tracer.Counters(), "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*counters, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.WriteImageListing(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
 			fatal(err)
 		}
 	}

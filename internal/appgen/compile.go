@@ -39,12 +39,27 @@ func CompileModules(mods []Module, cfg pipeline.Config) ([]*llir.Module, error) 
 		}
 		imports[i] = frontend.NewImports(others...)
 	}
+	bc, err := pipeline.OpenBuildCache(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var moduleHashes []string
+	if bc != nil {
+		moduleHashes = make([]string, len(mods))
+		for i, m := range mods {
+			moduleHashes[i] = pipeline.SourceHash(pipeline.Source{Name: m.Name, Files: m.Files})
+		}
+	}
 	return par.MapLanes(cfg.Parallelism, len(mods), func(lane, i int) (*llir.Module, error) {
 		m := mods[i]
 		sp := cfg.Tracer.StartSpan("frontend "+m.Name, lane+1)
 		defer sp.End()
-		lm, err := pipeline.CompileToLLIR(pipeline.Source{Name: m.Name, Files: m.Files},
-			cfg, imports[i])
+		// The cached artifact is the pre-flavour module; the ObjC rewrite is
+		// deterministic and cheap, and both cold and warm paths return a
+		// private module, so re-applying it after a hit is safe and keeps
+		// the flavour out of the cache key.
+		lm, err := bc.CompileToLLIRCached(pipeline.Source{Name: m.Name, Files: m.Files},
+			cfg, imports[i], i, moduleHashes, lane+1)
 		if err != nil {
 			return nil, fmt.Errorf("appgen: module %s: %w", m.Name, err)
 		}

@@ -1,0 +1,189 @@
+package artifact
+
+import (
+	"bytes"
+	"testing"
+
+	"outliner/internal/isa"
+	"outliner/internal/llir"
+	"outliner/internal/mir"
+	"outliner/internal/outline"
+)
+
+// sampleModule exercises every encoded field: multi-block functions, negative
+// immediates, phi incomings, call args, globals, and metadata.
+func sampleModule() *llir.Module {
+	m := llir.NewModule("app")
+	m.Metadata["Objective-C Garbage Collection"] = "swiftc abi-v7.0"
+	m.Metadata["source"] = "test"
+	f := &llir.Func{Name: "f", Module: "app", NumParams: 2, Throws: true, NumValues: 9}
+	f.Blocks = []*llir.Block{
+		{Label: "entry", Insts: []llir.Inst{
+			{Op: llir.Bin, Dst: 2, A: 0, B: 1, BinOp: llir.Add},
+			{Op: llir.Cmp, Dst: 3, A: 2, B: 0, Cond: llir.Lt},
+			{Op: llir.CondBr, A: 3, Sym: "then", Sym2: "join"},
+		}},
+		{Label: "then", Insts: []llir.Inst{
+			{Op: llir.Const, Dst: 4, Imm: -42},
+			{Op: llir.Call, Dst: 5, Sym: "g", Args: []llir.Value{4, 2}, Throws: true, ErrDst: 6},
+			{Op: llir.Br, Sym: "join"},
+		}},
+		{Label: "join", Insts: []llir.Inst{
+			{Op: llir.Phi, Dst: 7, Incomings: []llir.Incoming{{Pred: "entry", Val: 2}, {Pred: "then", Val: 5}}},
+			{Op: llir.Ret, A: 7},
+		}},
+	}
+	m.AddFunc(f)
+	g := &llir.Func{Name: "g", Module: "app", NumParams: 2, NumValues: 3}
+	g.Blocks = []*llir.Block{{Label: "entry", Insts: []llir.Inst{{Op: llir.Ret, A: 0}}}}
+	m.AddFunc(g)
+	m.Globals = append(m.Globals, &llir.Global{Name: "tab", Module: "app", Words: []int64{1, -2, 1 << 40}})
+	return m
+}
+
+func sampleProgram() (*mir.Program, *outline.Stats) {
+	p := mir.NewProgram()
+	f := &mir.Function{Name: "main", Module: "app"}
+	f.Blocks = []*mir.Block{
+		{Label: "entry", Insts: []isa.Inst{
+			{Op: isa.MOVZ, Rd: isa.X0, Imm: 7},
+			{Op: isa.STRpre, Rd: isa.LR, Rn: isa.SP, Imm: -16},
+			{Op: isa.BL, Sym: "helper"},
+			{Op: isa.LDRpost, Rd: isa.LR, Rn: isa.SP, Imm: 16},
+			{Op: isa.RET},
+		}},
+	}
+	p.AddFunc(f)
+	h := &mir.Function{Name: "helper", Module: "app", Outlined: true}
+	h.Blocks = []*mir.Block{{Label: "entry", Insts: []isa.Inst{
+		{Op: isa.ADDrs, Rd: isa.X0, Rn: isa.X0, Rm: isa.X1},
+		{Op: isa.RET},
+	}}}
+	p.AddFunc(h)
+	p.AddGlobal(&mir.Global{Name: "tab", Module: "app", Words: []int64{3, 4}})
+	st := &outline.Stats{Rounds: []outline.RoundStats{
+		{Round: 1, SequencesOutlined: 12, FunctionsCreated: 3, OutlinedBytes: 96, BytesSaved: 200},
+		{Round: 2, SequencesOutlined: 1, FunctionsCreated: 1, OutlinedBytes: 8, BytesSaved: 4},
+	}}
+	return p, st
+}
+
+// Encoding is canonical, so a decode that re-encodes to the original bytes
+// proves the round trip lossless field by field.
+func TestModuleRoundTrip(t *testing.T) {
+	m := sampleModule()
+	enc := EncodeModule(m)
+	got, err := DecodeModule(enc)
+	if err != nil {
+		t.Fatalf("DecodeModule: %v", err)
+	}
+	if !bytes.Equal(EncodeModule(got), enc) {
+		t.Fatal("module round trip is not canonical: re-encoded bytes differ")
+	}
+	if got.Name != m.Name || len(got.Funcs) != len(m.Funcs) || len(got.Globals) != len(m.Globals) {
+		t.Fatalf("decoded shape mismatch: %s/%d/%d", got.Name, len(got.Funcs), len(got.Globals))
+	}
+	// The decoded module must answer name lookups (AddFunc indexed them).
+	if got.Func("g") == nil {
+		t.Fatal("decoded module does not index functions by name")
+	}
+}
+
+func TestMachineRoundTrip(t *testing.T) {
+	p, st := sampleProgram()
+	enc := EncodeMachine(p, st)
+	gp, gst, err := DecodeMachine(enc)
+	if err != nil {
+		t.Fatalf("DecodeMachine: %v", err)
+	}
+	if !bytes.Equal(EncodeMachine(gp, gst), enc) {
+		t.Fatal("machine round trip is not canonical: re-encoded bytes differ")
+	}
+	if gp.String() != p.String() {
+		t.Fatal("decoded program renders differently")
+	}
+	if gp.Func("helper") == nil || !gp.Func("helper").Outlined {
+		t.Fatal("decoded program lost function index or Outlined flag")
+	}
+	if len(gst.Rounds) != 2 || gst.Rounds[0] != st.Rounds[0] || gst.Rounds[1] != st.Rounds[1] {
+		t.Fatalf("decoded stats mismatch: %+v", gst)
+	}
+}
+
+func TestMachineNilStats(t *testing.T) {
+	p, _ := sampleProgram()
+	gp, gst, err := DecodeMachine(EncodeMachine(p, nil))
+	if err != nil {
+		t.Fatalf("DecodeMachine: %v", err)
+	}
+	if gst != nil {
+		t.Fatalf("want nil stats, got %+v", gst)
+	}
+	if gp.String() != p.String() {
+		t.Fatal("decoded program renders differently")
+	}
+}
+
+// Every truncation of a valid artifact must decode to an error — never a
+// panic, never a silently partial artifact.
+func TestDecodeTruncationsError(t *testing.T) {
+	enc := EncodeModule(sampleModule())
+	for i := 0; i < len(enc); i++ {
+		if _, err := DecodeModule(enc[:i]); err == nil {
+			t.Fatalf("DecodeModule accepted a %d-byte truncation of %d bytes", i, len(enc))
+		}
+	}
+	menc := EncodeMachine(sampleProgram())
+	for i := 0; i < len(menc); i++ {
+		if _, _, err := DecodeMachine(menc[:i]); err == nil {
+			t.Fatalf("DecodeMachine accepted a %d-byte truncation of %d bytes", i, len(menc))
+		}
+	}
+}
+
+// Flipping any single byte must never panic (the cache checksums entries, so
+// decode sees flipped bytes only for in-memory corruption or crafted input —
+// either way the failure mode must stay an error or a decoded artifact).
+func TestDecodeBitFlipsNeverPanic(t *testing.T) {
+	enc := EncodeModule(sampleModule())
+	for i := range enc {
+		mut := append([]byte(nil), enc...)
+		mut[i] ^= 0xff
+		DecodeModule(mut)
+	}
+	menc := EncodeMachine(sampleProgram())
+	for i := range menc {
+		mut := append([]byte(nil), menc...)
+		mut[i] ^= 0xff
+		DecodeMachine(mut)
+	}
+}
+
+func TestDecodeRejectsWrongKindAndSchema(t *testing.T) {
+	enc := EncodeModule(sampleModule())
+	if _, _, err := DecodeMachine(enc); err == nil {
+		t.Fatal("DecodeMachine accepted an LLIR artifact")
+	}
+	mut := append([]byte(nil), enc...)
+	mut[3]++ // schema version byte
+	if _, err := DecodeModule(mut); err == nil {
+		t.Fatal("DecodeModule accepted a future schema version")
+	}
+}
+
+// A stream carrying two same-name functions must fail decoding: AddFunc
+// panics on duplicates, so the decoder has to pre-check.
+func TestDecodeRejectsDuplicateFunctions(t *testing.T) {
+	m := sampleModule()
+	f := m.Func("g")
+	m.Funcs = append(m.Funcs, f) // bypasses AddFunc's duplicate panic
+	if _, err := DecodeModule(EncodeModule(m)); err == nil {
+		t.Fatal("DecodeModule accepted duplicate function names")
+	}
+
+	p, _ := sampleProgram()
+	p.Funcs = append(p.Funcs, p.Func("helper"))
+	if _, _, err := DecodeMachine(EncodeMachine(p, nil)); err == nil {
+		t.Fatal("DecodeMachine accepted duplicate function names")
+	}
+}

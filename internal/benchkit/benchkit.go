@@ -1,0 +1,121 @@
+// Package benchkit holds the benchmark bodies shared between the repo's
+// `go test -bench` suite (bench_test.go) and cmd/bench, the standalone
+// runner that emits machine-readable results. Each function returns a
+// closure suitable both for b.Run and for testing.Benchmark, so the two
+// entry points measure exactly the same code.
+package benchkit
+
+import (
+	"os"
+	"testing"
+
+	"outliner/internal/appgen"
+	"outliner/internal/cache"
+	"outliner/internal/obs"
+	"outliner/internal/outline"
+	"outliner/internal/pipeline"
+)
+
+// UncachedBuild measures the plain pipeline: no cache directory at all, the
+// baseline both cache benches compare against.
+func UncachedBuild(cfg pipeline.Config, scale float64) func(*testing.B) {
+	return func(b *testing.B) {
+		cfg.CacheDir = ""
+		for i := 0; i < b.N; i++ {
+			res, err := appgen.BuildApp(appgen.UberRider, scale, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.CodeSize()), "code-bytes")
+		}
+	}
+}
+
+// ColdBuild measures a first-ever cached build: every iteration gets a brand
+// new cache directory, so the measured time includes every artifact encode
+// and store (the cache's write-path overhead).
+func ColdBuild(cfg pipeline.Config, scale float64) func(*testing.B) {
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir, err := os.MkdirTemp("", "bench-cold-cache-")
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := cfg
+			c.CacheDir = dir
+			b.StartTimer()
+			res, err := appgen.BuildApp(appgen.UberRider, scale, c)
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.CodeSize()), "code-bytes")
+			os.RemoveAll(dir)
+			cache.Forget(dir)
+			b.StartTimer()
+		}
+	}
+}
+
+// WarmBuild measures a fully warm rebuild: one priming build populates a
+// private cache, then every timed iteration rebuilds from it. The cache hit
+// rate of the timed iterations is reported as a metric (it should be 100).
+func WarmBuild(cfg pipeline.Config, scale float64) func(*testing.B) {
+	return func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "bench-warm-cache-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() {
+			os.RemoveAll(dir)
+			cache.Forget(dir)
+		}()
+		tr := obs.New()
+		c := cfg
+		c.CacheDir = dir
+		c.Tracer = tr
+		if _, err := appgen.BuildApp(appgen.UberRider, scale, c); err != nil {
+			b.Fatal(err)
+		}
+		primed := tr.Counters()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := appgen.BuildApp(appgen.UberRider, scale, c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.CodeSize()), "code-bytes")
+		}
+		b.StopTimer()
+		counters := tr.Counters()
+		if probes := counters["cache/probes"] - primed["cache/probes"]; probes > 0 {
+			hits := counters["cache/hits"] - primed["cache/hits"]
+			b.ReportMetric(100*float64(hits)/float64(probes), "cache-hit-%")
+		}
+	}
+}
+
+// OutlineRounds measures repeated machine outlining in isolation over a
+// prebuilt program clone per iteration — the bench that tracks the
+// outliner's per-round allocation churn.
+func OutlineRounds(scale float64, rounds int) func(*testing.B) {
+	return func(b *testing.B) {
+		cfg := pipeline.OSize
+		cfg.OutlineRounds = 0
+		res, err := appgen.BuildApp(appgen.UberRider, scale, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			prog := res.Prog.Clone()
+			b.StartTimer()
+			if _, err := outline.Outline(prog, outline.Options{Rounds: rounds}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(prog.CodeSize()), "code-bytes")
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Package cache is the content-addressed incremental build cache: a two-tier
+// (in-memory + on-disk) store of serialized build artifacts keyed by
+// (stage, input-content hash, stage-relevant config fingerprint, schema
+// version).
+//
+// Design rules, in priority order:
+//
+//   - Correctness over reuse. A key must capture everything that can change
+//     the artifact; anything doubtful belongs in the key. The cache itself
+//     never judges relevance — callers derive Input/Config hashes.
+//   - A damaged cache is an empty cache. Torn writes, truncation, bit flips,
+//     or a foreign file under the cache directory all surface as a miss
+//     (and the bad entry is discarded), never as an error or a bad artifact.
+//     Disk entries carry a magic, an explicit payload length, and a SHA-256
+//     checksum; writes go to a temp file first and are published by an
+//     atomic rename, so a crash mid-write leaves no half-entry behind.
+//   - Concurrency-safe. Parallel build workers probe and publish entries
+//     concurrently; same-key racing writers are benign because the pipeline
+//     is deterministic — both write identical bytes and rename wins-last.
+//
+// The in-memory tier makes repeated in-process builds (the experiment
+// sweeps) hit at memory speed; the on-disk tier under -cache-dir carries
+// warm starts across processes. Processes sharing a directory share one
+// in-memory tier via Shared.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Key identifies one artifact. Input is a hex content hash produced by the
+// caller (see Hasher), Config a deterministic fingerprint of the
+// stage-relevant configuration; Stage namespaces pipeline stages and Schema
+// is the artifact codec's schema version.
+type Key struct {
+	Stage  string
+	Input  string
+	Config string
+	Schema int
+}
+
+// id collapses the key into the content address entries are stored under.
+func (k Key) id() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%d", k.Stage, k.Input, k.Config, k.Schema)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Hasher accumulates content into a hex digest for Key.Input/Key.Config.
+type Hasher struct{ h hash.Hash }
+
+// NewHasher returns an empty content hasher.
+func NewHasher() *Hasher { return &Hasher{h: sha256.New()} }
+
+// WriteString adds s (with a terminator so concatenations cannot collide).
+func (h *Hasher) WriteString(s string) *Hasher {
+	h.h.Write([]byte(s))
+	h.h.Write([]byte{0})
+	return h
+}
+
+// Write adds raw bytes.
+func (h *Hasher) Write(b []byte) *Hasher {
+	h.h.Write(b)
+	return h
+}
+
+// Sum returns the accumulated hex digest.
+func (h *Hasher) Sum() string { return hex.EncodeToString(h.h.Sum(nil)) }
+
+// HashBytes returns the hex digest of b.
+func HashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// memLimitBytes bounds the in-memory tier. Once exceeded, new entries go to
+// disk only — a simple deterministic bound instead of an eviction policy;
+// long experiment sweeps stay within a fixed footprint.
+const memLimitBytes = 256 << 20
+
+// Cache is one two-tier artifact store. The zero value and nil are valid
+// always-miss caches.
+type Cache struct {
+	dir string
+
+	mu       sync.Mutex
+	mem      map[string][]byte
+	memBytes int
+}
+
+// Open creates (if needed) and opens the on-disk tier under dir with a fresh
+// in-memory tier. Most callers want Shared instead.
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return &Cache{dir: dir, mem: make(map[string][]byte)}, nil
+}
+
+var (
+	sharedMu sync.Mutex
+	shared   = map[string]*Cache{}
+)
+
+// Shared returns the process-wide Cache for dir, creating it on first use.
+// Sharing the instance shares the in-memory tier, so every build in a
+// process (an experiment sweep, a test run) reuses artifacts at memory
+// speed.
+func Shared(dir string) (*Cache, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if c, ok := shared[abs]; ok {
+		return c, nil
+	}
+	c, err := Open(abs)
+	if err != nil {
+		return nil, err
+	}
+	shared[abs] = c
+	return c, nil
+}
+
+// Forget drops the process-wide instance for dir (if any). Benchmarks and
+// tests that create many throwaway cache directories call it after removing
+// the directory so the registry does not retain their memory tiers.
+func Forget(dir string) {
+	if abs, err := filepath.Abs(dir); err == nil {
+		sharedMu.Lock()
+		delete(shared, abs)
+		sharedMu.Unlock()
+	}
+}
+
+// DropMemory empties the in-memory tier, leaving disk entries intact.
+// Tests use it to simulate a fresh process against a warm directory.
+func (c *Cache) DropMemory() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.mem = make(map[string][]byte)
+	c.memBytes = 0
+	c.mu.Unlock()
+}
+
+// Get returns the stored artifact for k. The second result reports whether a
+// valid entry was found; corrupted disk entries are deleted and reported as
+// a miss. The returned slice is shared — callers must treat it as read-only.
+func (c *Cache) Get(k Key) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	id := k.id()
+	c.mu.Lock()
+	data, ok := c.mem[id]
+	c.mu.Unlock()
+	if ok {
+		return data, true
+	}
+	if c.dir == "" {
+		return nil, false
+	}
+	path := c.entryPath(id)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	payload, err := decodeEntry(raw)
+	if err != nil {
+		// Treat damage as absence; removing the entry lets the rebuild
+		// republish a good one.
+		os.Remove(path)
+		return nil, false
+	}
+	c.remember(id, payload)
+	return payload, true
+}
+
+// Put stores data under k in both tiers. The cache takes ownership of data.
+// Disk-tier failures are swallowed: a cache that cannot persist degrades to
+// the memory tier rather than failing the build.
+func (c *Cache) Put(k Key, data []byte) {
+	if c == nil {
+		return
+	}
+	id := k.id()
+	c.store(id, data)
+	if c.dir == "" {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "tmp-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(encodeEntry(data))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	// Atomic publication: readers see either no entry or a complete one.
+	if err := os.Rename(tmp.Name(), c.entryPath(id)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// remember is the Get path's insert-only promotion of a disk entry into the
+// memory tier.
+func (c *Cache) remember(id string, data []byte) {
+	c.mu.Lock()
+	if _, ok := c.mem[id]; !ok && c.memBytes+len(data) <= memLimitBytes {
+		c.mem[id] = data
+		c.memBytes += len(data)
+	}
+	c.mu.Unlock()
+}
+
+// store is the Put path: it replaces any existing memory entry, so a
+// republish after a corrupt payload was promoted does not leave the bad
+// bytes shadowing the good ones.
+func (c *Cache) store(id string, data []byte) {
+	c.mu.Lock()
+	if old, ok := c.mem[id]; ok {
+		c.memBytes -= len(old)
+		delete(c.mem, id)
+	}
+	if c.memBytes+len(data) <= memLimitBytes {
+		c.mem[id] = data
+		c.memBytes += len(data)
+	}
+	c.mu.Unlock()
+}
+
+func (c *Cache) entryPath(id string) string {
+	return filepath.Join(c.dir, id+".art")
+}
+
+// Disk entry layout: magic, little-endian payload length, payload, SHA-256
+// of the payload. decodeEntry rejects anything that does not parse exactly.
+var entryMagic = [4]byte{'S', 'L', 'C', '1'}
+
+func encodeEntry(payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+4+8+sha256.Size)
+	out = append(out, entryMagic[:]...)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
+	out = append(out, payload...)
+	sum := sha256.Sum256(payload)
+	return append(out, sum[:]...)
+}
+
+func decodeEntry(raw []byte) ([]byte, error) {
+	if len(raw) < 4+8+sha256.Size {
+		return nil, fmt.Errorf("cache: entry too short")
+	}
+	if [4]byte(raw[:4]) != entryMagic {
+		return nil, fmt.Errorf("cache: bad entry magic")
+	}
+	n := binary.LittleEndian.Uint64(raw[4:12])
+	if n != uint64(len(raw)-4-8-sha256.Size) {
+		return nil, fmt.Errorf("cache: entry length mismatch")
+	}
+	payload := raw[12 : 12+n]
+	sum := sha256.Sum256(payload)
+	if [sha256.Size]byte(raw[12+n:]) != sum {
+		return nil, fmt.Errorf("cache: entry checksum mismatch")
+	}
+	return payload, nil
+}

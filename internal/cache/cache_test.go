@@ -1,0 +1,202 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func testKey() Key {
+	return Key{Stage: "llir", Input: HashBytes([]byte("src")), Config: "verify=true", Schema: 1}
+}
+
+func TestPutGetMemory(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey()
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, []byte("artifact"))
+	got, ok := c.Get(k)
+	if !ok || !bytes.Equal(got, []byte("artifact")) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+}
+
+func TestDiskTierSurvivesMemoryDrop(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey()
+	c.Put(k, []byte("artifact"))
+	c.DropMemory()
+	got, ok := c.Get(k)
+	if !ok || !bytes.Equal(got, []byte("artifact")) {
+		t.Fatalf("disk Get after DropMemory = %q, %v", got, ok)
+	}
+	// A second Open over the same directory models a fresh process.
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c2.Get(k); !ok || !bytes.Equal(got, []byte("artifact")) {
+		t.Fatalf("fresh-process Get = %q, %v", got, ok)
+	}
+}
+
+// Any key-field difference — stage, input, config, or schema version — must
+// address a different entry. The schema case is how a codec bump invalidates
+// every stored artifact.
+func TestKeyFieldsAllDiscriminate(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := testKey()
+	c.Put(base, []byte("artifact"))
+	variants := []Key{
+		{Stage: "machine", Input: base.Input, Config: base.Config, Schema: base.Schema},
+		{Stage: base.Stage, Input: HashBytes([]byte("edited")), Config: base.Config, Schema: base.Schema},
+		{Stage: base.Stage, Input: base.Input, Config: "verify=false", Schema: base.Schema},
+		{Stage: base.Stage, Input: base.Input, Config: base.Config, Schema: base.Schema + 1},
+	}
+	for i, k := range variants {
+		if _, ok := c.Get(k); ok {
+			t.Errorf("variant %d unexpectedly hit %+v", i, k)
+		}
+	}
+}
+
+// corruptEntries mutates every entry file under dir with mutate and returns
+// how many files it touched.
+func corruptEntries(t *testing.T, dir string, mutate func([]byte) []byte) int {
+	t.Helper()
+	ents, err := filepath.Glob(filepath.Join(dir, "*.art"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ents {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, mutate(raw), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return len(ents)
+}
+
+func TestCorruptedEntryIsMissAndDeleted(t *testing.T) {
+	cases := map[string]func([]byte) []byte{
+		"payload-flip": func(raw []byte) []byte {
+			mut := append([]byte(nil), raw...)
+			mut[len(mut)/2] ^= 0x01
+			return mut
+		},
+		"truncated": func(raw []byte) []byte { return raw[:len(raw)/2] },
+		"empty":     func([]byte) []byte { return nil },
+		"foreign":   func([]byte) []byte { return []byte("not a cache entry") },
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			c, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := testKey()
+			c.Put(k, []byte("artifact"))
+			if n := corruptEntries(t, dir, mutate); n != 1 {
+				t.Fatalf("expected 1 entry on disk, found %d", n)
+			}
+			c.DropMemory()
+			if _, ok := c.Get(k); ok {
+				t.Fatal("corrupted entry reported as hit")
+			}
+			if ents, _ := filepath.Glob(filepath.Join(dir, "*.art")); len(ents) != 0 {
+				t.Fatalf("corrupted entry not deleted: %v", ents)
+			}
+			// The slot is reusable: a republish hits again.
+			c.Put(k, []byte("artifact"))
+			c.DropMemory()
+			if got, ok := c.Get(k); !ok || !bytes.Equal(got, []byte("artifact")) {
+				t.Fatalf("republish after corruption: Get = %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+// Same-key and distinct-key concurrent use must be race-free (run under
+// -race in CI). Same-key writers store identical bytes, mirroring the
+// deterministic pipeline's behaviour.
+func TestConcurrentPutGet(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := testKey()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			own := Key{Stage: "machine", Input: HashBytes([]byte(fmt.Sprintf("mod%d", w))), Schema: 1}
+			for i := 0; i < 50; i++ {
+				c.Put(shared, []byte("same bytes from every writer"))
+				if got, ok := c.Get(shared); ok && !bytes.Equal(got, []byte("same bytes from every writer")) {
+					t.Errorf("worker %d read torn shared entry %q", w, got)
+					return
+				}
+				c.Put(own, []byte(fmt.Sprintf("artifact %d", w)))
+				if got, ok := c.Get(own); !ok || !bytes.Equal(got, []byte(fmt.Sprintf("artifact %d", w))) {
+					t.Errorf("worker %d lost its own entry", w)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestNilCacheIsAlwaysMiss(t *testing.T) {
+	var c *Cache
+	c.Put(testKey(), []byte("artifact")) // must not panic
+	if _, ok := c.Get(testKey()); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.DropMemory()
+}
+
+func TestSharedReturnsOneInstancePerDir(t *testing.T) {
+	dir := t.TempDir()
+	defer Forget(dir)
+	a, err := Shared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Shared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Shared returned distinct instances for one dir")
+	}
+	Forget(dir)
+	c, err := Shared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("Forget did not drop the shared instance")
+	}
+	Forget(dir)
+}

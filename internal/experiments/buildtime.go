@@ -3,11 +3,13 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"strings"
 	"time"
 
 	"outliner/internal/appgen"
+	"outliner/internal/cache"
 	"outliner/internal/pipeline"
 )
 
@@ -36,6 +38,15 @@ type BuildTimeResult struct {
 	WholeSerial     []time.Duration // index = rounds (0..5); [0] = no outlining
 	WholeParallel   []time.Duration
 	Workers         int
+
+	// The incremental-build-cache axis: each configuration built twice
+	// against a private cache directory (parallel workers), cold then warm,
+	// with the warm build's cache hit rate. The rows above always run
+	// uncached — they measure the pipelines themselves.
+	CacheLabels  []string
+	CacheCold    []time.Duration
+	CacheWarm    []time.Duration
+	CacheHitRate []float64
 }
 
 // Speedup is the parallel speedup of the full whole-program build (five
@@ -61,6 +72,7 @@ func RunBuildTime(w io.Writer, scale float64) (*BuildTimeResult, error) {
 	tr := countingTracer()
 	timeBuild := func(cfg pipeline.Config) (time.Duration, *pipeline.Result, error) {
 		cfg.Tracer = tr
+		cfg.CacheDir = "" // the main rows measure the uncached pipelines
 		start := time.Now()
 		r, err := appgen.BuildApp(appgen.UberRider, scale, cfg)
 		return time.Since(start), r, err
@@ -125,6 +137,51 @@ func RunBuildTime(w io.Writer, scale float64) (*BuildTimeResult, error) {
 		}
 	}
 
+	// Cold vs warm against the incremental build cache, one private
+	// directory per configuration so the cold build genuinely misses.
+	for _, axis := range []struct {
+		label string
+		cfg   pipeline.Config
+	}{
+		{"default pipeline (per-module, 1 round)", baselineConfig()},
+		{"whole-program, 5 round(s)", optimizedConfig()},
+	} {
+		dir, err := os.MkdirTemp("", "buildtime-cache-")
+		if err != nil {
+			return nil, err
+		}
+		cfg := axis.cfg
+		cfg.Tracer = tr
+		cfg.CacheDir = dir
+		cfg.Parallelism = 0
+		start := time.Now()
+		if _, err := appgen.BuildApp(appgen.UberRider, scale, cfg); err != nil {
+			os.RemoveAll(dir)
+			cache.Forget(dir)
+			return nil, err
+		}
+		cold := time.Since(start)
+		before := tr.Counters()
+		start = time.Now()
+		if _, err := appgen.BuildApp(appgen.UberRider, scale, cfg); err != nil {
+			os.RemoveAll(dir)
+			cache.Forget(dir)
+			return nil, err
+		}
+		warm := time.Since(start)
+		delta := counterDelta(before, tr.Counters())
+		hitRate := 0.0
+		if delta["cache/probes"] > 0 {
+			hitRate = float64(delta["cache/hits"]) / float64(delta["cache/probes"])
+		}
+		res.CacheLabels = append(res.CacheLabels, axis.label)
+		res.CacheCold = append(res.CacheCold, cold)
+		res.CacheWarm = append(res.CacheWarm, warm)
+		res.CacheHitRate = append(res.CacheHitRate, hitRate)
+		os.RemoveAll(dir)
+		cache.Forget(dir)
+	}
+
 	ms := func(d time.Duration) string { return d.Round(time.Millisecond).String() }
 	fmt.Fprintln(w, "BUILD TIME (§VII-C): wall-clock on this machine, synthetic app")
 	fmt.Fprintln(w, "(paper shape: default << whole-program; rounds add diminishing time;")
@@ -148,6 +205,20 @@ func RunBuildTime(w io.Writer, scale float64) (*BuildTimeResult, error) {
 		fmt.Sprintf("%.2fx speedup", res.Speedup()),
 	})
 	table(w, rows)
+	fmt.Fprintf(w, "\nincremental build cache (-cache-dir, -j%d): cold vs warm\n", res.Workers)
+	cacheRows := [][]string{{"configuration", "cold", "warm", "speedup", "hit rate"}}
+	for i, label := range res.CacheLabels {
+		ratio := 1.0
+		if res.CacheWarm[i] > 0 {
+			ratio = float64(res.CacheCold[i]) / float64(res.CacheWarm[i])
+		}
+		cacheRows = append(cacheRows, []string{
+			label, ms(res.CacheCold[i]), ms(res.CacheWarm[i]),
+			fmt.Sprintf("%.2fx", ratio),
+			fmt.Sprintf("%.0f%%", 100*res.CacheHitRate[i]),
+		})
+	}
+	table(w, cacheRows)
 	fmt.Fprintln(w, "\nwhole-program stage breakdown (no outlining, serial):")
 	srows := [][]string{{"stage", "time"}}
 	for _, k := range sortedKeys(res.Stages) {

@@ -42,6 +42,14 @@ var Parallelism int
 // with or without it.
 var Tracer *obs.Tracer
 
+// CacheDir, when set by cmd/experiments' -cache-dir flag, enables the
+// incremental build cache for every pipeline build the experiments run.
+// Caching changes only wall-clock time, never results — fig1's warm sweep
+// asserts exactly that. The buildtime experiment zeroes it for its main
+// rows (they measure the uncached pipelines) and measures the cache on a
+// dedicated cold/warm axis instead.
+var CacheDir string
+
 // countingTracer returns the shared Tracer when telemetry was requested and
 // otherwise a private full collector, so experiments that derive their tables
 // from counters (fig12, buildtime) always have something to read.
@@ -112,6 +120,7 @@ func buildBench(name, text string, rounds int) (*pipeline.Result, error) {
 		SplitGCMetadata:    true,
 		Parallelism:        Parallelism,
 		Tracer:             Tracer,
+		CacheDir:           CacheDir,
 	}
 	return pipeline.Build([]pipeline.Source{{Name: name, Files: map[string]string{name + ".sl": text}}}, cfg)
 }
@@ -140,6 +149,17 @@ func buildApp(p appgen.Profile, scale float64, optimized bool) (*pipeline.Result
 	return appgen.BuildApp(p, scale, cfg)
 }
 
+// buildAppCached is buildApp against an explicit cache directory (fig1's
+// cold/warm sweeps use a private one when no -cache-dir was given).
+func buildAppCached(p appgen.Profile, scale float64, optimized bool, cacheDir string) (*pipeline.Result, error) {
+	cfg := baselineConfig()
+	if optimized {
+		cfg = optimizedConfig()
+	}
+	cfg.CacheDir = cacheDir
+	return appgen.BuildApp(p, scale, cfg)
+}
+
 // baselineConfig is the default iOS pipeline with Swift 5.2 semantics:
 // per-module compilation and one round of per-module outlining (-Osize).
 func baselineConfig() pipeline.Config {
@@ -149,6 +169,7 @@ func baselineConfig() pipeline.Config {
 		SpecializeClosures: true,
 		Parallelism:        Parallelism,
 		Tracer:             Tracer,
+		CacheDir:           CacheDir,
 	}
 }
 
@@ -158,6 +179,7 @@ func optimizedConfig() pipeline.Config {
 	cfg := pipeline.OSize
 	cfg.Parallelism = Parallelism
 	cfg.Tracer = Tracer
+	cfg.CacheDir = CacheDir
 	return cfg
 }
 

@@ -75,6 +75,17 @@ func (t *Tracer) WriteSummary(w io.Writer) error {
 			fn, counters["verify/violations"])
 	}
 
+	// The incremental-cache scoreboard, present whenever a build probed the
+	// cache (-cache-dir was set).
+	if probes := counters["cache/probes"]; probes > 0 {
+		hits := counters["cache/hits"]
+		fmt.Fprintf(w, "\ncache: %d probes, %d hits, %d misses (%.1f%% hit rate), "+
+			"%d bytes read, %d bytes written\n",
+			probes, hits, counters["cache/misses"],
+			100*float64(hits)/float64(probes),
+			counters["cache/bytes_read"], counters["cache/bytes_written"])
+	}
+
 	general := make([]string, 0, len(counters))
 	for name := range counters {
 		if !strings.HasPrefix(name, "outline/round") {

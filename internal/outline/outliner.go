@@ -169,12 +169,13 @@ func Outline(prog *mir.Program, opts Options) (*Stats, error) {
 	tr := opts.Tracer
 	stats := &Stats{}
 	counter := 0
+	var sc scratch
 	for round := 1; round <= opts.Rounds; round++ {
 		// One stage span per round, all named "machine-outline": stage
 		// totals sum them, so repeated rounds (and per-module runs in the
 		// default pipeline) report total time, not last-round time.
 		sp := tr.StartStage("machine-outline", opts.TraceLane).Arg("round", round)
-		rs, rems, err := outlineOnce(prog, opts, &counter, round)
+		rs, rems, err := outlineOnce(prog, opts, &counter, round, &sc)
 		if err != nil {
 			sp.End()
 			return stats, fmt.Errorf("outline round %d: %w", round, err)
@@ -233,7 +234,41 @@ func candRemark(set *candSet, occ, round int, opts Options, status, reason, fn s
 	}
 }
 
-func outlineOnce(prog *mir.Program, opts Options, counter *int, round int) (RoundStats, []obs.Remark, error) {
+// repeatResult is one repeat's analysis outcome: a candidate set, or the
+// reason it can never be outlined.
+type repeatResult struct {
+	set    *candSet
+	reject string
+}
+
+// scratch holds outlineOnce's round-local slices so round one's allocations
+// serve every later round of the same Outline call. Rounds shrink the
+// program, so the first round's capacities are the high-water mark and later
+// rounds allocate (almost) nothing.
+type scratch struct {
+	repeats  []suffixtree.Repeat
+	needLive []bool
+	byRepeat []repeatResult
+	sets     []*candSet
+	used     []bool
+	edits    []edit
+	newFuncs []*mir.Function
+}
+
+// zeroedBools returns a false-filled []bool of length n, reusing s's backing
+// array when it is large enough.
+func zeroedBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+func outlineOnce(prog *mir.Program, opts Options, counter *int, round int, sc *scratch) (RoundStats, []obs.Remark, error) {
 	tr := opts.Tracer
 	remarks := tr.RemarksEnabled()
 	var rs RoundStats
@@ -250,11 +285,19 @@ func outlineOnce(prog *mir.Program, opts Options, counter *int, round int) (Roun
 	// by an occurrence, then one candidate set per repeat. Both are
 	// read-only over prog/m, so workers never interact; results land at
 	// their repeat index, keeping the order the serial loop produced.
-	var repeats []suffixtree.Repeat
+	if sc.repeats == nil {
+		// Each reported repeat is a distinct internal suffix-tree node, so
+		// the node count bounds the repeat count; sizing up front avoids the
+		// append-regrow copies on the first (largest) round.
+		sc.repeats = make([]suffixtree.Repeat, 0, tree.NodeCount())
+	}
+	repeats := sc.repeats[:0]
 	tree.ForEachRepeat(opts.MinLength, 2, func(r suffixtree.Repeat) {
 		repeats = append(repeats, r)
 	})
-	needLive := make([]bool, len(prog.Funcs))
+	sc.repeats = repeats
+	needLive := zeroedBools(sc.needLive, len(prog.Funcs))
+	sc.needLive = needLive
 	for _, r := range repeats {
 		for _, st := range r.Starts {
 			if l := m.locs[st]; l.fn >= 0 {
@@ -269,18 +312,17 @@ func outlineOnce(prog *mir.Program, opts Options, counter *int, round int) (Roun
 	tr.Add("outline/candidates/found", int64(len(repeats)))
 
 	spSensitive := spSensitiveFuncs(prog)
-	type repeatResult struct {
-		set    *candSet
-		reject string
+	if cap(sc.byRepeat) < len(repeats) {
+		sc.byRepeat = make([]repeatResult, len(repeats))
 	}
-	byRepeat := make([]repeatResult, len(repeats))
+	byRepeat := sc.byRepeat[:len(repeats)]
 	par.Do(opts.Parallelism, len(repeats), func(i int) {
 		set, reject := buildSet(prog, m, repeats[i], liveness, spSensitive, opts)
 		byRepeat[i] = repeatResult{set, reject}
 	})
 	// Collect in repeat (suffix-tree) order: both the greedy input and the
 	// remark stream stay deterministic for any worker count.
-	var sets []*candSet
+	sets := sc.sets[:0]
 	for i, rr := range byRepeat {
 		if rr.reject != "" {
 			if remarks {
@@ -295,6 +337,7 @@ func outlineOnce(prog *mir.Program, opts Options, counter *int, round int) (Roun
 		}
 		sets = append(sets, rr.set)
 	}
+	sc.sets = sets
 
 	// Greedy: most beneficial first. Ties resolve to longer sequences, then
 	// earliest occurrence, for determinism.
@@ -309,9 +352,10 @@ func outlineOnce(prog *mir.Program, opts Options, counter *int, round int) (Roun
 		return sets[i].cands[0].start < sets[j].cands[0].start
 	})
 
-	used := make([]bool, len(m.str))
-	var edits []edit
-	var newFuncs []*mir.Function
+	used := zeroedBools(sc.used, len(m.str))
+	sc.used = used
+	edits := sc.edits[:0]
+	newFuncs := sc.newFuncs[:0]
 	for _, set := range sets {
 		kept := set.cands[:0]
 		for _, c := range set.cands {
@@ -368,6 +412,8 @@ func outlineOnce(prog *mir.Program, opts Options, counter *int, round int) (Roun
 	for _, fn := range newFuncs {
 		prog.AddFunc(fn)
 	}
+	sc.edits = edits
+	sc.newFuncs = newFuncs
 	return rs, rems, nil
 }
 

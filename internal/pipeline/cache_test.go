@@ -1,0 +1,307 @@
+package pipeline_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"outliner/internal/cache"
+	"outliner/internal/obs"
+	"outliner/internal/pipeline"
+)
+
+// cacheTestSources is a two-module program with cross-module calls, so the
+// machine stage's cross-reference handling participates in the keys.
+func cacheTestSources() []pipeline.Source {
+	lib := src("Lib", `
+class Counter {
+  var n: Int
+  init() { self.n = 0 }
+  func bump() -> Int {
+    self.n = self.n + 1
+    return self.n
+  }
+}
+func makeCounter() -> Counter { return Counter() }
+func scale(x: Int) -> Int { return x * 10 }
+`)
+	app := src("App", `
+func main() {
+  let c = makeCounter()
+  print(c.bump())
+  print(scale(x: c.bump()))
+  print(c.bump())
+}
+`)
+	return []pipeline.Source{lib, app}
+}
+
+// cacheConfigs are the pipeline shapes the cache must serve: the default
+// pipeline caches both the llir and the machine stage, the whole-program
+// pipeline only the llir stage. Verify stays on so a cache-hit build still
+// proves the invariants hold.
+func cacheConfigs() map[string]pipeline.Config {
+	return map[string]pipeline.Config{
+		"default":      {OutlineRounds: 1, SILOutline: true, Verify: true},
+		"default-full": {OutlineRounds: 3, SILOutline: true, SpecializeClosures: true, MergeFunctions: true, FMSA: true, Verify: true},
+		"wholeprog":    {WholeProgram: true, OutlineRounds: 5, SILOutline: true, MergeFunctions: true, PreserveDataLayout: true, SplitGCMetadata: true, Verify: true},
+	}
+}
+
+// buildListing builds sources under cfg (optionally cached under dir) and
+// returns the deterministic image listing plus the build's counters.
+func buildListing(t *testing.T, cfg pipeline.Config, dir string, srcs []pipeline.Source) (string, map[string]int64) {
+	t.Helper()
+	tr := obs.New()
+	cfg.Tracer = tr
+	cfg.CacheDir = dir
+	res, err := pipeline.Build(srcs, cfg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteImageListing(&buf); err != nil {
+		t.Fatalf("WriteImageListing: %v", err)
+	}
+	return buf.String(), tr.Counters()
+}
+
+// The acceptance guarantee: the built image is byte-identical whether the
+// build runs with no cache, cold, warm from the memory tier, or warm from
+// disk in a fresh process — at every parallelism level.
+func TestCacheColdWarmByteIdentical(t *testing.T) {
+	srcs := cacheTestSources()
+	for name, cfg := range cacheConfigs() {
+		for _, j := range []int{1, 4} {
+			cfg := cfg
+			cfg.Parallelism = j
+			t.Run(name+"-j"+string(rune('0'+j)), func(t *testing.T) {
+				dir := t.TempDir()
+				defer cache.Forget(dir)
+				ref, _ := buildListing(t, cfg, "", srcs)
+
+				cold, cc := buildListing(t, cfg, dir, srcs)
+				if cold != ref {
+					t.Fatal("cold cached build differs from uncached build")
+				}
+				if cc["cache/hits"] != 0 || cc["cache/probes"] == 0 || cc["cache/stores"] == 0 {
+					t.Fatalf("cold counters: %+v", cc)
+				}
+
+				warm, wc := buildListing(t, cfg, dir, srcs)
+				if warm != ref {
+					t.Fatal("warm (memory-tier) build differs from uncached build")
+				}
+				if wc["cache/probes"] == 0 || wc["cache/hits"] != wc["cache/probes"] || wc["cache/misses"] != 0 {
+					t.Fatalf("warm counters: %+v", wc)
+				}
+
+				// A fresh process sees an empty memory tier and warms from disk.
+				c, err := cache.Shared(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c.DropMemory()
+				disk, dc := buildListing(t, cfg, dir, srcs)
+				if disk != ref {
+					t.Fatal("warm (disk-tier) build differs from uncached build")
+				}
+				if dc["cache/hits"] != dc["cache/probes"] || dc["cache/misses"] != 0 {
+					t.Fatalf("disk-warm counters: %+v", dc)
+				}
+			})
+		}
+	}
+}
+
+// Editing one module must invalidate every llir entry (each module
+// type-checks against all others, and the key's dependency hash is that
+// coarse on purpose) — but the unchanged module lowers to identical LLIR, so
+// its machine-stage entry still hits.
+func TestCacheInvalidationOnSourceEdit(t *testing.T) {
+	cfg := pipeline.Config{OutlineRounds: 1, SILOutline: true, Verify: true}
+	srcs := cacheTestSources()
+	dir := t.TempDir()
+	defer cache.Forget(dir)
+	buildListing(t, cfg, dir, srcs)
+
+	edited := cacheTestSources()
+	edited[1] = src("App", `
+func main() {
+  let c = makeCounter()
+  print(c.bump())
+  print(scale(x: c.bump() + 100))
+  print(c.bump())
+}
+`)
+	ref, _ := buildListing(t, cfg, "", edited)
+	got, counters := buildListing(t, cfg, dir, edited)
+	if got != ref {
+		t.Fatal("rebuild after edit differs from uncached build of the edited sources")
+	}
+	if counters["cache/llir/hits"] != 0 {
+		t.Fatalf("llir entries survived a source edit: %+v", counters)
+	}
+	if counters["cache/machine/hits"] != 1 || counters["cache/machine/misses"] != 1 {
+		t.Fatalf("want exactly the unchanged module's machine entry to hit: %+v", counters)
+	}
+}
+
+// Config fingerprints are stage-scoped: a backend-only change (outlining
+// rounds) reuses every llir entry and rebuilds the machine stage; a
+// frontend-relevant change (SILOutline) invalidates the llir stage too.
+func TestCacheInvalidationOnConfigChange(t *testing.T) {
+	base := pipeline.Config{OutlineRounds: 1, SILOutline: true, Verify: true}
+	srcs := cacheTestSources()
+	dir := t.TempDir()
+	defer cache.Forget(dir)
+	buildListing(t, base, dir, srcs)
+
+	backend := base
+	backend.OutlineRounds = 3
+	ref, _ := buildListing(t, backend, "", srcs)
+	got, counters := buildListing(t, backend, dir, srcs)
+	if got != ref {
+		t.Fatal("rebuild with new rounds differs from uncached build")
+	}
+	if counters["cache/llir/hits"] != int64(len(srcs)) {
+		t.Fatalf("backend-only change should reuse llir entries: %+v", counters)
+	}
+	if counters["cache/machine/hits"] != 0 {
+		t.Fatalf("backend change must invalidate machine entries: %+v", counters)
+	}
+
+	frontend := base
+	frontend.SILOutline = false
+	ref2, _ := buildListing(t, frontend, "", srcs)
+	got2, counters2 := buildListing(t, frontend, dir, srcs)
+	if got2 != ref2 {
+		t.Fatal("rebuild without SIL outlining differs from uncached build")
+	}
+	if counters2["cache/llir/hits"] != 0 {
+		t.Fatalf("frontend-relevant change should invalidate llir entries: %+v", counters2)
+	}
+}
+
+// A cache directory full of well-formed entries holding garbage payloads —
+// the envelope checksum passes, artifact decoding fails — must rebuild
+// cleanly, count the corruption, republish, and hit on the next build.
+func TestCacheCorruptPayloadForcesRebuild(t *testing.T) {
+	cfg := pipeline.Config{OutlineRounds: 1, SILOutline: true, Verify: true}
+	srcs := cacheTestSources()
+	dir := t.TempDir()
+	defer cache.Forget(dir)
+	ref, _ := buildListing(t, cfg, dir, srcs)
+
+	ents, err := filepath.Glob(filepath.Join(dir, "*.art"))
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("no cache entries on disk: %v %v", ents, err)
+	}
+	for _, p := range ents {
+		// Re-derive the documented entry envelope (magic, length, payload,
+		// checksum) around a payload no artifact decoder accepts.
+		payload := []byte("valid envelope, garbage payload")
+		e := append([]byte("SLC1"), binary.LittleEndian.AppendUint64(nil, uint64(len(payload)))...)
+		e = append(e, payload...)
+		sum := sha256.Sum256(payload)
+		if err := os.WriteFile(p, append(e, sum[:]...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := cache.Shared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.DropMemory()
+
+	got, counters := buildListing(t, cfg, dir, srcs)
+	if got != ref {
+		t.Fatal("rebuild over corrupt payloads differs from the original build")
+	}
+	if counters["cache/hits"] != 0 || counters["cache/corrupt"] != counters["cache/probes"] {
+		t.Fatalf("want every probe to miss as corrupt: %+v", counters)
+	}
+
+	// The rebuild republished good artifacts over the bad ones.
+	warm, wc := buildListing(t, cfg, dir, srcs)
+	if warm != ref || wc["cache/hits"] != wc["cache/probes"] {
+		t.Fatalf("republished entries do not hit: %+v", wc)
+	}
+}
+
+// Truncated disk entries (a crash mid-write would instead leave a temp file,
+// but disks corrupt too) are misses, never errors.
+func TestCacheTruncatedEntryForcesRebuild(t *testing.T) {
+	cfg := pipeline.Config{OutlineRounds: 1, SILOutline: true, Verify: true}
+	srcs := cacheTestSources()
+	dir := t.TempDir()
+	defer cache.Forget(dir)
+	ref, _ := buildListing(t, cfg, dir, srcs)
+
+	ents, _ := filepath.Glob(filepath.Join(dir, "*.art"))
+	for _, p := range ents {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, raw[:len(raw)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := cache.Shared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.DropMemory()
+
+	got, counters := buildListing(t, cfg, dir, srcs)
+	if got != ref {
+		t.Fatal("rebuild over truncated entries differs from the original build")
+	}
+	if counters["cache/hits"] != 0 {
+		t.Fatalf("truncated entries reported as hits: %+v", counters)
+	}
+}
+
+// Concurrent builds sharing one cache directory publish identical bytes for
+// identical keys; under -race this doubles as the same-key write-race check.
+func TestCacheConcurrentBuilds(t *testing.T) {
+	cfg := pipeline.Config{OutlineRounds: 1, SILOutline: true, Verify: true, Parallelism: 2}
+	srcs := cacheTestSources()
+	dir := t.TempDir()
+	defer cache.Forget(dir)
+	ref, _ := buildListing(t, cfg, "", srcs)
+
+	const builders = 4
+	out := make([]string, builders)
+	var wg sync.WaitGroup
+	for b := 0; b < builders; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			c := cfg
+			c.CacheDir = dir
+			res, err := pipeline.Build(srcs, c)
+			if err != nil {
+				t.Errorf("builder %d: %v", b, err)
+				return
+			}
+			var buf bytes.Buffer
+			if err := res.WriteImageListing(&buf); err != nil {
+				t.Errorf("builder %d: %v", b, err)
+				return
+			}
+			out[b] = buf.String()
+		}(b)
+	}
+	wg.Wait()
+	for b := 0; b < builders; b++ {
+		if out[b] != ref {
+			t.Fatalf("builder %d produced a different image", b)
+		}
+	}
+}

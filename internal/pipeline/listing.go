@@ -1,0 +1,29 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteImageListing renders the built image as a deterministic text listing:
+// the size summary, the address-ordered symbol table, and the full machine
+// program. Two builds produced the same binary iff their listings are
+// byte-identical, which makes the listing the comparison artifact for the
+// cold-vs-warm determinism guarantee (slc -o, the CI cache e2e, and the
+// pipeline tests all diff it).
+func (r *Result) WriteImageListing(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, r.Image.Summary()); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nsymbols:")
+	for _, s := range r.Image.Symbols {
+		kind := "data"
+		if s.Code {
+			kind = "code"
+		}
+		fmt.Fprintf(w, "  %-4s %#010x %6d %s\n", kind, s.Addr, s.Size, s.Name)
+	}
+	fmt.Fprintln(w, "\nprogram:")
+	_, err := io.WriteString(w, r.Prog.String())
+	return err
+}

@@ -15,7 +15,9 @@ import (
 	"sort"
 	"time"
 
+	"outliner/internal/artifact"
 	"outliner/internal/binimg"
+	"outliner/internal/cache"
 	"outliner/internal/codegen"
 	"outliner/internal/frontend"
 	"outliner/internal/irlink"
@@ -80,6 +82,15 @@ type Config struct {
 	// few time.Now calls per stage. Telemetry is strictly observational —
 	// the built image is byte-identical with any Tracer or none.
 	Tracer *obs.Tracer
+	// CacheDir enables the content-addressed incremental build cache
+	// (internal/cache, serialized by internal/artifact): per-module LLIR
+	// lowering (both pipelines) and per-module codegen+outlining (default
+	// pipeline) are keyed by input content, stage-relevant config
+	// fingerprint, and codec schema version. Empty means "cache off".
+	// Caching is strictly an accelerator: the built image is byte-identical
+	// whether a build runs cold, warm, or with no cache at all, and a
+	// damaged cache entry is treated as a miss, never an error.
+	CacheDir string
 }
 
 // OSize is the production configuration the paper ships: whole program,
@@ -244,6 +255,19 @@ func Build(sources []Source, cfg Config) (*Result, error) {
 		imports[i] = frontend.NewImports(others...)
 	}
 
+	bc, err := OpenBuildCache(cfg)
+	if err != nil {
+		front.End()
+		return nil, err
+	}
+	var moduleHashes []string
+	if bc != nil {
+		moduleHashes = make([]string, len(sources))
+		for i, src := range sources {
+			moduleHashes[i] = SourceHash(src)
+		}
+	}
+
 	// Each module compiles to LLIR independently given its import set
 	// (CompileToLLIR re-parses the module's own files, so every worker
 	// type-checks private ASTs); results are collected in source order, so
@@ -251,7 +275,7 @@ func Build(sources []Source, cfg Config) (*Result, error) {
 	mods, err := par.MapLanes(cfg.Parallelism, len(sources), func(lane, i int) (*llir.Module, error) {
 		sp := tr.StartSpan("frontend "+sources[i].Name, lane+1)
 		defer sp.End()
-		lm, err := CompileToLLIR(sources[i], cfg, imports[i])
+		lm, err := bc.CompileToLLIRCached(sources[i], cfg, imports[i], i, moduleHashes, lane+1)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: module %s: %w", sources[i].Name, err)
 		}
@@ -330,6 +354,11 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (*Result, error) {
 		// on its own trace lane; the per-module "machine-outline" stage
 		// spans emitted inside workers sum into one total.
 		sp := tr.StartStage("llc", 0)
+		bc, err := OpenBuildCache(cfg)
+		if err != nil {
+			sp.End()
+			return nil, err
+		}
 		extern := externSyms(mods) // shared, read-only across workers
 		var crossRefs map[string]bool
 		if cfg.MergeFunctions || cfg.FMSA {
@@ -343,6 +372,22 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (*Result, error) {
 			lm := mods[i]
 			wsp := tr.StartSpan("module "+lm.Name, lane+1)
 			defer wsp.End()
+			// Probe the cache before touching lm: the key is derived from
+			// the module's pre-merge canonical encoding, and a hit skips
+			// merging, codegen, outlining, and the per-module verify (the
+			// final whole-program verify still runs). The replayed counters
+			// keep counter-derived reports equal between cold and warm runs.
+			var mkey cache.Key
+			if bc.enabled() {
+				csp := tr.StartSpan("cache machine "+lm.Name, lane+1)
+				mkey = machineKey(artifact.EncodeModule(lm), crossRefs, lm, cfg)
+				p, st, ok := bc.getMachine(mkey, tr)
+				csp.Arg("hit", ok).End()
+				if ok {
+					replayOutlineCounters(tr, st)
+					return p, nil
+				}
+			}
 			if cfg.MergeFunctions {
 				llir.MergeFunctionsKeeping(lm, crossRefs)
 			}
@@ -353,8 +398,9 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("pipeline: module %s: %w", lm.Name, err)
 			}
+			var st *outline.Stats
 			if cfg.OutlineRounds > 0 {
-				_, err := outline.Outline(p, outline.Options{
+				st, err = outline.Outline(p, outline.Options{
 					Rounds:        cfg.OutlineRounds,
 					FlatCostModel: cfg.FlatOutlineCost,
 					FuncPrefix:    "OUTLINED_FUNCTION_" + lm.Name + "_",
@@ -375,6 +421,9 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (*Result, error) {
 				if err := runVerify(p, extern, tr, "module "+lm.Name+" after codegen"); err != nil {
 					return nil, err
 				}
+			}
+			if bc.enabled() {
+				bc.putMachine(mkey, p, st, tr)
 			}
 			return p, nil
 		})
