@@ -39,8 +39,10 @@ type Report struct {
 
 func main() {
 	var (
-		scale = flag.Float64("scale", 0.35, "synthetic app scale (matches bench_test.go's benchScale)")
-		out   = flag.String("out", "", "output file (default stdout)")
+		scale     = flag.Float64("scale", 0.35, "synthetic app scale (matches bench_test.go's benchScale)")
+		out       = flag.String("out", "", "output file (default stdout)")
+		guard     = flag.String("guard", "", "baseline report to guard against (e.g. BENCH_pr4.json); exit 1 when a benchmark regresses past -tolerance")
+		tolerance = flag.Float64("tolerance", 0.5, "allowed ns/op regression fraction over the -guard baseline (0.5 = +50%, generous for shared CI runners)")
 	)
 	flag.Parse()
 
@@ -82,11 +84,66 @@ func main() {
 	data = append(data, '\n')
 	if *out == "" {
 		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
+	if *guard != "" && !guardReport(report, *guard, *tolerance) {
+		os.Exit(1)
+	}
+}
+
+// guardReport compares the fresh report against a committed baseline:
+// every benchmark present in both must stay within tolerance of the
+// baseline's ns/op, and the warm cached build must still beat the uncached
+// build (the cache's reason to exist — a fault-tolerance regression that
+// turned every warm probe into a degraded miss would fail here even if
+// absolute times drifted). Missing or extra benchmarks are reported but not
+// fatal, so the guard survives benchmark additions.
+func guardReport(report Report, path string, tolerance float64) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	if base.Scale != report.Scale {
+		fatal(fmt.Errorf("guard: baseline %s was recorded at -scale %g, this run used %g; times are not comparable",
+			path, base.Scale, report.Scale))
+	}
+	baseline := make(map[string]Record, len(base.Results))
+	for _, r := range base.Results {
+		baseline[r.Name] = r
+	}
+	ok := true
+	current := make(map[string]Record, len(report.Results))
+	for _, r := range report.Results {
+		current[r.Name] = r
+		b, found := baseline[r.Name]
+		if !found {
+			fmt.Fprintf(os.Stderr, "guard: %s: not in baseline, skipped\n", r.Name)
+			continue
+		}
+		if r.NsPerOp > b.NsPerOp*(1+tolerance) {
+			fmt.Fprintf(os.Stderr, "guard: REGRESSION %s: %.0f ns/op vs baseline %.0f (+%.0f%%, tolerance %.0f%%)\n",
+				r.Name, r.NsPerOp, b.NsPerOp, 100*(r.NsPerOp/b.NsPerOp-1), 100*tolerance)
+			ok = false
+		}
+	}
+	for _, pipe := range []string{"default", "wholeprog"} {
+		warm, w := current["ColdVsWarmBuild/"+pipe+"/warm"]
+		uncached, u := current["ColdVsWarmBuild/"+pipe+"/uncached"]
+		if w && u && warm.NsPerOp >= uncached.NsPerOp {
+			fmt.Fprintf(os.Stderr, "guard: REGRESSION %s: warm build (%.0f ns/op) no faster than uncached (%.0f ns/op)\n",
+				pipe, warm.NsPerOp, uncached.NsPerOp)
+			ok = false
+		}
+	}
+	if ok {
+		fmt.Fprintf(os.Stderr, "guard: all benchmarks within %.0f%% of %s\n", 100*tolerance, path)
+	}
+	return ok
 }
 
 func fatal(err error) {

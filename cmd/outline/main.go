@@ -18,6 +18,7 @@ import (
 
 	"outliner/internal/artifact"
 	"outliner/internal/cache"
+	"outliner/internal/fault"
 	"outliner/internal/llir"
 	"outliner/internal/mir"
 	"outliner/internal/obs"
@@ -37,8 +38,20 @@ func main() {
 		summary = flag.Bool("summary", false, "print per-round counters and stage times to stderr")
 		verify  = flag.Bool("verify", true, "verify the input and every outlining round with the machine-code verifier")
 		cchDir  = flag.String("cache-dir", "", "content-addressed cache directory for outlining results (empty = cache off)")
+		onvf    = flag.String("on-verify-failure", "abort", "verifier-failure policy: abort | rollback-round | disable-outlining")
+		fSeed   = flag.Uint64("fault-seed", 0, "deterministic fault-injection schedule seed (used with -fault-rate)")
+		fRate   = flag.Float64("fault-rate", 0, "fault-injection probability per outlining round (0 disables)")
 	)
 	flag.Parse()
+	switch *onvf {
+	case outline.VerifyAbort, outline.VerifyRollbackRound, outline.VerifyDisableOutlining:
+	default:
+		fatal(fmt.Errorf("unknown -on-verify-failure mode %q", *onvf))
+	}
+	var inj *fault.Injector
+	if *fRate > 0 {
+		inj = fault.New(*fSeed, *fRate)
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: outline [flags] program.mir")
 		flag.Usage()
@@ -88,10 +101,16 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		fp := fmt.Sprintf("rounds=%d flat=%t verify=%t onvf=%s", *rounds, *flat, *verify, *onvf)
+		if inj != nil {
+			// A faulted run may cache a degraded (rolled-back) program; keep
+			// it out of the clean key space.
+			fp += " fault=" + inj.String()
+		}
 		key = cache.Key{
 			Stage:  "outline-cli",
 			Input:  cache.HashBytes(text),
-			Config: fmt.Sprintf("rounds=%d flat=%t verify=%t", *rounds, *flat, *verify),
+			Config: fp,
 			Schema: artifact.SchemaVersion,
 		}
 		if data, ok := c.Get(key); ok {
@@ -102,12 +121,14 @@ func main() {
 		}
 	}
 	stats, err := outline.Outline(prog, outline.Options{
-		Rounds:        *rounds,
-		FlatCostModel: *flat,
-		Verify:        *verify,
-		ExternSyms:    llir.RuntimeSyms,
-		Parallelism:   *jobs,
-		Tracer:        tracer,
+		Rounds:          *rounds,
+		FlatCostModel:   *flat,
+		Verify:          *verify,
+		ExternSyms:      llir.RuntimeSyms,
+		Parallelism:     *jobs,
+		Tracer:          tracer,
+		OnVerifyFailure: *onvf,
+		Fault:           inj,
 	})
 	if err != nil {
 		fatal(err)

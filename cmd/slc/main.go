@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"outliner/internal/exec"
+	"outliner/internal/fault"
 	"outliner/internal/frontend"
 	"outliner/internal/llir"
 	"outliner/internal/obs"
@@ -51,8 +52,17 @@ func main() {
 		cacheDir = flag.String("cache-dir", "", "content-addressed incremental build cache directory (empty = cache off); the built image is byte-identical cold or warm")
 		counters = flag.String("counters", "", "write build counters as a JSON object to this file")
 		outFile  = flag.String("o", "", "write a deterministic image listing to this file (byte-comparable across builds)")
+		keepOn   = flag.Bool("keep-going", false, "compile every module even after one fails, then report all failures")
+		onVerify = flag.String("on-verify-failure", "abort", "outlining verifier-failure policy: abort | rollback-round | disable-outlining")
+		fSeed    = flag.Uint64("fault-seed", 0, "deterministic fault-injection schedule seed (used with -fault-rate)")
+		fRate    = flag.Float64("fault-rate", 0, "fault-injection probability per fault point (0 disables; a failing seed replays exactly at any -j)")
 	)
 	flag.Parse()
+	switch *onVerify {
+	case outline.VerifyAbort, outline.VerifyRollbackRound, outline.VerifyDisableOutlining:
+	default:
+		fatal(fmt.Errorf("unknown -on-verify-failure mode %q", *onVerify))
+	}
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: slc [flags] file.sl ...")
 		flag.Usage()
@@ -89,9 +99,23 @@ func main() {
 		Parallelism:        *jobs,
 		Tracer:             tracer,
 		CacheDir:           *cacheDir,
+		KeepGoing:          *keepOn,
+		OnVerifyFailure:    *onVerify,
+	}
+	if *fRate > 0 {
+		cfg.Fault = fault.New(*fSeed, *fRate)
 	}
 	res, err := pipeline.Build(sources, cfg)
 	if err != nil {
+		// A failed build still reports its telemetry: the resilience
+		// counters (recovered panics, rollbacks, keep-going failures,
+		// injected faults) matter most exactly when the build fails.
+		if *summary {
+			tracer.WriteSummary(os.Stderr)
+		}
+		if *counters != "" {
+			writeCounters(tracer, *counters)
+		}
 		fatal(err)
 	}
 	if *traceOut != "" {
@@ -110,13 +134,7 @@ func main() {
 		}
 	}
 	if *counters != "" {
-		data, err := json.MarshalIndent(tracer.Counters(), "", "  ")
-		if err != nil {
-			fatal(err)
-		}
-		if err := os.WriteFile(*counters, append(data, '\n'), 0o644); err != nil {
-			fatal(err)
-		}
+		writeCounters(tracer, *counters)
 	}
 	if *outFile != "" {
 		f, err := os.Create(*outFile)
@@ -202,6 +220,16 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "slc:", err)
 	os.Exit(1)
+}
+
+func writeCounters(tracer *obs.Tracer, path string) {
+	data, err := json.MarshalIndent(tracer.Counters(), "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
 }
 
 // importsFor exposes every other module's declarations to src.

@@ -18,7 +18,6 @@ import (
 	"fmt"
 	"sort"
 
-	"outliner/internal/isa"
 	"outliner/internal/llir"
 	"outliner/internal/mir"
 	"outliner/internal/outline"
@@ -329,40 +328,12 @@ func decodeLLIRInst(d *dec, in *llir.Inst) {
 // ---- machine programs ----
 
 // EncodeMachine serializes a machine program plus the outlining statistics
-// that produced it (st may be nil when outlining did not run).
+// that produced it (st may be nil when outlining did not run). The program
+// section is mir's canonical codec (mir.EncodeProgram), shared with the
+// outliner's round-rollback snapshots; its layout is part of SchemaVersion.
 func EncodeMachine(p *mir.Program, st *outline.Stats) []byte {
 	e := newEnc(kindMachine)
-	e.u(uint64(len(p.Funcs)))
-	for _, f := range p.Funcs {
-		e.s(f.Name)
-		e.s(f.Module)
-		e.bool(f.Outlined)
-		e.u(uint64(len(f.Blocks)))
-		for _, b := range f.Blocks {
-			e.s(b.Label)
-			e.u(uint64(len(b.Insts)))
-			for i := range b.Insts {
-				in := &b.Insts[i]
-				e.byte(byte(in.Op))
-				e.byte(byte(in.Rd))
-				e.byte(byte(in.Rd2))
-				e.byte(byte(in.Rn))
-				e.byte(byte(in.Rm))
-				e.i(in.Imm)
-				e.s(in.Sym)
-				e.byte(byte(in.Cond))
-			}
-		}
-	}
-	e.u(uint64(len(p.Globals)))
-	for _, g := range p.Globals {
-		e.s(g.Name)
-		e.s(g.Module)
-		e.u(uint64(len(g.Words)))
-		for _, w := range g.Words {
-			e.i(w)
-		}
-	}
+	e.b = mir.EncodeProgram(e.b, p)
 	e.bool(st != nil)
 	if st != nil {
 		e.u(uint64(len(st.Rounds)))
@@ -381,50 +352,14 @@ func EncodeMachine(p *mir.Program, st *outline.Stats) []byte {
 // EncodeMachine.
 func DecodeMachine(data []byte) (*mir.Program, *outline.Stats, error) {
 	d := newDec(data, kindMachine)
-	p := mir.NewProgram()
-	nf := d.count()
-	for i := 0; i < nf && d.err == nil; i++ {
-		f := &mir.Function{Name: d.s(), Module: d.s(), Outlined: d.bool()}
-		nb := d.count()
-		for j := 0; j < nb && d.err == nil; j++ {
-			b := &mir.Block{Label: d.s()}
-			ni := d.count()
-			if d.err == nil && ni > 0 {
-				b.Insts = make([]isa.Inst, ni)
-				for k := range b.Insts {
-					in := &b.Insts[k]
-					in.Op = isa.Op(d.byte())
-					in.Rd = isa.Reg(d.byte())
-					in.Rd2 = isa.Reg(d.byte())
-					in.Rn = isa.Reg(d.byte())
-					in.Rm = isa.Reg(d.byte())
-					in.Imm = d.i()
-					in.Sym = d.s()
-					in.Cond = isa.Cond(d.byte())
-				}
-			}
-			f.Blocks = append(f.Blocks, b)
-		}
-		if d.err == nil {
-			if p.Func(f.Name) != nil {
-				d.fail("duplicate function %q", f.Name)
-				break
-			}
-			p.AddFunc(f)
-		}
+	if d.err != nil {
+		return nil, nil, d.err
 	}
-	ng := d.count()
-	for i := 0; i < ng && d.err == nil; i++ {
-		g := &mir.Global{Name: d.s(), Module: d.s()}
-		nw := d.count()
-		if d.err == nil && nw > 0 {
-			g.Words = make([]int64, nw)
-			for k := range g.Words {
-				g.Words[k] = d.i()
-			}
-		}
-		p.AddGlobal(g)
+	p, rest, err := mir.DecodeProgram(d.b)
+	if err != nil {
+		return nil, nil, fmt.Errorf("artifact: %w", err)
 	}
+	d.b = rest
 	var st *outline.Stats
 	if d.bool() {
 		st = &outline.Stats{}

@@ -28,11 +28,16 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"hash"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
+
+	"outliner/internal/fault"
 )
 
 // Key identifies one artifact. Input is a hex content hash produced by the
@@ -90,6 +95,14 @@ const memLimitBytes = 256 << 20
 // always-miss caches.
 type Cache struct {
 	dir string
+
+	// Injectable seams for the fault-tolerance layer: sleep replaces
+	// time.Sleep in retry backoff, remove replaces os.Remove for damaged
+	// entries, and fault arms deterministic fault injection (see SetFault).
+	// All nil in production use.
+	sleep  func(time.Duration)
+	remove func(string) error
+	fault  *fault.Injector
 
 	mu       sync.Mutex
 	mem      map[string][]byte
@@ -159,61 +172,78 @@ func (c *Cache) DropMemory() {
 // valid entry was found; corrupted disk entries are deleted and reported as
 // a miss. The returned slice is shared — callers must treat it as read-only.
 func (c *Cache) Get(k Key) ([]byte, bool) {
+	data, ok, _ := c.GetProbe(k)
+	return data, ok
+}
+
+// GetProbe is Get plus a Probe describing what the lookup survived:
+// transient-I/O retries, corruption, a failed delete of the damaged entry.
+// Every failure mode degrades to a miss — the probe exists for telemetry,
+// not control flow.
+func (c *Cache) GetProbe(k Key) ([]byte, bool, Probe) {
+	var pr Probe
 	if c == nil {
-		return nil, false
+		return nil, false, pr
 	}
 	id := k.id()
 	c.mu.Lock()
 	data, ok := c.mem[id]
 	c.mu.Unlock()
 	if ok {
-		return data, true
+		return data, true, pr
 	}
 	if c.dir == "" {
-		return nil, false
+		return nil, false, pr
 	}
 	path := c.entryPath(id)
-	raw, err := os.ReadFile(path)
+	raw, err := c.readEntry(id, path, &pr)
 	if err != nil {
-		return nil, false
+		// Absence is the ordinary miss; anything else is a degraded miss
+		// worth reporting.
+		if !errors.Is(err, fs.ErrNotExist) {
+			pr.IOErr = err
+		}
+		return nil, false, pr
 	}
+	raw = c.fault.MaybeCorrupt(fault.CacheRead, id, raw)
 	payload, err := decodeEntry(raw)
 	if err != nil {
 		// Treat damage as absence; removing the entry lets the rebuild
-		// republish a good one.
-		os.Remove(path)
-		return nil, false
+		// republish a good one. A failed delete leaves the bad entry behind
+		// (to be rediscovered next probe) — record it rather than lose it.
+		pr.Corrupt = true
+		if rerr := c.removeEntry(path); rerr != nil && !errors.Is(rerr, fs.ErrNotExist) {
+			pr.RemoveErr = rerr
+		}
+		return nil, false, pr
 	}
 	c.remember(id, payload)
-	return payload, true
+	return payload, true, pr
 }
 
 // Put stores data under k in both tiers. The cache takes ownership of data.
 // Disk-tier failures are swallowed: a cache that cannot persist degrades to
 // the memory tier rather than failing the build.
 func (c *Cache) Put(k Key, data []byte) {
+	c.PutProbe(k, data)
+}
+
+// PutProbe is Put plus a Probe describing retries and the final disk error
+// (if any) the publication degraded over.
+func (c *Cache) PutProbe(k Key, data []byte) Probe {
+	var pr Probe
 	if c == nil {
-		return
+		return pr
 	}
 	id := k.id()
 	c.store(id, data)
 	if c.dir == "" {
-		return
+		return pr
 	}
-	tmp, err := os.CreateTemp(c.dir, "tmp-*")
-	if err != nil {
-		return
+	if err := c.writeEntry(id, encodeEntry(data), &pr); err != nil {
+		pr.IOErr = err
 	}
-	_, werr := tmp.Write(encodeEntry(data))
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		return
-	}
-	// Atomic publication: readers see either no entry or a complete one.
-	if err := os.Rename(tmp.Name(), c.entryPath(id)); err != nil {
-		os.Remove(tmp.Name())
-	}
+	return pr
 }
 
 // remember is the Get path's insert-only promotion of a disk entry into the
@@ -262,19 +292,19 @@ func encodeEntry(payload []byte) []byte {
 
 func decodeEntry(raw []byte) ([]byte, error) {
 	if len(raw) < 4+8+sha256.Size {
-		return nil, fmt.Errorf("cache: entry too short")
+		return nil, fmt.Errorf("cache: entry too short: %w", ErrCorrupt)
 	}
 	if [4]byte(raw[:4]) != entryMagic {
-		return nil, fmt.Errorf("cache: bad entry magic")
+		return nil, fmt.Errorf("cache: bad entry magic: %w", ErrCorrupt)
 	}
 	n := binary.LittleEndian.Uint64(raw[4:12])
 	if n != uint64(len(raw)-4-8-sha256.Size) {
-		return nil, fmt.Errorf("cache: entry length mismatch")
+		return nil, fmt.Errorf("cache: entry length mismatch: %w", ErrCorrupt)
 	}
 	payload := raw[12 : 12+n]
 	sum := sha256.Sum256(payload)
 	if [sha256.Size]byte(raw[12+n:]) != sum {
-		return nil, fmt.Errorf("cache: entry checksum mismatch")
+		return nil, fmt.Errorf("cache: entry checksum mismatch: %w", ErrCorrupt)
 	}
 	return payload, nil
 }

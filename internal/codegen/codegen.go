@@ -16,6 +16,7 @@ package codegen
 import (
 	"fmt"
 
+	"outliner/internal/fault"
 	"outliner/internal/llir"
 	"outliner/internal/mir"
 	"outliner/internal/obs"
@@ -32,17 +33,21 @@ func Compile(m *llir.Module) (*mir.Program, error) { return CompileWith(m, 0) }
 // read only their own cloned function), and the results are appended in
 // module order, so the machine program is identical for any worker count.
 func CompileWith(m *llir.Module, parallelism int) (*mir.Program, error) {
-	return CompileTraced(m, parallelism, nil, 0)
+	return CompileTraced(m, parallelism, nil, 0, nil)
 }
 
-// CompileTraced is CompileWith with telemetry: the functions-compiled
-// counter, and (when the tracer collects fine spans) one span per function
-// on trace lane baseLane+worker. The caller picks baseLane so spans land on
-// the track of whichever pool is running: the whole-program pipeline passes
-// 1 (its codegen workers are lanes 1..p), the default pipeline's per-module
-// workers pass their own lane (their inner codegen is serial).
-func CompileTraced(m *llir.Module, parallelism int, tr *obs.Tracer, baseLane int) (*mir.Program, error) {
-	funcs, err := par.MapLanes(parallelism, len(m.Funcs), func(lane, i int) (*mir.Function, error) {
+// CompileTraced is CompileWith with telemetry and fault injection: the
+// functions-compiled counter, and (when the tracer collects fine spans) one
+// span per function on trace lane baseLane+worker. The caller picks baseLane
+// so spans land on the track of whichever pool is running: the whole-program
+// pipeline passes 1 (its codegen workers are lanes 1..p), the default
+// pipeline's per-module workers pass their own lane (their inner codegen is
+// serial). inj (nil to disable) arms a per-function CodegenFunc panic point,
+// keyed by function name; the worker pool recovers it into a structured
+// *par.PanicError.
+func CompileTraced(m *llir.Module, parallelism int, tr *obs.Tracer, baseLane int, inj *fault.Injector) (*mir.Program, error) {
+	funcs, err := par.MapLanesStage("llc", parallelism, len(m.Funcs), func(lane, i int) (*mir.Function, error) {
+		inj.MaybePanic(fault.CodegenFunc, m.Funcs[i].Name)
 		sp := tr.StartFine("codegen @"+m.Funcs[i].Name, baseLane+lane)
 		mf, err := compileFunc(m.Funcs[i])
 		sp.End()

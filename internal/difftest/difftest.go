@@ -24,9 +24,13 @@
 package difftest
 
 import (
+	"errors"
 	"fmt"
 
+	"outliner/internal/fault"
+	"outliner/internal/par"
 	"outliner/internal/pipeline"
+	"outliner/internal/verify"
 )
 
 // Point is one named configuration in the lattice. Rank orders points by
@@ -93,6 +97,27 @@ func PointNamed(name string) (Point, bool) {
 		}
 	}
 	return Point{}, false
+}
+
+// FaultPoint arms deterministic fault injection on a copy of pt — the
+// lattice's fault axis. A faulted point may fail its build, but only with a
+// structured diagnostic (StructuredBuildFailure); a build that succeeds
+// under injection must still agree with the clean reference, because a
+// tolerated fault costs time, never correctness.
+func FaultPoint(pt Point, seed uint64, rate float64) Point {
+	pt.Name = fmt.Sprintf("%s+fault(%d@%g)", pt.Name, seed, rate)
+	pt.Config.Fault = fault.New(seed, rate)
+	return pt
+}
+
+// StructuredBuildFailure reports whether a faulted build's error is one of
+// the diagnostics fault tolerance guarantees: a recovered worker panic, a
+// verifier rejection, or a surfaced injected fault — alone or inside a
+// keep-going aggregate.
+func StructuredBuildFailure(err error) bool {
+	var pe *par.PanicError
+	var ve *verify.Error
+	return errors.As(err, &pe) || errors.As(err, &ve) || fault.IsInjected(err)
 }
 
 // PointFromBits derives a configuration from fuzzed bits, so the pipeline

@@ -36,24 +36,48 @@ func FuzzFrontend(f *testing.F) {
 // it at the baseline and at a config corner derived from the fuzzed bits,
 // and requires the differential oracle to agree. This is the whole-stack
 // semantic fuzzer: any divergence is a miscompile (or a verifier hole).
+//
+// faultSeed adds the fault-injection axis: the config corner is rebuilt
+// under a deterministic chaos schedule (faultSeed 0 disables it). A faulted
+// build may fail, but only with a structured diagnostic; when it succeeds,
+// it must still agree with the clean reference.
 func FuzzPipeline(f *testing.F) {
-	f.Add(int64(7), uint64(0))
-	f.Add(int64(1037), uint64(0b111))
-	f.Add(int64(42), uint64(1<<5|1<<6|1))
-	f.Add(int64(99), uint64(0x7ff))
-	f.Fuzz(func(t *testing.T, seed int64, bits uint64) {
+	f.Add(int64(7), uint64(0), uint64(0))
+	f.Add(int64(1037), uint64(0b111), uint64(0))
+	f.Add(int64(42), uint64(1<<5|1<<6|1), uint64(3))
+	f.Add(int64(99), uint64(0x7ff), uint64(17))
+	f.Fuzz(func(t *testing.T, seed int64, bits, faultSeed uint64) {
 		profile := appgen.UberRider
 		profile.Seed = seed
 		profile.Spans = 1
 		mods := appgen.Generate(profile, 0.03)
 		o := &Oracle{MaxSteps: 20_000_000}
-		pts := []Point{Lattice()[0], PointFromBits(bits)}
+		corner := PointFromBits(bits)
+		pts := []Point{Lattice()[0], corner}
 		div, err := o.Check(mods, pts)
 		if err != nil {
 			t.Fatalf("generated app failed its reference build: %v", err)
 		}
 		if div != nil {
 			t.Fatalf("seed %d bits %#x: %v", seed, bits, div)
+		}
+		if faultSeed == 0 {
+			return
+		}
+		ref := o.Run(mods, pts[0])
+		if ref.BuildErr != nil {
+			t.Fatalf("reference rebuild failed: %v", ref.BuildErr)
+		}
+		got := o.Run(mods, FaultPoint(corner, faultSeed, 0.03))
+		if got.BuildErr != nil {
+			if !StructuredBuildFailure(got.BuildErr) {
+				t.Fatalf("seed %d bits %#x fault %d: unstructured failure: %v",
+					seed, bits, faultSeed, got.BuildErr)
+			}
+			return
+		}
+		if cls, detail := Compare(ref, got); cls != ClassAgree {
+			t.Fatalf("seed %d bits %#x fault %d: %s: %s", seed, bits, faultSeed, cls, detail)
 		}
 	})
 }

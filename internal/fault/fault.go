@@ -1,0 +1,363 @@
+// Package fault is the build pipeline's deterministic fault-injection
+// framework: seed-driven fault points placed at the spots where a real build
+// farm fails — cache disk I/O, worker task startup, per-function code
+// generation, outlining rounds, artifact decoding — injecting panics, I/O
+// errors, and corrupt bytes on a reproducible schedule.
+//
+// Determinism is the whole point. An injection decision is a pure hash of
+// (seed, site, key) — never of wall-clock time, goroutine identity, or call
+// order — so the same seed produces the same fault schedule at any -j, and a
+// failing seed from the chaos soak replays exactly. Rates are probabilities
+// over the hash space: rate 0.02 fires at roughly 2% of points.
+//
+// Two constructors exist:
+//
+//   - New(seed, rate): the chaos injector. Every point consults the hash.
+//   - Exact(points...): a scripted injector that fires at exactly the listed
+//     (site, key) points and nowhere else — what targeted tests use to, say,
+//     corrupt outlining round 3 and nothing else.
+//
+// A nil *Injector is valid and never fires, so instrumented code needs no
+// branches: the disabled path is one nil check per fault point.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Site names one class of fault point in the pipeline.
+type Site string
+
+const (
+	// CacheRead covers the cache's disk-entry read path. Keys are
+	// "<entry-id>#<attempt>" so retries re-roll the schedule.
+	CacheRead Site = "cache/read"
+	// CacheWrite covers the cache's temp-write/publish path, keyed like
+	// CacheRead.
+	CacheWrite Site = "cache/write"
+	// WorkerTask fires at parallel worker task start (per-module pipeline
+	// stages), keyed by module name.
+	WorkerTask Site = "worker/task"
+	// CodegenFunc fires at per-function code generation, keyed by function
+	// name.
+	CodegenFunc Site = "codegen/func"
+	// OutlineRound fires after an outlining round's rewrites, keyed
+	// "round:<n>"; a Corrupt decision mutates the just-outlined program so
+	// the verifier (and the rollback machinery) have something real to catch.
+	OutlineRound Site = "outline/round"
+	// ArtifactDecode fires at cache-artifact decoding, keyed by cache stage
+	// and entry; an injected error models a decoder rejection and degrades to
+	// a miss.
+	ArtifactDecode Site = "artifact/decode"
+)
+
+// Kind is what an armed fault point injects.
+type Kind int
+
+const (
+	// None: the point does not fire.
+	None Kind = iota
+	// PanicKind: the point panics with a *Panic value.
+	PanicKind
+	// ErrorKind: the point returns a *Error (possibly transient).
+	ErrorKind
+	// CorruptKind: the point flips bytes (or, at OutlineRound, mutates the
+	// program).
+	CorruptKind
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case PanicKind:
+		return "panic"
+	case ErrorKind:
+		return "error"
+	case CorruptKind:
+		return "corrupt"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Error is an injected I/O error. It unwraps to nothing — it is the leaf
+// diagnostic — and errors.As against *fault.Error is how callers and tests
+// recognize an injected failure in a build error chain.
+type Error struct {
+	Site Site
+	Key  string
+	// Transient marks errors the cache's retry loop should classify as
+	// retryable (a flaky read) rather than fatal (a dead disk).
+	Transient bool
+}
+
+func (e *Error) Error() string {
+	mode := "fatal"
+	if e.Transient {
+		mode = "transient"
+	}
+	return fmt.Sprintf("fault: injected %s I/O error at %s (%s)", mode, e.Site, e.Key)
+}
+
+// Panic is the value injected panics carry; par's worker recovery wraps it in
+// a *par.PanicError, keeping the site/key visible in the build diagnostic.
+type Panic struct {
+	Site Site
+	Key  string
+}
+
+func (p *Panic) String() string {
+	return fmt.Sprintf("fault: injected panic at %s (%s)", p.Site, p.Key)
+}
+
+// At is one scripted fault point for Exact.
+type At struct {
+	Site Site
+	Key  string
+	Kind Kind
+	// Transient applies to ErrorKind points.
+	Transient bool
+}
+
+// Injector decides, deterministically, which fault points fire. The zero
+// value and nil never fire.
+type Injector struct {
+	seed uint64
+	rate float64
+
+	script map[[2]string]At // non-nil: scripted mode, hash ignored
+
+	mu       sync.Mutex
+	injected map[string]int64 // per-site injection counts
+	drained  map[string]int64 // counts already handed out by DrainCounters
+}
+
+// New returns a hash-scheduled injector: each (site, key) point fires with
+// probability rate, with the kind drawn from the site's supported faults.
+func New(seed uint64, rate float64) *Injector {
+	return &Injector{seed: seed, rate: rate, injected: map[string]int64{}}
+}
+
+// Exact returns a scripted injector firing at exactly the listed points.
+func Exact(points ...At) *Injector {
+	inj := &Injector{script: make(map[[2]string]At, len(points)), injected: map[string]int64{}}
+	for _, p := range points {
+		inj.script[[2]string{string(p.Site), p.Key}] = p
+	}
+	return inj
+}
+
+// Seed returns the schedule seed (0 for scripted injectors).
+func (inj *Injector) Seed() uint64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.seed
+}
+
+// Rate returns the per-point firing probability (0 for scripted injectors).
+func (inj *Injector) Rate() float64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.rate
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap,
+// well-mixed 64-bit hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fnv1a hashes s with FNV-1a (64-bit).
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// roll returns the point's decision hash: uniform over [0, 2^64).
+func (inj *Injector) roll(site Site, key string) uint64 {
+	return splitmix64(inj.seed ^ splitmix64(fnv1a(string(site))^splitmix64(fnv1a(key))))
+}
+
+// fires reports whether the (site, key) point is armed at all.
+func (inj *Injector) fires(site Site, key string) bool {
+	// The top 53 bits give an unbiased [0,1) fraction.
+	frac := float64(inj.roll(site, key)>>11) / float64(uint64(1)<<53)
+	return frac < inj.rate
+}
+
+// Scheduled reports what (if anything) the point would inject, without
+// injecting or counting it. kinds lists the faults the call site supports,
+// in the order the site's helpers consider them; the decision hash picks one.
+func (inj *Injector) Scheduled(site Site, key string, kinds ...Kind) Kind {
+	if inj == nil || len(kinds) == 0 {
+		return None
+	}
+	if inj.script != nil {
+		at, ok := inj.script[[2]string{string(site), key}]
+		if !ok {
+			return None
+		}
+		for _, k := range kinds {
+			if k == at.Kind {
+				return k
+			}
+		}
+		return None
+	}
+	if !inj.fires(site, key) {
+		return None
+	}
+	// A second, independent hash picks the kind so neighbouring rates do not
+	// bias the choice.
+	pick := splitmix64(inj.roll(site, key) + 1)
+	return kinds[pick%uint64(len(kinds))]
+}
+
+// transient reports whether an ErrorKind injection at the point is transient;
+// roughly half are, so retry loops see both outcomes.
+func (inj *Injector) transient(site Site, key string) bool {
+	if inj.script != nil {
+		return inj.script[[2]string{string(site), key}].Transient
+	}
+	return splitmix64(inj.roll(site, key)+2)&1 == 0
+}
+
+// count records one injection for Counters.
+func (inj *Injector) count(site Site) {
+	inj.mu.Lock()
+	inj.injected[string(site)]++
+	inj.mu.Unlock()
+}
+
+// Counters returns a snapshot of per-site injection counts (key "fault/<site>").
+func (inj *Injector) Counters() map[string]int64 {
+	out := map[string]int64{}
+	if inj == nil {
+		return out
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	for site, n := range inj.injected {
+		out["fault/"+site] = n
+	}
+	return out
+}
+
+// DrainCounters returns per-site injection counts accrued since the previous
+// drain (key "fault/<site>"), so several build stages can each mirror the
+// injector's activity into their tracer without double counting. Counters
+// keeps reporting lifetime totals.
+func (inj *Injector) DrainCounters() map[string]int64 {
+	out := map[string]int64{}
+	if inj == nil {
+		return out
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.drained == nil {
+		inj.drained = map[string]int64{}
+	}
+	for site, n := range inj.injected {
+		if d := n - inj.drained[site]; d > 0 {
+			out["fault/"+site] = d
+			inj.drained[site] = n
+		}
+	}
+	return out
+}
+
+// Injected returns the total number of faults this injector has fired.
+func (inj *Injector) Injected() int64 {
+	if inj == nil {
+		return 0
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	var n int64
+	for _, v := range inj.injected {
+		n += v
+	}
+	return n
+}
+
+// String summarizes the injection schedule for diagnostics.
+func (inj *Injector) String() string {
+	if inj == nil {
+		return "fault: disabled"
+	}
+	if inj.script != nil {
+		keys := make([]string, 0, len(inj.script))
+		for k := range inj.script {
+			keys = append(keys, k[0]+"("+k[1]+")")
+		}
+		sort.Strings(keys)
+		return fmt.Sprintf("fault: scripted %v", keys)
+	}
+	return fmt.Sprintf("fault: seed=%d rate=%g", inj.seed, inj.rate)
+}
+
+// MaybePanic panics with a *Panic if the point is armed for a panic. Placed
+// at worker task start and per-function codegen; the surrounding worker pool
+// recovers it into a structured *par.PanicError.
+func (inj *Injector) MaybePanic(site Site, key string) {
+	if inj.Scheduled(site, key, PanicKind) == PanicKind {
+		inj.count(site)
+		panic(&Panic{Site: site, Key: key})
+	}
+}
+
+// MaybeError returns an injected *Error if the point is armed for one, nil
+// otherwise.
+func (inj *Injector) MaybeError(site Site, key string) error {
+	if inj.Scheduled(site, key, ErrorKind) == ErrorKind {
+		inj.count(site)
+		return &Error{Site: site, Key: key, Transient: inj.transient(site, key)}
+	}
+	return nil
+}
+
+// MaybeCorrupt returns data with deterministically flipped bytes if the point
+// is armed for corruption, data unchanged otherwise. The input is never
+// mutated; corruption copies.
+func (inj *Injector) MaybeCorrupt(site Site, key string, data []byte) []byte {
+	if inj.Scheduled(site, key, CorruptKind) != CorruptKind || len(data) == 0 {
+		return data
+	}
+	inj.count(site)
+	out := append([]byte(nil), data...)
+	// Flip a hash-chosen byte plus the final byte, so truncation-style and
+	// mid-stream damage are both exercised.
+	h := inj.roll(site, key+"/corrupt")
+	out[h%uint64(len(out))] ^= byte(h>>8) | 1
+	out[len(out)-1] ^= 0x80
+	return out
+}
+
+// MaybeCorruptPoint reports (and counts) whether a CorruptKind fault fires at
+// the point, for sites whose "corruption" is structural (OutlineRound mutates
+// a program rather than a byte slice).
+func (inj *Injector) MaybeCorruptPoint(site Site, key string) bool {
+	if inj.Scheduled(site, key, CorruptKind) != CorruptKind {
+		return false
+	}
+	inj.count(site)
+	return true
+}
+
+// IsInjected reports whether err's chain contains an injected fault error.
+func IsInjected(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe)
+}

@@ -1,0 +1,218 @@
+package mir
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"outliner/internal/isa"
+)
+
+// This file is the canonical binary codec for machine programs. It started
+// life inside internal/artifact (which still delegates to it for machine
+// artifacts, so the byte layout is part of artifact.SchemaVersion and must
+// not change without a bump there); it lives here so the outliner can
+// snapshot and restore programs for round rollback without importing the
+// artifact layer (which imports outline for stats, closing a cycle).
+
+// EncodeProgram appends the canonical encoding of p to b and returns the
+// extended slice. Encoding is deterministic: identical programs produce
+// identical bytes, so the output doubles as a content hash input and an
+// equality witness in tests.
+func EncodeProgram(b []byte, p *Program) []byte {
+	appendBool := func(b []byte, v bool) []byte {
+		if v {
+			return append(b, 1)
+		}
+		return append(b, 0)
+	}
+	appendStr := func(b []byte, s string) []byte {
+		b = binary.AppendUvarint(b, uint64(len(s)))
+		return append(b, s...)
+	}
+	b = binary.AppendUvarint(b, uint64(len(p.Funcs)))
+	for _, f := range p.Funcs {
+		b = appendStr(b, f.Name)
+		b = appendStr(b, f.Module)
+		b = appendBool(b, f.Outlined)
+		b = binary.AppendUvarint(b, uint64(len(f.Blocks)))
+		for _, blk := range f.Blocks {
+			b = appendStr(b, blk.Label)
+			b = binary.AppendUvarint(b, uint64(len(blk.Insts)))
+			for i := range blk.Insts {
+				in := &blk.Insts[i]
+				b = append(b, byte(in.Op), byte(in.Rd), byte(in.Rd2), byte(in.Rn), byte(in.Rm))
+				b = binary.AppendVarint(b, in.Imm)
+				b = appendStr(b, in.Sym)
+				b = append(b, byte(in.Cond))
+			}
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(p.Globals)))
+	for _, g := range p.Globals {
+		b = appendStr(b, g.Name)
+		b = appendStr(b, g.Module)
+		b = binary.AppendUvarint(b, uint64(len(g.Words)))
+		for _, w := range g.Words {
+			b = binary.AppendVarint(b, w)
+		}
+	}
+	return b
+}
+
+// progDec is the defensive decoder state for DecodeProgram: first error
+// sticks, every read is bounds-checked, and element counts are validated
+// against the remaining bytes so hostile input cannot force huge
+// allocations.
+type progDec struct {
+	b   []byte
+	err error
+}
+
+func (d *progDec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("mir: "+format, args...)
+		d.b = nil
+	}
+}
+
+func (d *progDec) u() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("truncated uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *progDec) i() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *progDec) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) == 0 {
+		d.fail("truncated byte")
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *progDec) bool() bool { return d.byte() != 0 }
+
+func (d *progDec) s() string {
+	n := d.u()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)) {
+		d.fail("string length %d exceeds %d remaining bytes", n, len(d.b))
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+// count reads an element count and guards against allocation bombs: a valid
+// stream must carry at least one byte per remaining element.
+func (d *progDec) count() int {
+	n := d.u()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.b)) {
+		d.fail("count %d exceeds %d remaining bytes", n, len(d.b))
+		return 0
+	}
+	return int(n)
+}
+
+// DecodeProgram reconstructs a program encoded by EncodeProgram from a
+// prefix of data, returning the program and the unconsumed remainder.
+// Corruption — truncation, impossible counts, duplicate function names —
+// yields an error, never a panic.
+func DecodeProgram(data []byte) (*Program, []byte, error) {
+	d := &progDec{b: data}
+	p := NewProgram()
+	nf := d.count()
+	for i := 0; i < nf && d.err == nil; i++ {
+		f := &Function{Name: d.s(), Module: d.s(), Outlined: d.bool()}
+		nb := d.count()
+		for j := 0; j < nb && d.err == nil; j++ {
+			b := &Block{Label: d.s()}
+			ni := d.count()
+			if d.err == nil && ni > 0 {
+				b.Insts = make([]isa.Inst, ni)
+				for k := range b.Insts {
+					in := &b.Insts[k]
+					in.Op = isa.Op(d.byte())
+					in.Rd = isa.Reg(d.byte())
+					in.Rd2 = isa.Reg(d.byte())
+					in.Rn = isa.Reg(d.byte())
+					in.Rm = isa.Reg(d.byte())
+					in.Imm = d.i()
+					in.Sym = d.s()
+					in.Cond = isa.Cond(d.byte())
+				}
+			}
+			f.Blocks = append(f.Blocks, b)
+		}
+		if d.err == nil {
+			if p.Func(f.Name) != nil {
+				d.fail("duplicate function %q", f.Name)
+				break
+			}
+			p.AddFunc(f)
+		}
+	}
+	ng := d.count()
+	for i := 0; i < ng && d.err == nil; i++ {
+		g := &Global{Name: d.s(), Module: d.s()}
+		nw := d.count()
+		if d.err == nil && nw > 0 {
+			g.Words = make([]int64, nw)
+			for k := range g.Words {
+				g.Words[k] = d.i()
+			}
+		}
+		p.AddGlobal(g)
+	}
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	return p, d.b, nil
+}
+
+// ResetTo replaces p's contents in place with a deep copy of src, keeping
+// every existing *Program reference to p valid — how the outliner rolls a
+// shared program back to a snapshot.
+func (p *Program) ResetTo(src *Program) {
+	p.Funcs = p.Funcs[:0]
+	p.Globals = p.Globals[:0]
+	p.funcIndex = make(map[string]*Function, len(src.Funcs))
+	for _, f := range src.Funcs {
+		p.AddFunc(f.Clone())
+	}
+	for _, g := range src.Globals {
+		words := make([]int64, len(g.Words))
+		copy(words, g.Words)
+		p.AddGlobal(&Global{Name: g.Name, Module: g.Module, Words: words})
+	}
+}

@@ -1,0 +1,130 @@
+package mir
+
+import (
+	"bytes"
+	"testing"
+
+	"outliner/internal/isa"
+)
+
+func codecTestProgram() *Program {
+	p := NewProgram()
+	f := &Function{Name: "main", Module: "App"}
+	f.Blocks = []*Block{
+		{Label: "entry", Insts: []isa.Inst{
+			{Op: isa.MOVZ, Rd: isa.X0, Imm: 7},
+			{Op: isa.BL, Sym: "helper"},
+			{Op: isa.RET},
+		}},
+	}
+	p.AddFunc(f)
+	h := &Function{Name: "helper", Module: "Lib", Outlined: true}
+	h.Blocks = []*Block{
+		{Label: "entry", Insts: []isa.Inst{
+			{Op: isa.ADDrs, Rd: isa.X0, Rn: isa.X0, Rm: isa.X1},
+			{Op: isa.RET},
+		}},
+	}
+	p.AddFunc(h)
+	p.AddGlobal(&Global{Name: "table", Module: "App", Words: []int64{1, -2, 1 << 40}})
+	return p
+}
+
+func TestProgramCodecRoundTrip(t *testing.T) {
+	p := codecTestProgram()
+	enc := EncodeProgram(nil, p)
+	got, rest, err := DecodeProgram(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d unconsumed bytes", len(rest))
+	}
+	if got.String() != p.String() {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", got.String(), p.String())
+	}
+	// Canonical: re-encoding the decoded program reproduces the bytes.
+	if !bytes.Equal(EncodeProgram(nil, got), enc) {
+		t.Fatal("re-encoding is not canonical")
+	}
+}
+
+// TestDecodeProgramConsumesPrefix: the decoder must stop exactly at the end
+// of the program section and hand back the remainder — the contract the
+// artifact layer's machine decoding relies on.
+func TestDecodeProgramConsumesPrefix(t *testing.T) {
+	enc := EncodeProgram(nil, codecTestProgram())
+	tail := []byte("stats section follows")
+	_, rest, err := DecodeProgram(append(append([]byte(nil), enc...), tail...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rest, tail) {
+		t.Fatalf("rest = %q, want %q", rest, tail)
+	}
+}
+
+// TestDecodeProgramHostileBytes: truncations and flips error, never panic.
+func TestDecodeProgramHostileBytes(t *testing.T) {
+	enc := EncodeProgram(nil, codecTestProgram())
+	for cut := 0; cut < len(enc); cut++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic decoding truncation at %d: %v", cut, r)
+				}
+			}()
+			// Truncated input either errors or (for a cut landing on a
+			// section boundary) decodes a shorter valid prefix; both are
+			// fine — it must not panic.
+			DecodeProgram(enc[:cut])
+		}()
+	}
+	for i := 0; i < len(enc); i++ {
+		mut := append([]byte(nil), enc...)
+		mut[i] ^= 0xff
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic decoding flip at %d: %v", i, r)
+				}
+			}()
+			DecodeProgram(mut)
+		}()
+	}
+}
+
+func TestDecodeProgramDuplicateFunction(t *testing.T) {
+	p := NewProgram()
+	f := &Function{Name: "dup", Blocks: []*Block{{Label: "entry"}}}
+	p.AddFunc(f)
+	enc := EncodeProgram(nil, p)
+	// Splice the single-function body in twice under a doubled count.
+	body := enc[1:]
+	evil := append([]byte{2}, append(append([]byte(nil), body[:len(body)-1]...), body...)...)
+	if _, _, err := DecodeProgram(evil); err == nil {
+		t.Fatal("duplicate function decoded without error")
+	}
+}
+
+// TestResetTo: in-place restore preserves the receiver pointer and yields a
+// deep copy — mutating the restored program must not touch the snapshot.
+func TestResetTo(t *testing.T) {
+	snapshot := codecTestProgram()
+	p := NewProgram()
+	p.AddFunc(&Function{Name: "garbage", Blocks: []*Block{{Label: "entry"}}})
+	p.ResetTo(snapshot)
+	if p.String() != snapshot.String() {
+		t.Fatal("ResetTo did not reproduce the snapshot")
+	}
+	if p.Func("garbage") != nil {
+		t.Fatal("stale function survived ResetTo")
+	}
+	if p.Func("main") == nil || p.Func("main") == snapshot.Func("main") {
+		t.Fatal("ResetTo must deep-copy, not alias")
+	}
+	p.Func("main").Blocks[0].Insts[0].Imm = 99
+	if snapshot.Func("main").Blocks[0].Insts[0].Imm != 7 {
+		t.Fatal("mutating the restored program leaked into the snapshot")
+	}
+}

@@ -86,6 +86,35 @@ func (t *Tracer) WriteSummary(w io.Writer) error {
 			counters["cache/bytes_read"], counters["cache/bytes_written"])
 	}
 
+	// The resilience scoreboard: what the build survived or degraded over —
+	// rolled-back outlining rounds, retried/failed cache I/O, recovered
+	// worker panics, keep-going module failures, and (under -fault-seed)
+	// every injected fault by site. Absent entirely on an untroubled build.
+	var resilience []string
+	for name, v := range counters {
+		if v == 0 {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(name, "fault/"),
+			name == "outline/rounds_rolled_back",
+			name == "build/keep_going_errors",
+			name == "cache/retries",
+			name == "cache/remove_failed",
+			name == "cache/io_errors":
+			resilience = append(resilience, name)
+		}
+	}
+	if len(resilience) > 0 {
+		sort.Strings(resilience)
+		fmt.Fprintln(w, "\nresilience (faults survived, degradations taken):")
+		rows := [][]string{{"event", "count"}}
+		for _, k := range resilience {
+			rows = append(rows, []string{k, fmt.Sprintf("%d", counters[k])})
+		}
+		writeTable(w, rows)
+	}
+
 	general := make([]string, 0, len(counters))
 	for name := range counters {
 		if !strings.HasPrefix(name, "outline/round") {

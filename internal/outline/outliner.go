@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"outliner/internal/fault"
 	"outliner/internal/isa"
 	"outliner/internal/mir"
 	"outliner/internal/obs"
@@ -55,7 +56,26 @@ type Options struct {
 	// RemarkModule tags emitted remarks with the module being outlined
 	// (empty for whole-program outlining).
 	RemarkModule string
+	// OnVerifyFailure selects what happens when Verify flags a violation
+	// after a round: VerifyAbort (the default) fails the build with the
+	// verifier's diagnostic; VerifyRollbackRound restores the pre-round
+	// program and stops outlining with the rounds so far; and
+	// VerifyDisableOutlining restores the program as it was before any
+	// outlining. The degraded modes trade size for safety — the build
+	// produces a correct, less-outlined image instead of failing.
+	OnVerifyFailure string
+	// Fault arms deterministic fault injection: an OutlineRound corruption
+	// point fires after a round's rewrites (only when Verify is on, so the
+	// damage is always caught) to exercise the verifier + rollback path.
+	Fault *fault.Injector
 }
+
+// Options.OnVerifyFailure values.
+const (
+	VerifyAbort            = "abort"
+	VerifyRollbackRound    = "rollback-round"
+	VerifyDisableOutlining = "disable-outlining"
+)
 
 func (o Options) withDefaults() Options {
 	if o.MinLength == 0 {
@@ -66,6 +86,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.FuncPrefix == "" {
 		o.FuncPrefix = "OUTLINED_FUNCTION_"
+	}
+	if o.OnVerifyFailure == "" {
+		o.OnVerifyFailure = VerifyAbort
 	}
 	return o
 }
@@ -170,7 +193,18 @@ func Outline(prog *mir.Program, opts Options) (*Stats, error) {
 	stats := &Stats{}
 	counter := 0
 	var sc scratch
+	// Snapshots for the degraded verify-failure modes, via the canonical mir
+	// codec: preAll is the program before any outlining, preRound before the
+	// current round. Only taken when a degraded mode could use them.
+	degrade := opts.Verify && opts.OnVerifyFailure != VerifyAbort
+	var preAll, preRound []byte
+	if degrade {
+		preAll = mir.EncodeProgram(nil, prog)
+	}
 	for round := 1; round <= opts.Rounds; round++ {
+		if degrade {
+			preRound = mir.EncodeProgram(preRound[:0], prog)
+		}
 		// One stage span per round, all named "machine-outline": stage
 		// totals sum them, so repeated rounds (and per-module runs in the
 		// default pipeline) report total time, not last-round time.
@@ -182,6 +216,14 @@ func Outline(prog *mir.Program, opts Options) (*Stats, error) {
 		}
 		rs.Round = round
 		stats.Rounds = append(stats.Rounds, rs)
+		// The fault injector's OutlineRound corruption point fires only under
+		// Verify, so the damage is detected by construction (dropping a new
+		// function's terminator guarantees a fall-through violation) and
+		// exercises exactly the verifier + rollback machinery below.
+		if opts.Verify && len(sc.newFuncs) > 0 &&
+			opts.Fault.MaybeCorruptPoint(fault.OutlineRound, fmt.Sprintf("%s/round:%d", opts.RemarkModule, round)) {
+			corruptNewFunc(sc.newFuncs[0])
+		}
 		if opts.Verify {
 			// The machine verifier runs after every round: a bad rewrite is
 			// diagnosed at the instruction that broke, not at the eventual
@@ -190,6 +232,10 @@ func Outline(prog *mir.Program, opts Options) (*Stats, error) {
 			tr.Add("verify/functions", int64(rep.FuncsChecked))
 			tr.Add("verify/violations", int64(len(rep.Violations)))
 			if err := rep.Err(); err != nil {
+				if degrade {
+					sp.End()
+					return rollback(prog, opts, stats, tr, round, err, preAll, preRound)
+				}
 				sp.End()
 				return stats, fmt.Errorf("outline round %d broke the program: %w", round, err)
 			}
@@ -214,6 +260,55 @@ func Outline(prog *mir.Program, opts Options) (*Stats, error) {
 		}
 	}
 	return stats, nil
+}
+
+// rollback implements the degraded OnVerifyFailure modes: restore prog from
+// the relevant snapshot, drop the undone rounds' stats, record a counter and
+// a remark, and stop outlining successfully — the build ships a correct,
+// less-outlined program instead of failing.
+func rollback(prog *mir.Program, opts Options, stats *Stats, tr *obs.Tracer, round int, verr error, preAll, preRound []byte) (*Stats, error) {
+	snap := preRound
+	if opts.OnVerifyFailure == VerifyDisableOutlining {
+		snap = preAll
+	}
+	restored, _, err := mir.DecodeProgram(snap)
+	if err != nil {
+		// Unreachable in practice: we encoded the snapshot ourselves.
+		return stats, fmt.Errorf("outline round %d: rollback snapshot: %w", round, err)
+	}
+	prog.ResetTo(restored)
+	status := "rolled-back"
+	if opts.OnVerifyFailure == VerifyDisableOutlining {
+		stats.Rounds = stats.Rounds[:0]
+		status = "outlining-disabled"
+		tr.Add("outline/rounds_rolled_back", int64(round))
+	} else {
+		stats.Rounds = stats.Rounds[:len(stats.Rounds)-1]
+		tr.Add("outline/rounds_rolled_back", 1)
+	}
+	tr.EmitBatch(opts.FuncPrefix, []obs.Remark{{
+		Pass:   "machine-outliner",
+		Status: status,
+		Reason: verr.Error(),
+		Round:  round,
+		Module: opts.RemarkModule,
+	}})
+	return stats, nil
+}
+
+// corruptNewFunc is the OutlineRound fault payload: dropping the final
+// instruction (the terminator) of a just-created outlined function makes
+// control fall off the function end — damage the verifier detects
+// unconditionally, so an armed corruption can never slip through to the
+// image.
+func corruptNewFunc(f *mir.Function) {
+	for i := len(f.Blocks) - 1; i >= 0; i-- {
+		b := f.Blocks[i]
+		if n := len(b.Insts); n > 0 {
+			b.Insts = b.Insts[:n-1]
+			return
+		}
+	}
 }
 
 // candRemark records one candidate-set decision. occ is the occurrence

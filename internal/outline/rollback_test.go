@@ -1,0 +1,152 @@
+package outline
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"outliner/internal/fault"
+	"outliner/internal/mir"
+	"outliner/internal/obs"
+	"outliner/internal/verify"
+)
+
+// multiRoundProgram outlines in at least two rounds (the long/short pattern
+// from TestRepeatedOutliningBeatsSingleRound).
+func multiRoundProgram(t *testing.T) *mir.Program {
+	t.Helper()
+	long := []string{
+		"MOVZXi $x1, #1",
+		"ORRXrs $x2, $xzr, $x1",
+		"ADDXrs $x3, $x2, $x1",
+		"EORXrs $x4, $x3, $x2",
+		"ANDXrs $x5, $x4, $x3",
+	}
+	suffix := long[2:]
+	var src strings.Builder
+	for i := 0; i < 4; i++ {
+		src.WriteString(framedFunc(fmt.Sprintf("long%d", i),
+			append(append([]string{}, long...), fmt.Sprintf("MOVZXi $x6, #%d", i))...))
+	}
+	for i := 0; i < 12; i++ {
+		src.WriteString(framedFunc(fmt.Sprintf("short%d", i),
+			append(append([]string{}, suffix...), fmt.Sprintf("MOVZXi $x7, #%d", 100+i))...))
+	}
+	return mustParse(t, src.String())
+}
+
+// corruptRound2 arms the OutlineRound fault point for whole-program round 2.
+func corruptRound2() *fault.Injector {
+	return fault.Exact(fault.At{Site: fault.OutlineRound, Key: "/round:2", Kind: fault.CorruptKind})
+}
+
+// TestRollbackRoundShedsTheBadRound: a corrupted round 2 under
+// rollback-round yields exactly the clean one-round program — byte-for-byte
+// via the canonical codec — with the rollback visible in stats, counters,
+// and remarks, and no error.
+func TestRollbackRoundShedsTheBadRound(t *testing.T) {
+	want := multiRoundProgram(t)
+	if _, err := Outline(want, Options{Rounds: 1, Verify: true, ExternSyms: externRT}); err != nil {
+		t.Fatal(err)
+	}
+
+	got := multiRoundProgram(t)
+	tr := obs.New()
+	st, err := Outline(got, Options{
+		Rounds: 5, Verify: true, ExternSyms: externRT,
+		OnVerifyFailure: VerifyRollbackRound,
+		Fault:           corruptRound2(),
+		Tracer:          tr,
+	})
+	if err != nil {
+		t.Fatalf("rollback mode returned error: %v", err)
+	}
+	a, b := mir.EncodeProgram(nil, got), mir.EncodeProgram(nil, want)
+	if string(a) != string(b) {
+		t.Fatalf("rolled-back program differs from the clean 1-round program:\n%s\nvs\n%s",
+			got.String(), want.String())
+	}
+	if len(st.Rounds) != 1 {
+		t.Fatalf("stats kept %d rounds, want 1 (round 2 shed): %+v", len(st.Rounds), st.Rounds)
+	}
+	if c := tr.Counters()["outline/rounds_rolled_back"]; c != 1 {
+		t.Fatalf("outline/rounds_rolled_back = %d, want 1", c)
+	}
+	var rb *obs.Remark
+	for i, r := range tr.Remarks() {
+		if r.Status == "rolled-back" {
+			rb = &tr.Remarks()[i]
+		}
+	}
+	if rb == nil || rb.Round != 2 || !strings.Contains(rb.Reason, "violation") {
+		t.Fatalf("rollback remark missing or wrong: %+v", rb)
+	}
+}
+
+// TestDisableOutliningRestoresOriginal: disable-outlining rolls all the way
+// back to the never-outlined program.
+func TestDisableOutliningRestoresOriginal(t *testing.T) {
+	p := multiRoundProgram(t)
+	before := p.String()
+	tr := obs.New()
+	st, err := Outline(p, Options{
+		Rounds: 5, Verify: true, ExternSyms: externRT,
+		OnVerifyFailure: VerifyDisableOutlining,
+		Fault:           corruptRound2(),
+		Tracer:          tr,
+	})
+	if err != nil {
+		t.Fatalf("disable-outlining returned error: %v", err)
+	}
+	if p.String() != before {
+		t.Fatal("program not restored to its pre-outlining form")
+	}
+	if len(st.Rounds) != 0 {
+		t.Fatalf("stats kept %d rounds, want 0", len(st.Rounds))
+	}
+	if c := tr.Counters()["outline/rounds_rolled_back"]; c != 2 {
+		t.Fatalf("outline/rounds_rolled_back = %d, want 2 (both rounds undone)", c)
+	}
+}
+
+// TestAbortModeStillFails: the default mode reports the corrupted round as a
+// typed verifier error naming the round.
+func TestAbortModeStillFails(t *testing.T) {
+	p := multiRoundProgram(t)
+	_, err := Outline(p, Options{
+		Rounds: 5, Verify: true, ExternSyms: externRT,
+		Fault: corruptRound2(),
+	})
+	var ve *verify.Error
+	if !errors.As(err, &ve) {
+		t.Fatalf("got %v, want a wrapped *verify.Error", err)
+	}
+	if !strings.Contains(err.Error(), "round 2") {
+		t.Fatalf("error does not name the round: %v", err)
+	}
+}
+
+// TestRollbackWithoutFaultIsFree: with no verifier failure the degraded
+// modes change nothing — same program, same stats as abort mode.
+func TestRollbackWithoutFaultIsFree(t *testing.T) {
+	base := multiRoundProgram(t)
+	stBase, err := Outline(base, Options{Rounds: 5, Verify: true, ExternSyms: externRT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := multiRoundProgram(t)
+	st, err := Outline(p, Options{
+		Rounds: 5, Verify: true, ExternSyms: externRT,
+		OnVerifyFailure: VerifyRollbackRound,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != base.String() {
+		t.Fatal("rollback-round mode changed a clean build's output")
+	}
+	if len(st.Rounds) != len(stBase.Rounds) {
+		t.Fatalf("stats diverged: %d vs %d rounds", len(st.Rounds), len(stBase.Rounds))
+	}
+}

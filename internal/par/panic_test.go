@@ -1,0 +1,213 @@
+package par_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"outliner/internal/par"
+)
+
+func TestMapPanicBecomesPanicError(t *testing.T) {
+	for _, p := range []int{1, 4, 0} {
+		_, err := par.MapStage("llc", p, 50, func(i int) (int, error) {
+			if i == 17 {
+				panic("compiler bug")
+			}
+			return i, nil
+		})
+		var pe *par.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("p=%d: got %T (%v), want *par.PanicError", p, err, err)
+		}
+		if pe.Index != 17 || pe.Stage != "llc" || pe.Value != "compiler bug" {
+			t.Fatalf("p=%d: PanicError = %+v", p, pe)
+		}
+		if !bytes.Contains(pe.Stack, []byte("panic_test.go")) {
+			t.Fatalf("p=%d: stack does not point at the panic site:\n%s", p, pe.Stack)
+		}
+		for _, want := range []string{"llc", "task 17", "compiler bug"} {
+			if !bytes.Contains([]byte(pe.Error()), []byte(want)) {
+				t.Fatalf("p=%d: Error() = %q missing %q", p, pe.Error(), want)
+			}
+		}
+	}
+}
+
+func TestPanicErrorUnwrapsErrorValues(t *testing.T) {
+	sentinel := errors.New("inner failure")
+	_, err := par.Map(4, 10, func(i int) (int, error) {
+		if i == 3 {
+			panic(sentinel)
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("panic(err) not visible through errors.Is: %v", err)
+	}
+}
+
+// TestDoRePanicsStructured: Do must not crash the process on a worker panic;
+// it re-raises the lowest-index panic as a *PanicError on the caller.
+func TestDoRePanicsStructured(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		func() {
+			defer func() {
+				pe, ok := recover().(*par.PanicError)
+				if !ok {
+					t.Fatalf("p=%d: recovered %T, want *par.PanicError", p, pe)
+				}
+				if pe.Index != 5 {
+					t.Fatalf("p=%d: panic index = %d, want 5", p, pe.Index)
+				}
+			}()
+			par.Do(p, 20, func(i int) {
+				if i == 5 || i == 15 {
+					panic(fmt.Sprintf("boom at %d", i))
+				}
+			})
+			t.Fatalf("p=%d: Do returned without re-panicking", p)
+		}()
+	}
+}
+
+// TestLowestIndexMixedFailures: an error and a panic compete; the lowest
+// index wins whatever its failure mode, at any worker count.
+func TestLowestIndexMixedFailures(t *testing.T) {
+	sentinel := errors.New("plain error at 20")
+	for _, p := range []int{1, 2, 8, 0} {
+		for trial := 0; trial < 10; trial++ {
+			_, err := par.Map(p, 100, func(i int) (int, error) {
+				switch i {
+				case 20:
+					return 0, sentinel
+				case 40:
+					panic("later panic")
+				}
+				return i, nil
+			})
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("p=%d: got %v, want the index-20 error", p, err)
+			}
+		}
+	}
+}
+
+// TestEarlyCancellation: after the first failure the pool stops claiming
+// work. Index 0 fails immediately while every other task blocks on a gate
+// that only opens once the failure is recorded; the pool must skip the
+// remaining thousands of tasks instead of draining them.
+func TestEarlyCancellation(t *testing.T) {
+	const n = 10000
+	gate := make(chan struct{})
+	var executed atomic.Int64
+	_, err := par.Map(4, n, func(i int) (int, error) {
+		if i == 0 {
+			defer close(gate)
+			return 0, fmt.Errorf("fail at 0")
+		}
+		<-gate
+		executed.Add(1)
+		return i, nil
+	})
+	if err == nil || err.Error() != "fail at 0" {
+		t.Fatalf("got error %v, want fail at 0", err)
+	}
+	// Only tasks already claimed before the failure was recorded may run:
+	// at most one in-flight per worker, nowhere near n.
+	if got := executed.Load(); got > 100 {
+		t.Fatalf("pool drained %d of %d tasks after the first error", got, n)
+	}
+}
+
+// TestSerialSkipsAfterPanic mirrors TestMapSerialStopsAtFirstError for the
+// panic path: with one worker, nothing past the panicking index runs.
+func TestSerialSkipsAfterPanic(t *testing.T) {
+	var calls int
+	_, err := par.Map(1, 100, func(i int) (int, error) {
+		calls++
+		if i == 5 {
+			panic("boom")
+		}
+		return i, nil
+	})
+	var pe *par.PanicError
+	if !errors.As(err, &pe) || pe.Index != 5 {
+		t.Fatalf("got %v", err)
+	}
+	if calls != 6 {
+		t.Fatalf("serial Map made %d calls after panic at index 5, want 6", calls)
+	}
+}
+
+// TestMapAllLanesKeepGoing: the keep-going variant runs every task despite
+// failures and reports each error at its index.
+func TestMapAllLanesKeepGoing(t *testing.T) {
+	for _, p := range []int{1, 4, 0} {
+		var ran atomic.Int64
+		out, errs := par.MapAllLanesStage("frontend", p, 50, func(_, i int) (int, error) {
+			ran.Add(1)
+			switch i {
+			case 10:
+				return 0, fmt.Errorf("error at 10")
+			case 20:
+				panic("panic at 20")
+			}
+			return i * i, nil
+		})
+		if got := ran.Load(); got != 50 {
+			t.Fatalf("p=%d: keep-going ran %d of 50 tasks", p, got)
+		}
+		if errs == nil {
+			t.Fatalf("p=%d: no errors collected", p)
+		}
+		for i := 0; i < 50; i++ {
+			switch i {
+			case 10:
+				if errs[i] == nil || errs[i].Error() != "error at 10" {
+					t.Fatalf("p=%d: errs[10] = %v", p, errs[i])
+				}
+			case 20:
+				var pe *par.PanicError
+				if !errors.As(errs[i], &pe) || pe.Index != 20 || pe.Stage != "frontend" {
+					t.Fatalf("p=%d: errs[20] = %v", p, errs[i])
+				}
+			default:
+				if errs[i] != nil {
+					t.Fatalf("p=%d: unexpected errs[%d] = %v", p, i, errs[i])
+				}
+				if out[i] != i*i {
+					t.Fatalf("p=%d: out[%d] = %d", p, i, out[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMapAllLanesNoErrors(t *testing.T) {
+	out, errs := par.MapAllLanesStage("", 4, 20, func(_, i int) (int, error) { return i, nil })
+	if errs != nil {
+		t.Fatalf("errs = %v, want nil on full success", errs)
+	}
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestRecovered(t *testing.T) {
+	pe := &par.PanicError{Index: 3, Stage: "x", Value: "v"}
+	if got := par.Recovered("other", 9, pe); got != pe {
+		t.Fatal("Recovered re-wrapped an existing *PanicError")
+	}
+	got := par.Recovered("opt", -1, "raw value")
+	if got.Index != -1 || got.Stage != "opt" || got.Value != "raw value" || len(got.Stack) == 0 {
+		t.Fatalf("Recovered = %+v", got)
+	}
+	if !bytes.Contains([]byte(got.Error()), []byte("main goroutine")) {
+		t.Fatalf("Error() = %q", got.Error())
+	}
+}

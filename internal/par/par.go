@@ -9,13 +9,67 @@
 // that build systems exploit (§VII-C: 53 min whole-program vs 21 min
 // default); this package is how the reproduction wins it back without
 // giving up the outliner's byte-for-byte determinism guarantee.
+//
+// Fault tolerance: a panic inside a worker never takes down the process.
+// Every task runs under a recover that converts the panic into a structured
+// *PanicError (task index, pipeline stage, stack) delivered through the same
+// lowest-index-error contract as ordinary failures — Map returns it, Do
+// re-panics it on the calling goroutine where the pipeline's recovery
+// boundary turns it into a build error. After the first failure the pool
+// cancels promptly: workers stop executing tasks whose index lies above the
+// lowest recorded failure (tasks below it still run, which is what keeps the
+// reported error deterministic under any scheduling). MapAllLanesStage is
+// the keep-going variant: every task runs regardless of failures and all
+// errors are collected.
 package par
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a worker panic converted into an error: the structured
+// diagnostic a build reports instead of crashing the process.
+type PanicError struct {
+	Index int    // task index that panicked
+	Stage string // pipeline stage the pool was serving ("" if unlabelled)
+	Value any    // the recovered panic value
+	Stack []byte // stack captured at the panic's recovery point
+}
+
+func (e *PanicError) Error() string {
+	where := fmt.Sprintf("task %d", e.Index)
+	if e.Index < 0 {
+		where = "main goroutine"
+	}
+	if e.Stage != "" {
+		where = fmt.Sprintf("stage %q, %s", e.Stage, where)
+	}
+	return fmt.Sprintf("panic in parallel worker (%s): %v", where, e.Value)
+}
+
+// Unwrap exposes a panic value that was itself an error (panic(err)), so
+// errors.Is/As see through the conversion.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Recovered wraps a recovered panic value as a *PanicError, reusing it
+// unchanged when it already is one. index -1 means "not a pool task" — the
+// pipeline's top-level recovery boundaries use it for panics on the calling
+// goroutine.
+func Recovered(stage string, index int, r any) *PanicError {
+	if pe, ok := r.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Index: index, Stage: stage, Value: r, Stack: debug.Stack()}
+}
 
 // Workers normalizes a parallelism knob against the size of the work list:
 // p <= 0 means one worker per logical CPU (runtime.GOMAXPROCS(0)), and the
@@ -33,29 +87,63 @@ func Workers(p, n int) int {
 	return p
 }
 
-// Do runs f(i) for every i in [0, n) using at most p workers (see Workers
-// for how p is normalized). With an effective worker count of 1 the calls
-// happen on the calling goroutine in index order — exactly the serial loop
-// it replaces. With more workers, indices are claimed in order from a
-// shared counter, so item k never starts before item k-1 has been claimed.
-// Do returns once every call has finished.
-func Do(p, n int, f func(i int)) {
-	DoLanes(p, n, func(_, i int) { f(i) })
-}
-
-// DoLanes is Do with the worker's lane (0 ≤ lane < effective worker count)
-// passed to every call. Each lane is one goroutine: calls on the same lane
-// never overlap in time, which is what lets the telemetry layer render the
-// pool as per-worker tracks in a trace. The lane an item lands on is
-// scheduling-dependent; callers must not let it influence results.
-func DoLanes(p, n int, f func(lane, i int)) {
+// runLanes is the shared pool: it executes f(lane, i) for every i in [0, n)
+// with at most p workers, recovering panics into *PanicError. It returns a
+// per-index error slice, or nil when every task succeeded (the common path
+// allocates nothing).
+//
+// With keepGoing false, tasks whose index exceeds the lowest recorded
+// failure are skipped — the early cancellation that stops a failed build
+// promptly. Determinism of the reported error follows from the skip rule:
+// a task i is only skipped when some j < i has already failed, and since
+// f is deterministic per index, the smallest failing index always executes
+// and always records its error. With keepGoing true nothing is skipped.
+func runLanes(stage string, p, n int, keepGoing bool, f func(lane, i int) error) []error {
 	p = Workers(p, n)
+
+	var errs []error
+	var errsMu sync.Mutex
+	var failedAt atomic.Int64
+	failedAt.Store(int64(n))
+
+	record := func(i int, err error) {
+		errsMu.Lock()
+		if errs == nil {
+			errs = make([]error, n)
+		}
+		errs[i] = err
+		errsMu.Unlock()
+		if keepGoing {
+			return
+		}
+		for {
+			cur := failedAt.Load()
+			if int64(i) >= cur || failedAt.CompareAndSwap(cur, int64(i)) {
+				return
+			}
+		}
+	}
+	call := func(lane, i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				record(i, Recovered(stage, i, r))
+			}
+		}()
+		if err := f(lane, i); err != nil {
+			record(i, err)
+		}
+	}
+
 	if p == 1 {
 		for i := 0; i < n; i++ {
-			f(0, i)
+			if !keepGoing && int64(i) > failedAt.Load() {
+				break
+			}
+			call(0, i)
 		}
-		return
+		return errs
 	}
+
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(p)
@@ -68,47 +156,124 @@ func DoLanes(p, n int, f func(lane, i int)) {
 				if i >= n {
 					return
 				}
-				f(w, i)
+				// A failure strictly below i has been recorded: every index
+				// this worker could still claim is above it too, so stop.
+				if !keepGoing && int64(i) > failedAt.Load() {
+					return
+				}
+				call(w, i)
 			}
 		}()
 	}
 	wg.Wait()
+	return errs
+}
+
+// firstErr returns the lowest-index error, or nil.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Do runs f(i) for every i in [0, n) using at most p workers (see Workers
+// for how p is normalized). With an effective worker count of 1 the calls
+// happen on the calling goroutine in index order — exactly the serial loop
+// it replaces. With more workers, indices are claimed in order from a
+// shared counter, so item k never starts before item k-1 has been claimed.
+// Do returns once every call has finished. A panicking call does not crash
+// the process: the lowest-index panic is re-raised on the calling goroutine
+// as a *PanicError (remaining higher-index tasks are skipped).
+func Do(p, n int, f func(i int)) {
+	DoLanesStage("", p, n, func(_, i int) { f(i) })
+}
+
+// DoStage is Do with the pipeline stage recorded in panic diagnostics.
+func DoStage(stage string, p, n int, f func(i int)) {
+	DoLanesStage(stage, p, n, func(_, i int) { f(i) })
+}
+
+// DoLanes is Do with the worker's lane (0 ≤ lane < effective worker count)
+// passed to every call. Each lane is one goroutine: calls on the same lane
+// never overlap in time, which is what lets the telemetry layer render the
+// pool as per-worker tracks in a trace. The lane an item lands on is
+// scheduling-dependent; callers must not let it influence results.
+func DoLanes(p, n int, f func(lane, i int)) {
+	DoLanesStage("", p, n, f)
+}
+
+// DoLanesStage is DoLanes with the pipeline stage recorded in panic
+// diagnostics.
+func DoLanesStage(stage string, p, n int, f func(lane, i int)) {
+	errs := runLanes(stage, p, n, false, func(lane, i int) error {
+		f(lane, i)
+		return nil
+	})
+	// Only panics can be recorded here; re-raise the lowest-index one where
+	// the caller's recovery boundary (pipeline, outliner) can see it.
+	if err := firstErr(errs); err != nil {
+		panic(err)
+	}
 }
 
 // Map runs f(i) for every i in [0, n) using at most p workers and collects
 // the results in input order. If any call fails, Map returns the error of
 // the lowest failing index — deterministic regardless of scheduling,
-// because indices are claimed in order, so every index at or below the
-// first failure is always executed. After a failure, not-yet-claimed items
+// because a task is only skipped when a lower-index task has already
+// failed, so the smallest failing index is always executed. Panics count as
+// failures and surface as *PanicError. After a failure, higher-index tasks
 // are skipped (with one worker this degenerates to the serial
 // stop-at-first-error loop).
 func Map[T any](p, n int, f func(i int) (T, error)) ([]T, error) {
-	return MapLanes(p, n, func(_, i int) (T, error) { return f(i) })
+	return MapLanesStage("", p, n, func(_, i int) (T, error) { return f(i) })
+}
+
+// MapStage is Map with the pipeline stage recorded in panic diagnostics.
+func MapStage[T any](stage string, p, n int, f func(i int) (T, error)) ([]T, error) {
+	return MapLanesStage(stage, p, n, func(_, i int) (T, error) { return f(i) })
 }
 
 // MapLanes is Map with the worker's lane passed to every call (see DoLanes).
 func MapLanes[T any](p, n int, f func(lane, i int) (T, error)) ([]T, error) {
+	return MapLanesStage("", p, n, f)
+}
+
+// MapLanesStage is MapLanes with the pipeline stage recorded in panic
+// diagnostics.
+func MapLanesStage[T any](stage string, p, n int, f func(lane, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	errs := make([]error, n)
-	var failed atomic.Bool
-	DoLanes(p, n, func(lane, i int) {
-		if failed.Load() {
-			return
-		}
+	errs := runLanes(stage, p, n, false, func(lane, i int) error {
 		v, err := f(lane, i)
 		if err != nil {
-			errs[i] = err
-			failed.Store(true)
-			return
+			return err
 		}
 		out[i] = v
+		return nil
 	})
-	if failed.Load() {
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
-		}
+	if err := firstErr(errs); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// MapAllLanesStage is the keep-going variant of MapLanesStage: every task
+// runs regardless of failures (nothing is cancelled), results land at their
+// index, and the returned error slice holds each task's failure at its index
+// (nil when every task succeeded). Panics are collected as *PanicError like
+// any other failure. Callers aggregate the errors — pipeline keep-going mode
+// reports every broken module at once instead of only the first.
+func MapAllLanesStage[T any](stage string, p, n int, f func(lane, i int) (T, error)) ([]T, []error) {
+	out := make([]T, n)
+	errs := runLanes(stage, p, n, true, func(lane, i int) error {
+		v, err := f(lane, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	return out, errs
 }

@@ -6,6 +6,7 @@ import (
 
 	"outliner/internal/artifact"
 	"outliner/internal/cache"
+	"outliner/internal/fault"
 	"outliner/internal/frontend"
 	"outliner/internal/llir"
 	"outliner/internal/mir"
@@ -40,19 +41,34 @@ import (
 // only add encode/hash overhead to every build.
 type BuildCache struct {
 	c *cache.Cache
+	// fault arms the ArtifactDecode injection point (an injected decoder
+	// rejection, degrading to a miss). nil when the build runs clean.
+	fault *fault.Injector
 }
 
 // OpenBuildCache returns the cache for cfg.CacheDir, or nil (a valid
-// always-miss cache) when no cache directory is configured.
+// always-miss cache) when no cache directory is configured. A faulted build
+// gets a private cache handle, never the process-shared one: injected I/O
+// errors and corruption must not leak into concurrent clean builds of the
+// same directory.
 func OpenBuildCache(cfg Config) (*BuildCache, error) {
 	if cfg.CacheDir == "" {
 		return nil, nil
 	}
-	c, err := cache.Shared(cfg.CacheDir)
+	var c *cache.Cache
+	var err error
+	if cfg.Fault != nil {
+		c, err = cache.Open(cfg.CacheDir)
+		if err == nil {
+			c.SetFault(cfg.Fault)
+		}
+	} else {
+		c, err = cache.Shared(cfg.CacheDir)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: %w", err)
 	}
-	return &BuildCache{c: c}, nil
+	return &BuildCache{c: c, fault: cfg.Fault}, nil
 }
 
 func (bc *BuildCache) enabled() bool { return bc != nil && bc.c != nil }
@@ -89,14 +105,36 @@ func importsHash(self int, moduleHashes []string) string {
 // string (append-only; the shape change alone invalidates old entries).
 func llirFingerprint(cfg Config) string {
 	return fmt.Sprintf("siloutline=%t specclosures=%t verify=%t",
-		cfg.SILOutline, cfg.SpecializeClosures, cfg.Verify)
+		cfg.SILOutline, cfg.SpecializeClosures, cfg.Verify) + faultFingerprint(cfg)
 }
 
 // machineFingerprint covers the Config fields the default pipeline's
-// per-module codegen+outline stage reads.
+// per-module codegen+outline stage reads. OnVerifyFailure participates
+// because a degraded (rolled-back) artifact is a different program than an
+// abort-mode build would have produced. KeepGoing does not: it only changes
+// error reporting, never a successful artifact.
 func machineFingerprint(cfg Config) string {
-	return fmt.Sprintf("merge=%t fmsa=%t rounds=%d flat=%t verify=%t",
-		cfg.MergeFunctions, cfg.FMSA, cfg.OutlineRounds, cfg.FlatOutlineCost, cfg.Verify)
+	onvf := cfg.OnVerifyFailure
+	if onvf == "" {
+		onvf = outline.VerifyAbort
+	}
+	return fmt.Sprintf("merge=%t fmsa=%t rounds=%d flat=%t verify=%t onvf=%s",
+		cfg.MergeFunctions, cfg.FMSA, cfg.OutlineRounds, cfg.FlatOutlineCost, cfg.Verify, onvf) +
+		faultFingerprint(cfg)
+}
+
+// faultFingerprint keys cache entries by the fault-injection schedule. Any
+// armed injector — even rate 0 — gets its own key space: a faulted build may
+// cache artifacts shaped by injected corruption (a rolled-back outline, a
+// degraded merge), and a clean build must never consume them, nor publish
+// entries a replaying chaos seed would then unexpectedly hit.
+func faultFingerprint(cfg Config) string {
+	if cfg.Fault == nil {
+		return ""
+	}
+	// String covers both schedule forms: "seed=N rate=R" for chaos injectors
+	// and the sorted point list for scripted ones.
+	return " fault=" + cfg.Fault.String()
 }
 
 func (bc *BuildCache) llirKey(self int, moduleHashes []string, cfg Config) cache.Key {
@@ -165,6 +203,28 @@ func cacheStore(tr *obs.Tracer, stage string, n int) {
 	tr.Add("cache/bytes_written", int64(n))
 }
 
+// probeCounters mirrors what a disk operation survived — retries, a failed
+// corrupt-entry deletion, a degraded-over I/O error — into the build's
+// counters (-summary's resilience section). Zero-valued fields add nothing,
+// so clean builds keep clean counter sets.
+func probeCounters(tr *obs.Tracer, pr cache.Probe) {
+	if pr.Retries > 0 {
+		tr.Add("cache/retries", int64(pr.Retries))
+	}
+	if pr.RemoveErr != nil {
+		tr.Add("cache/remove_failed", 1)
+	}
+	if pr.IOErr != nil {
+		tr.Add("cache/io_errors", 1)
+	}
+}
+
+// decodeFault consults the ArtifactDecode injection point for key; a non-nil
+// result models the decoder rejecting the artifact (degrades to a miss).
+func (bc *BuildCache) decodeFault(key cache.Key) error {
+	return bc.fault.MaybeError(fault.ArtifactDecode, key.Stage+"/"+key.Input)
+}
+
 // CompileToLLIRCached is CompileToLLIR behind the build cache: on a hit the
 // stored module is decoded instead of recompiled; on a miss (or a corrupted
 // entry) the module is compiled and published. moduleHashes[i] must be
@@ -179,16 +239,22 @@ func (bc *BuildCache) CompileToLLIRCached(src Source, cfg Config, imports *front
 	key := bc.llirKey(self, moduleHashes, cfg)
 	sp := tr.StartSpan("cache llir "+src.Name, lane)
 	cacheProbe(tr, "llir")
-	if data, ok := bc.c.Get(key); ok {
-		m, err := artifact.DecodeModule(data)
-		if err == nil {
+	data, ok, pr := bc.c.GetProbe(key)
+	probeCounters(tr, pr)
+	if ok {
+		derr := bc.decodeFault(key)
+		var m *llir.Module
+		if derr == nil {
+			m, derr = artifact.DecodeModule(data)
+		}
+		if derr == nil {
 			cacheHit(tr, "llir", len(data))
 			sp.Arg("hit", true).End()
 			return m, nil
 		}
 		cacheMiss(tr, "llir", true)
 	} else {
-		cacheMiss(tr, "llir", false)
+		cacheMiss(tr, "llir", pr.Corrupt)
 	}
 	sp.Arg("hit", false).End()
 	m, err := CompileToLLIR(src, cfg, imports)
@@ -196,7 +262,7 @@ func (bc *BuildCache) CompileToLLIRCached(src Source, cfg Config, imports *front
 		return nil, err
 	}
 	enc := artifact.EncodeModule(m)
-	bc.c.Put(key, enc)
+	probeCounters(tr, bc.c.PutProbe(key, enc))
 	cacheStore(tr, "llir", len(enc))
 	return m, nil
 }
@@ -205,22 +271,29 @@ func (bc *BuildCache) CompileToLLIRCached(src Source, cfg Config, imports *front
 // usable hit; stats may be nil (a build with OutlineRounds == 0).
 func (bc *BuildCache) getMachine(key cache.Key, tr *obs.Tracer) (*mir.Program, *outline.Stats, bool) {
 	cacheProbe(tr, "machine")
-	if data, ok := bc.c.Get(key); ok {
-		p, st, err := artifact.DecodeMachine(data)
-		if err == nil {
-			cacheHit(tr, "machine", len(data))
-			return p, st, true
-		}
+	data, ok, pr := bc.c.GetProbe(key)
+	probeCounters(tr, pr)
+	if !ok {
+		cacheMiss(tr, "machine", pr.Corrupt)
+		return nil, nil, false
+	}
+	derr := bc.decodeFault(key)
+	var p *mir.Program
+	var st *outline.Stats
+	if derr == nil {
+		p, st, derr = artifact.DecodeMachine(data)
+	}
+	if derr != nil {
 		cacheMiss(tr, "machine", true)
 		return nil, nil, false
 	}
-	cacheMiss(tr, "machine", false)
-	return nil, nil, false
+	cacheHit(tr, "machine", len(data))
+	return p, st, true
 }
 
 func (bc *BuildCache) putMachine(key cache.Key, p *mir.Program, st *outline.Stats, tr *obs.Tracer) {
 	enc := artifact.EncodeMachine(p, st)
-	bc.c.Put(key, enc)
+	probeCounters(tr, bc.c.PutProbe(key, enc))
 	cacheStore(tr, "machine", len(enc))
 }
 

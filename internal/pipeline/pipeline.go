@@ -11,6 +11,7 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"outliner/internal/binimg"
 	"outliner/internal/cache"
 	"outliner/internal/codegen"
+	"outliner/internal/fault"
 	"outliner/internal/frontend"
 	"outliner/internal/irlink"
 	"outliner/internal/llir"
@@ -91,7 +93,48 @@ type Config struct {
 	// whether a build runs cold, warm, or with no cache at all, and a
 	// damaged cache entry is treated as a miss, never an error.
 	CacheDir string
+	// KeepGoing makes the per-module parallel stages — frontend lowering in
+	// both pipelines, and the default pipeline's per-module codegen+outline —
+	// run every module even after one fails, then fail with a *BuildErrors
+	// aggregating every per-module error instead of just the lowest-index
+	// one. The whole-program pipeline's post-link stages operate on a single
+	// merged program and keep first-error semantics. Reporting-only: a
+	// successful build's output is identical either way, so KeepGoing is
+	// excluded from cache fingerprints.
+	KeepGoing bool
+	// OnVerifyFailure selects how the machine outliner degrades when its
+	// verifier rejects a round: outline.VerifyAbort ("" or "abort", the
+	// default) fails the build, outline.VerifyRollbackRound sheds the
+	// offending round and keeps the previous rounds' wins,
+	// outline.VerifyDisableOutlining sheds all outlining for that program.
+	OnVerifyFailure string
+	// Fault arms deterministic fault injection (internal/fault) at the
+	// pipeline's fault points: cache disk I/O, worker task start,
+	// per-function codegen, outlining rounds, artifact decoding. When set,
+	// the build cache opens privately (never the process-shared handle) and
+	// the schedule participates in cache fingerprints, so a faulted build
+	// can neither publish nor consume a clean build's artifacts. nil
+	// disables injection at zero cost.
+	Fault *fault.Injector
 }
+
+// BuildErrors is a keep-going build's aggregated failure: one error per
+// failed module, in module order. Unwrap exposes them to errors.Is/As, so a
+// structured diagnostic buried in any module (a *par.PanicError, a
+// *verify.Error, an injected *fault.Error) stays recognizable.
+type BuildErrors struct {
+	Errs []error
+}
+
+func (e *BuildErrors) Error() string {
+	if len(e.Errs) == 1 {
+		return e.Errs[0].Error()
+	}
+	return fmt.Sprintf("%d modules failed; first: %v", len(e.Errs), e.Errs[0])
+}
+
+// Unwrap exposes the per-module errors to the errors package.
+func (e *BuildErrors) Unwrap() []error { return e.Errs }
 
 // OSize is the production configuration the paper ships: whole program,
 // five rounds of repeated machine outlining, all mid-level passes, both
@@ -224,9 +267,20 @@ func CompileToLLIR(src Source, cfg Config, imports *frontend.Imports) (*llir.Mod
 // Build compiles sources through the configured pipeline. Every module sees
 // the public declarations of every other module (as if all swiftmodule
 // interfaces were imported).
-func Build(sources []Source, cfg Config) (*Result, error) {
+//
+// Build never lets a worker (or its own) panic escape as a process crash: a
+// panic anywhere in the build surfaces as an error carrying a structured
+// *par.PanicError (stage, task index, stack) in its chain.
+func Build(sources []Source, cfg Config) (res *Result, err error) {
 	tr := obs.Ensure(cfg.Tracer)
 	cfg.Tracer = tr
+	defer mirrorFaults(tr, cfg.Fault)
+	defer func() {
+		if r := recover(); r != nil {
+			tr.Add("fault/recovered_panics", 1)
+			res, err = nil, fmt.Errorf("pipeline: %w", par.Recovered("build", -1, r))
+		}
+	}()
 	mark := tr.Mark()
 	front := tr.StartStage("frontend+permodule", 0)
 
@@ -234,15 +288,27 @@ func Build(sources []Source, cfg Config) (*Result, error) {
 	// construction stays serial: the sets share AST nodes across modules,
 	// and NewImports synthesizes missing memberwise initializers in place,
 	// so building them concurrently would race. After this point the
-	// imported declarations are only read.
+	// imported declarations are only read. Under KeepGoing every module is
+	// still parsed (and every parse error reported), but a parse failure
+	// remains fatal: import sets need all modules' declarations.
 	parsed := make([][]*frontend.File, len(sources))
+	var parseErrs []error
 	for i, src := range sources {
-		files, err := ParseSource(src)
-		if err != nil {
+		files, perr := ParseSource(src)
+		if perr != nil {
+			perr = fmt.Errorf("pipeline: module %s: %w", src.Name, perr)
+			if cfg.KeepGoing {
+				parseErrs = append(parseErrs, perr)
+				continue
+			}
 			front.End()
-			return nil, fmt.Errorf("pipeline: module %s: %w", src.Name, err)
+			return nil, perr
 		}
 		parsed[i] = files
+	}
+	if len(parseErrs) > 0 {
+		front.End()
+		return nil, gatherKeepGoing(tr, parseErrs)
 	}
 	imports := make([]*frontend.Imports, len(sources))
 	for i := range sources {
@@ -272,20 +338,33 @@ func Build(sources []Source, cfg Config) (*Result, error) {
 	// (CompileToLLIR re-parses the module's own files, so every worker
 	// type-checks private ASTs); results are collected in source order, so
 	// irlink.Link sees the same module sequence as the serial build.
-	mods, err := par.MapLanes(cfg.Parallelism, len(sources), func(lane, i int) (*llir.Module, error) {
+	lowerModule := func(lane, i int) (*llir.Module, error) {
+		cfg.Fault.MaybePanic(fault.WorkerTask, sources[i].Name)
 		sp := tr.StartSpan("frontend "+sources[i].Name, lane+1)
 		defer sp.End()
-		lm, err := bc.CompileToLLIRCached(sources[i], cfg, imports[i], i, moduleHashes, lane+1)
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: module %s: %w", sources[i].Name, err)
+		lm, lerr := bc.CompileToLLIRCached(sources[i], cfg, imports[i], i, moduleHashes, lane+1)
+		if lerr != nil {
+			return nil, fmt.Errorf("pipeline: module %s: %w", sources[i].Name, lerr)
 		}
 		return lm, nil
-	})
-	front.End()
-	if err != nil {
-		return nil, err
 	}
-	res, err := BuildFromLLIR(mods, cfg)
+	var mods []*llir.Module
+	if cfg.KeepGoing {
+		var errs []error
+		mods, errs = par.MapAllLanesStage("frontend", cfg.Parallelism, len(sources), lowerModule)
+		front.End()
+		if kerr := gatherKeepGoing(tr, errs); kerr != nil {
+			return nil, kerr
+		}
+	} else {
+		mods, err = par.MapLanesStage("frontend", cfg.Parallelism, len(sources), lowerModule)
+		front.End()
+		if err != nil {
+			notePanics(tr, err)
+			return nil, err
+		}
+	}
+	res, err = BuildFromLLIR(mods, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -293,11 +372,57 @@ func Build(sources []Source, cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// gatherKeepGoing folds a keep-going stage's error slice (one slot per task)
+// into a single *BuildErrors, nil when every task succeeded. Recovered worker
+// panics and the failure count land on the build's counters.
+func gatherKeepGoing(tr *obs.Tracer, errs []error) error {
+	var be BuildErrors
+	for _, e := range errs {
+		if e != nil {
+			be.Errs = append(be.Errs, e)
+		}
+	}
+	if len(be.Errs) == 0 {
+		return nil
+	}
+	notePanics(tr, be.Errs...)
+	tr.Add("build/keep_going_errors", int64(len(be.Errs)))
+	return &be
+}
+
+// notePanics counts the errors whose chain carries a recovered worker panic,
+// keeping panic isolation visible in -summary even when the build fails.
+func notePanics(tr *obs.Tracer, errs ...error) {
+	for _, e := range errs {
+		var pe *par.PanicError
+		if errors.As(e, &pe) {
+			tr.Add("fault/recovered_panics", 1)
+		}
+	}
+}
+
+// mirrorFaults drains the injector's per-site injection counts into the
+// build's counters, so -summary shows what a chaos schedule actually fired.
+func mirrorFaults(tr *obs.Tracer, inj *fault.Injector) {
+	for name, n := range inj.DrainCounters() {
+		tr.Add(name, n)
+	}
+}
+
 // BuildFromLLIR finishes a build from per-module LLIR (used by the synthetic
-// app generator, which fabricates IR directly).
-func BuildFromLLIR(mods []*llir.Module, cfg Config) (*Result, error) {
+// app generator, which fabricates IR directly). Like Build, it converts any
+// panic — its own or a worker's — into an error carrying a structured
+// *par.PanicError instead of crashing the process.
+func BuildFromLLIR(mods []*llir.Module, cfg Config) (res *Result, err error) {
 	tr := obs.Ensure(cfg.Tracer)
 	cfg.Tracer = tr
+	defer mirrorFaults(tr, cfg.Fault)
+	defer func() {
+		if r := recover(); r != nil {
+			tr.Add("fault/recovered_panics", 1)
+			res, err = nil, fmt.Errorf("pipeline: %w", par.Recovered("build", -1, r))
+		}
+	}()
 	mark := tr.Mark()
 	var prog *mir.Program
 
@@ -320,7 +445,7 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (*Result, error) {
 		if cfg.FMSA {
 			llir.MergeBySequenceAlignment(merged)
 		}
-		par.Do(cfg.Parallelism, len(merged.Funcs), func(i int) {
+		par.DoStage("opt", cfg.Parallelism, len(merged.Funcs), func(i int) {
 			llir.SimplifyCFG(merged.Funcs[i])
 			llir.DCE(merged.Funcs[i])
 		})
@@ -333,9 +458,10 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (*Result, error) {
 		sp.End()
 
 		sp = tr.StartStage("llc", 0)
-		p, err := codegen.CompileTraced(merged, cfg.Parallelism, tr, 1)
+		p, err := codegen.CompileTraced(merged, cfg.Parallelism, tr, 1, cfg.Fault)
 		sp.End()
 		if err != nil {
+			notePanics(tr, err)
 			return nil, err
 		}
 		if cfg.Verify {
@@ -368,8 +494,9 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (*Result, error) {
 			// their definitions.
 			crossRefs = crossModuleRefs(mods)
 		}
-		parts, err := par.MapLanes(cfg.Parallelism, len(mods), func(lane, i int) (*mir.Program, error) {
+		compileModule := func(lane, i int) (*mir.Program, error) {
 			lm := mods[i]
+			cfg.Fault.MaybePanic(fault.WorkerTask, lm.Name)
 			wsp := tr.StartSpan("module "+lm.Name, lane+1)
 			defer wsp.End()
 			// Probe the cache before touching lm: the key is derived from
@@ -394,25 +521,27 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (*Result, error) {
 			if cfg.FMSA {
 				llir.MergeBySequenceAlignmentKeeping(lm, crossRefs)
 			}
-			p, err := codegen.CompileTraced(lm, 1, tr, lane+1)
-			if err != nil {
-				return nil, fmt.Errorf("pipeline: module %s: %w", lm.Name, err)
+			p, cerr := codegen.CompileTraced(lm, 1, tr, lane+1, cfg.Fault)
+			if cerr != nil {
+				return nil, fmt.Errorf("pipeline: module %s: %w", lm.Name, cerr)
 			}
 			var st *outline.Stats
 			if cfg.OutlineRounds > 0 {
-				st, err = outline.Outline(p, outline.Options{
-					Rounds:        cfg.OutlineRounds,
-					FlatCostModel: cfg.FlatOutlineCost,
-					FuncPrefix:    "OUTLINED_FUNCTION_" + lm.Name + "_",
-					Verify:        cfg.Verify,
-					ExternSyms:    extern,
-					Parallelism:   1,
-					Tracer:        tr,
-					TraceLane:     lane + 1,
-					RemarkModule:  lm.Name,
+				st, cerr = outline.Outline(p, outline.Options{
+					Rounds:          cfg.OutlineRounds,
+					FlatCostModel:   cfg.FlatOutlineCost,
+					FuncPrefix:      "OUTLINED_FUNCTION_" + lm.Name + "_",
+					Verify:          cfg.Verify,
+					ExternSyms:      extern,
+					Parallelism:     1,
+					Tracer:          tr,
+					TraceLane:       lane + 1,
+					RemarkModule:    lm.Name,
+					OnVerifyFailure: cfg.OnVerifyFailure,
+					Fault:           cfg.Fault,
 				})
-				if err != nil {
-					return nil, err
+				if cerr != nil {
+					return nil, fmt.Errorf("pipeline: module %s: %w", lm.Name, cerr)
 				}
 			}
 			if cfg.Verify {
@@ -426,17 +555,29 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (*Result, error) {
 				bc.putMachine(mkey, p, st, tr)
 			}
 			return p, nil
-		})
-		sp.End()
-		if err != nil {
-			return nil, err
+		}
+		var parts []*mir.Program
+		if cfg.KeepGoing {
+			var errs []error
+			parts, errs = par.MapAllLanesStage("llc", cfg.Parallelism, len(mods), compileModule)
+			sp.End()
+			if kerr := gatherKeepGoing(tr, errs); kerr != nil {
+				return nil, kerr
+			}
+		} else {
+			parts, err = par.MapLanesStage("llc", cfg.Parallelism, len(mods), compileModule)
+			sp.End()
+			if err != nil {
+				notePanics(tr, err)
+				return nil, err
+			}
 		}
 		sp = tr.StartStage("ld", 0)
 		prog = linkMachine(parts)
 		sp.End()
 	}
 
-	res := &Result{Prog: prog}
+	res = &Result{Prog: prog}
 
 	if cfg.WholeProgram && cfg.CanonicalizeSequences {
 		outline.CanonicalizeCommutative(prog)
@@ -445,16 +586,18 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (*Result, error) {
 		// No enclosing stage span here: the outliner emits one
 		// "machine-outline" stage span per round itself, and stage totals
 		// sum them into the Timings entry.
-		st, err := outline.Outline(prog, outline.Options{
-			Rounds:        cfg.OutlineRounds,
-			FlatCostModel: cfg.FlatOutlineCost,
-			Verify:        cfg.Verify,
-			ExternSyms:    llir.RuntimeSyms,
-			Parallelism:   cfg.Parallelism,
-			Tracer:        tr,
+		st, oerr := outline.Outline(prog, outline.Options{
+			Rounds:          cfg.OutlineRounds,
+			FlatCostModel:   cfg.FlatOutlineCost,
+			Verify:          cfg.Verify,
+			ExternSyms:      llir.RuntimeSyms,
+			Parallelism:     cfg.Parallelism,
+			Tracer:          tr,
+			OnVerifyFailure: cfg.OnVerifyFailure,
+			Fault:           cfg.Fault,
 		})
-		if err != nil {
-			return nil, err
+		if oerr != nil {
+			return nil, oerr
 		}
 		res.Outline = st
 	}

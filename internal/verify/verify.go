@@ -66,17 +66,29 @@ type Report struct {
 // OK reports whether no violations were found.
 func (r *Report) OK() bool { return len(r.Violations) == 0 }
 
-// Err returns nil when the report is clean, otherwise an error naming the
+// Err returns nil when the report is clean, otherwise a *Error naming the
 // violation count and the first few violations with function/PC context.
 func (r *Report) Err() error {
 	if r.OK() {
 		return nil
 	}
+	return &Error{Report: r}
+}
+
+// Error is a failed report as a typed error: errors.As against *verify.Error
+// is how the fault-tolerance layer recognizes "the verifier rejected the
+// program" structurally — a diagnosed failure, never silent corruption —
+// and how the outliner's rollback modes decide to shed a round.
+type Error struct {
+	Report *Report
+}
+
+func (e *Error) Error() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "verify: %d violation(s): ", len(r.Violations))
-	for i, v := range r.Violations {
+	fmt.Fprintf(&b, "verify: %d violation(s): ", len(e.Report.Violations))
+	for i, v := range e.Report.Violations {
 		if i == 3 {
-			fmt.Fprintf(&b, "; ... and %d more", len(r.Violations)-i)
+			fmt.Fprintf(&b, "; ... and %d more", len(e.Report.Violations)-i)
 			break
 		}
 		if i > 0 {
@@ -84,7 +96,7 @@ func (r *Report) Err() error {
 		}
 		b.WriteString(v.String())
 	}
-	return fmt.Errorf("%s", b.String())
+	return b.String()
 }
 
 func (r *Report) addf(fn, block string, inst int, pc int64, format string, args ...any) {
