@@ -11,7 +11,9 @@ package outliner_test
 import (
 	"fmt"
 	"io"
+	"os"
 	"runtime"
+	"strconv"
 	"testing"
 
 	"outliner/internal/appgen"
@@ -171,6 +173,31 @@ func BenchmarkColdVsWarmBuild(b *testing.B) {
 		b.Run(pc.name+"/cold", benchkit.ColdBuild(pc.cfg, benchScale))
 		b.Run(pc.name+"/warm", benchkit.WarmBuild(pc.cfg, benchScale))
 	}
+}
+
+// BenchmarkPaperScaleBuild measures incremental builds on a paper-sized
+// corpus: cold build, fully-warm rebuild, and a rebuild after a one-module
+// body edit (which interface-scoped cache keys keep at a near-perfect warm
+// hit rate). The corpus defaults to a CI-sized 120 modules; set
+// SCALE_MODULES=476 to reproduce the paper's flagship app (the nightly CI
+// job does). Bodies live in internal/benchkit; cmd/bench -suite scale emits
+// the same measurements as JSON (BENCH_scale.json is the committed
+// baseline).
+func BenchmarkPaperScaleBuild(b *testing.B) {
+	modules := 120
+	if env := os.Getenv("SCALE_MODULES"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil {
+			b.Fatalf("SCALE_MODULES=%q: %v", env, err)
+		}
+		modules = n
+	}
+	s := benchkit.NewScaleSuite(pipeline.Default, modules)
+	defer s.Close()
+	b.Logf("corpus: %d modules, %d lines", s.Modules(), s.Lines())
+	b.Run("cold", s.Cold())
+	b.Run("warm", s.Warm())
+	b.Run("edit", s.Edit())
 }
 
 // BenchmarkGenerality regenerates §VII-E's other-subjects table.

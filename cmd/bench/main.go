@@ -1,13 +1,21 @@
 // Command bench runs the repository's cache and outliner benchmarks outside
 // `go test` and emits machine-readable JSON, one record per benchmark with
-// ns/op, allocation stats, and every custom metric. BENCH_pr4.json at the
-// repo root is a committed baseline produced by this command; regenerate it
-// with:
+// ns/op, allocation stats, and every custom metric. Two suites exist:
+//
+//	-suite pr4     the small-scale cache and outliner benches
+//	               (BENCH_pr4.json is the committed baseline)
+//	-suite scale   paper-scale incremental builds: cold / warm / one-module
+//	               edit over a -modules corpus (BENCH_scale.json is the
+//	               committed baseline, recorded at -modules 476)
+//
+// Regenerate a baseline with:
 //
 //	go run ./cmd/bench -out BENCH_pr4.json
+//	go run ./cmd/bench -suite scale -modules 476 -out BENCH_scale.json
 //
 // The bodies are shared with bench_test.go via internal/benchkit, so
-// `go test -bench ColdVsWarm` measures exactly the same code.
+// `go test -bench ColdVsWarm` and `go test -bench PaperScale` measure
+// exactly the same code.
 package main
 
 import (
@@ -15,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"testing"
 
 	"outliner/internal/benchkit"
@@ -34,33 +44,85 @@ type Record struct {
 // Report is the file cmd/bench writes.
 type Report struct {
 	Scale   float64  `json:"scale"`
+	Modules int      `json:"modules,omitempty"`
 	Results []Record `json:"results"`
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main's body; returning (rather than os.Exit-ing) lets the profile
+// and suite-cleanup defers fire on the failure path too.
+func run() int {
 	var (
-		scale     = flag.Float64("scale", 0.35, "synthetic app scale (matches bench_test.go's benchScale)")
+		suite     = flag.String("suite", "pr4", "benchmark suite: pr4 (small-scale cache + outliner) | scale (paper-scale cold/warm/edit builds)")
+		scale     = flag.Float64("scale", 0.35, "pr4 suite: synthetic app scale (matches bench_test.go's benchScale)")
+		modules   = flag.Int("modules", 476, "scale suite: corpus module count (476 = the paper's flagship app)")
 		out       = flag.String("out", "", "output file (default stdout)")
 		guard     = flag.String("guard", "", "baseline report to guard against (e.g. BENCH_pr4.json); exit 1 when a benchmark regresses past -tolerance")
 		tolerance = flag.Float64("tolerance", 0.5, "allowed ns/op regression fraction over the -guard baseline (0.5 = +50%, generous for shared CI runners)")
+		minWarm   = flag.Float64("min-warm-speedup", 0, "scale suite: fail unless the warm rebuild is at least this many times faster than the cold build (0 disables)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file (go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)")
 	)
 	flag.Parse()
 
-	benches := []struct {
-		name string
-		body func(*testing.B)
-	}{
-		{"ColdVsWarmBuild/default/uncached", benchkit.UncachedBuild(pipeline.Default, *scale)},
-		{"ColdVsWarmBuild/default/cold", benchkit.ColdBuild(pipeline.Default, *scale)},
-		{"ColdVsWarmBuild/default/warm", benchkit.WarmBuild(pipeline.Default, *scale)},
-		{"ColdVsWarmBuild/wholeprog/uncached", benchkit.UncachedBuild(pipeline.OSize, *scale)},
-		{"ColdVsWarmBuild/wholeprog/cold", benchkit.ColdBuild(pipeline.OSize, *scale)},
-		{"ColdVsWarmBuild/wholeprog/warm", benchkit.WarmBuild(pipeline.OSize, *scale)},
-		{"OutlineRounds/1", benchkit.OutlineRounds(*scale, 1)},
-		{"OutlineRounds/5", benchkit.OutlineRounds(*scale, 5)},
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 
-	report := Report{Scale: *scale}
+	type bench struct {
+		name string
+		body func(*testing.B)
+	}
+	var benches []bench
+	var report Report
+	switch *suite {
+	case "pr4":
+		benches = []bench{
+			{"ColdVsWarmBuild/default/uncached", benchkit.UncachedBuild(pipeline.Default, *scale)},
+			{"ColdVsWarmBuild/default/cold", benchkit.ColdBuild(pipeline.Default, *scale)},
+			{"ColdVsWarmBuild/default/warm", benchkit.WarmBuild(pipeline.Default, *scale)},
+			{"ColdVsWarmBuild/wholeprog/uncached", benchkit.UncachedBuild(pipeline.OSize, *scale)},
+			{"ColdVsWarmBuild/wholeprog/cold", benchkit.ColdBuild(pipeline.OSize, *scale)},
+			{"ColdVsWarmBuild/wholeprog/warm", benchkit.WarmBuild(pipeline.OSize, *scale)},
+			{"OutlineRounds/1", benchkit.OutlineRounds(*scale, 1)},
+			{"OutlineRounds/5", benchkit.OutlineRounds(*scale, 5)},
+		}
+		report = Report{Scale: *scale}
+	case "scale":
+		fmt.Fprintf(os.Stderr, "bench: generating %d-module corpus...\n", *modules)
+		s := benchkit.NewScaleSuite(pipeline.Default, *modules)
+		defer s.Close()
+		fmt.Fprintf(os.Stderr, "bench: corpus: %d modules, %d lines\n", s.Modules(), s.Lines())
+		benches = []bench{
+			{"ScaleBuild/cold", s.Cold()},
+			{"ScaleBuild/warm", s.Warm()},
+			{"ScaleBuild/edit", s.Edit()},
+		}
+		report = Report{Modules: s.Modules()}
+	default:
+		fatal(fmt.Errorf("unknown -suite %q (want pr4 or scale)", *suite))
+	}
 	for _, bm := range benches {
 		fmt.Fprintf(os.Stderr, "bench: %s...\n", bm.name)
 		r := testing.Benchmark(bm.body)
@@ -87,9 +149,39 @@ func main() {
 	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
+	code := 0
 	if *guard != "" && !guardReport(report, *guard, *tolerance) {
-		os.Exit(1)
+		code = 1
 	}
+	if *minWarm > 0 && !checkWarmSpeedup(report, *minWarm) {
+		code = 1
+	}
+	return code
+}
+
+// checkWarmSpeedup enforces the scale suite's headline acceptance number:
+// a fully warm rebuild must beat the cold build by the given factor.
+func checkWarmSpeedup(report Report, min float64) bool {
+	var cold, warm *Record
+	for i, r := range report.Results {
+		switch r.Name {
+		case "ScaleBuild/cold":
+			cold = &report.Results[i]
+		case "ScaleBuild/warm":
+			warm = &report.Results[i]
+		}
+	}
+	if cold == nil || warm == nil {
+		fmt.Fprintln(os.Stderr, "bench: -min-warm-speedup needs the scale suite's cold and warm results")
+		return false
+	}
+	speedup := cold.NsPerOp / warm.NsPerOp
+	if speedup < min {
+		fmt.Fprintf(os.Stderr, "bench: REGRESSION warm rebuild only %.1fx faster than cold (want >= %.1fx)\n", speedup, min)
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "bench: warm rebuild %.1fx faster than cold (>= %.1fx required)\n", speedup, min)
+	return true
 }
 
 // guardReport compares the fresh report against a committed baseline:
@@ -111,6 +203,10 @@ func guardReport(report Report, path string, tolerance float64) bool {
 	if base.Scale != report.Scale {
 		fatal(fmt.Errorf("guard: baseline %s was recorded at -scale %g, this run used %g; times are not comparable",
 			path, base.Scale, report.Scale))
+	}
+	if base.Modules != report.Modules {
+		fatal(fmt.Errorf("guard: baseline %s was recorded at -modules %d, this run used %d; times are not comparable",
+			path, base.Modules, report.Modules))
 	}
 	baseline := make(map[string]Record, len(base.Results))
 	for _, r := range base.Results {

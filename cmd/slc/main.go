@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"outliner/internal/exec"
@@ -56,8 +58,33 @@ func main() {
 		onVerify = flag.String("on-verify-failure", "abort", "outlining verifier-failure policy: abort | rollback-round | disable-outlining")
 		fSeed    = flag.Uint64("fault-seed", 0, "deterministic fault-injection schedule seed (used with -fault-rate)")
 		fRate    = flag.Float64("fault-rate", 0, "fault-injection probability per fault point (0 disables; a failing seed replays exactly at any -j)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the build to this file (go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write an end-of-build heap profile to this file (go tool pprof)")
 	)
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 	switch *onVerify {
 	case outline.VerifyAbort, outline.VerifyRollbackRound, outline.VerifyDisableOutlining:
 	default:

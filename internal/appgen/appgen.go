@@ -51,6 +51,11 @@ type Profile struct {
 	Spans int
 }
 
+// PaperModules is the module count the paper reports for the flagship app
+// (476 modules, ~2M LoC). ScaleForModules(UberRider, PaperModules) yields the
+// scale knob that reproduces it.
+const PaperModules = 476
+
 // UberRider is the flagship profile (scaled from 476 modules / 2M LoC to
 // something a laptop compiles in seconds).
 var UberRider = Profile{
@@ -80,19 +85,107 @@ type Module struct {
 	Files map[string]string
 }
 
+// EditBody returns a copy of mods where the named module's source has a
+// comment appended — the canonical "developer edited a function body" event
+// for incremental-build tests and benchmarks. The module's source hash
+// changes; its exported-interface digest does not, so every other module's
+// llir cache entry must stay warm.
+func EditBody(mods []Module, name, tag string) []Module {
+	return editModule(mods, name, "\n// edit "+tag+"\n")
+}
+
+// EditInterface returns a copy of mods where the named module gains a new
+// exported function — the canonical "developer changed a module's interface"
+// event. The module's exported-interface digest changes, so every module that
+// imports it (in SwiftLite's whole-app import model: every other module) must
+// rebuild its llir stage.
+func EditInterface(mods []Module, name, tag string) []Module {
+	return editModule(mods, name,
+		fmt.Sprintf("\nfunc ifaceProbe_%s(x: Int) -> Int { return x + %d }\n", tag, len(tag)+1))
+}
+
+func editModule(mods []Module, name, suffix string) []Module {
+	out := append([]Module(nil), mods...)
+	for i, m := range out {
+		if m.Name != name {
+			continue
+		}
+		files := make(map[string]string, len(m.Files))
+		for fn, src := range m.Files {
+			files[fn] = src
+		}
+		// Append to the module's primary file (every generated module has
+		// exactly one, named after the module).
+		fn := m.Name + ".sl"
+		files[fn] += suffix
+		out[i].Files = files
+		return out
+	}
+	panic("appgen: EditBody/EditInterface: no module named " + name)
+}
+
+// LineCount totals source lines across modules (the corpus's "LoC").
+func LineCount(mods []Module) int {
+	n := 0
+	for _, m := range mods {
+		for _, src := range m.Files {
+			n += strings.Count(src, "\n")
+		}
+	}
+	return n
+}
+
 // Generate produces the app's modules at the given scale (1.0 = the base
-// app; Figure 1's growth sweep raises it week over week).
+// app; Figure 1's growth sweep raises it week over week). Above scale 1.0
+// modules also grow internally — more utilities, types, and handler steps per
+// module — so paper-sized module counts come with paper-sized line counts
+// rather than 476 toy modules. At or below 1.0 the per-module shape is
+// exactly the historical one, byte for byte.
 func Generate(p Profile, scale float64) []Module {
+	size := 1.0
+	if scale > 1 {
+		size = 0.5 + scale/2
+	}
 	g := &appGen{
-		p:   p,
-		rng: rand.New(rand.NewSource(p.Seed)),
+		p:    p,
+		rng:  rand.New(rand.NewSource(p.Seed)),
+		size: size,
 	}
 	return g.generate(scale)
 }
 
+// CountModules returns len(Generate(p, scale)) without generating anything:
+// the same arithmetic generate uses, kept in lockstep by TestCountModules.
+func CountModules(p Profile, scale float64) int {
+	return scaled(p.VendorModules, 0.5+scale/2) +
+		scaled(p.ModelModules, scale) +
+		scaled(p.FeatureModules, scale) +
+		1 // the app module
+}
+
+// ScaleForModules returns the smallest scale at which Generate yields at
+// least want modules. ScaleForModules(UberRider, PaperModules) is the
+// paper-scale knob.
+func ScaleForModules(p Profile, want int) float64 {
+	lo, hi := 0.0, 1.0
+	for CountModules(p, hi) < want {
+		hi *= 2
+	}
+	for i := 0; i < 64; i++ {
+		mid := lo + (hi-lo)/2
+		if CountModules(p, mid) >= want {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
 type appGen struct {
-	p   Profile
-	rng *rand.Rand
+	p    Profile
+	rng  *rand.Rand
+	size float64 // per-module size multiplier; exactly 1.0 at scale <= 1
 
 	vendorFuncs []vendorFunc // utilities callable from any module
 	modelTypes  []modelType
@@ -155,7 +248,7 @@ func (g *appGen) objcFlavoured() bool {
 func (g *appGen) vendorModule(idx int) Module {
 	name := fmt.Sprintf("Vendor%02d", idx)
 	var b strings.Builder
-	n := g.funcsIn()
+	n := scaled(g.funcsIn(), g.size)
 	for fi := 0; fi < n; fi++ {
 		fname := fmt.Sprintf("vnd%02d_util%d", idx, fi)
 		nArgs := 1 + g.rng.Intn(3)
@@ -223,7 +316,7 @@ func mdl%02d_fetch(k: Int) throws -> String {
 }
 `, idx, idx)
 
-	nTypes := 2 + g.rng.Intn(3)
+	nTypes := scaled(2+g.rng.Intn(3), g.size)
 	for ti := 0; ti < nTypes; ti++ {
 		tname := fmt.Sprintf("Mdl%02dT%d", idx, ti)
 		throwing := ti == 0 // one JSON-style type per module
@@ -328,7 +421,7 @@ func (g *appGen) emitHandler(b *strings.Builder, modIdx, fnIdx int) {
 		// The Swifter-like rendering path (see emitSwifterScenario).
 		fmt.Fprintf(b, "  acc = acc + ftr%02d_renderAll(x: acc %% 11)\n", modIdx)
 	}
-	steps := 2 + g.rng.Intn(6)
+	steps := scaled(2+g.rng.Intn(6), g.size)
 	for s := 0; s < steps; s++ {
 		switch g.rng.Intn(9) {
 		case 0, 1: // vendor utility call (cross-module repetition)

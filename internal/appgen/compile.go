@@ -15,40 +15,36 @@ import (
 // become objc_retain/objc_release and their GC module flag carries the clang
 // identity — the §VI-2 mixed-compiler situation.
 func CompileModules(mods []Module, cfg pipeline.Config) ([]*llir.Module, error) {
-	parsed := make([][]*frontend.File, len(mods))
+	sources := make([]pipeline.Source, len(mods))
 	for i, m := range mods {
-		src := pipeline.Source{Name: m.Name, Files: m.Files}
-		files, err := pipeline.ParseSource(src)
-		if err != nil {
-			return nil, fmt.Errorf("appgen: module %s: %w", m.Name, err)
-		}
-		parsed[i] = files
+		sources[i] = pipeline.Source{Name: m.Name, Files: m.Files}
 	}
-	// Imports share AST nodes across modules and NewImports synthesizes
-	// memberwise initializers in place, so import construction stays
-	// serial; per-module lowering then fans out over private ASTs
-	// (CompileToLLIR re-parses the module's own files), collecting results
-	// in module order.
+	parsed, err := par.MapLanes(cfg.Parallelism, len(mods), func(lane, i int) ([]*frontend.File, error) {
+		files, perr := pipeline.ParseSource(sources[i])
+		if perr != nil {
+			return nil, fmt.Errorf("appgen: module %s: %w", sources[i].Name, perr)
+		}
+		return files, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The import index shares AST nodes across modules and synthesizes
+	// memberwise initializers in place, so it is built serially once;
+	// per-module lowering then fans out over private ASTs (CompileToLLIR
+	// re-parses the module's own files), collecting results in module order.
+	ix := frontend.NewImportsIndex(parsed...)
 	imports := make([]*frontend.Imports, len(mods))
 	for i := range mods {
-		var others []*frontend.File
-		for j, files := range parsed {
-			if j != i {
-				others = append(others, files...)
-			}
-		}
-		imports[i] = frontend.NewImports(others...)
+		imports[i] = ix.For(i)
 	}
 	bc, err := pipeline.OpenBuildCache(cfg)
 	if err != nil {
 		return nil, err
 	}
-	var moduleHashes []string
+	var keys *pipeline.ModuleKeys
 	if bc != nil {
-		moduleHashes = make([]string, len(mods))
-		for i, m := range mods {
-			moduleHashes[i] = pipeline.SourceHash(pipeline.Source{Name: m.Name, Files: m.Files})
-		}
+		keys = pipeline.ComputeModuleKeys(sources, parsed, cfg.Tracer)
 	}
 	return par.MapLanes(cfg.Parallelism, len(mods), func(lane, i int) (*llir.Module, error) {
 		m := mods[i]
@@ -58,8 +54,7 @@ func CompileModules(mods []Module, cfg pipeline.Config) ([]*llir.Module, error) 
 		// deterministic and cheap, and both cold and warm paths return a
 		// private module, so re-applying it after a hit is safe and keeps
 		// the flavour out of the cache key.
-		lm, err := bc.CompileToLLIRCached(pipeline.Source{Name: m.Name, Files: m.Files},
-			cfg, imports[i], i, moduleHashes, lane+1)
+		lm, err := bc.CompileToLLIRCached(sources[i], cfg, imports[i], i, keys, lane+1)
 		if err != nil {
 			return nil, fmt.Errorf("appgen: module %s: %w", m.Name, err)
 		}
@@ -94,11 +89,17 @@ func applyObjCFlavour(m *llir.Module) {
 // BuildApp generates, compiles, and links an app profile at the given scale
 // under cfg.
 func BuildApp(p Profile, scale float64, cfg pipeline.Config) (*pipeline.Result, error) {
+	return BuildGenerated(Generate(p, scale), cfg)
+}
+
+// BuildGenerated compiles and links already-generated modules under cfg.
+// Benchmarks use it to keep corpus generation (and deterministic edits to the
+// corpus) out of the timed build.
+func BuildGenerated(generated []Module, cfg pipeline.Config) (*pipeline.Result, error) {
 	tr := obs.Ensure(cfg.Tracer)
 	cfg.Tracer = tr
 	mark := tr.Mark()
 	sp := tr.StartStage("frontend+permodule", 0)
-	generated := Generate(p, scale)
 	tr.Add("appgen/modules", int64(len(generated)))
 	mods, err := CompileModules(generated, cfg)
 	sp.End()

@@ -26,7 +26,9 @@ import (
 // SchemaVersion identifies the encoding. It participates in every cache key,
 // so bumping it when the format (or the meaning of a cached stage) changes
 // invalidates all previously stored artifacts instead of misreading them.
-const SchemaVersion = 1
+// Version 2: the llir stage's dependency hash became interface-scoped
+// (imports' exported-interface digests instead of their full source hashes).
+const SchemaVersion = 2
 
 // Artifact kinds (the byte after the header magic).
 const (

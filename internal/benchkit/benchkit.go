@@ -6,7 +6,9 @@
 package benchkit
 
 import (
+	"fmt"
 	"os"
+	"sync"
 	"testing"
 
 	"outliner/internal/appgen"
@@ -94,6 +96,158 @@ func WarmBuild(cfg pipeline.Config, scale float64) func(*testing.B) {
 			b.ReportMetric(100*float64(hits)/float64(probes), "cache-hit-%")
 		}
 	}
+}
+
+// ScaleSuite holds one paper-scale corpus and measures the three build
+// events that matter at that scale: a first-ever (cold) build, a no-change
+// (warm) rebuild, and a rebuild after a single-module body edit. The corpus
+// is generated once, outside every timed region; warm and edit share one
+// primed cache directory so the suite pays for exactly two cold builds
+// (cold's own iterations plus the shared priming build).
+type ScaleSuite struct {
+	cfg  pipeline.Config
+	mods []appgen.Module
+
+	prime    sync.Once
+	dir      string
+	primeErr error
+}
+
+// NewScaleSuite generates an UberRider corpus with at least `modules`
+// modules (476 reproduces the paper's flagship app).
+func NewScaleSuite(cfg pipeline.Config, modules int) *ScaleSuite {
+	scale := appgen.ScaleForModules(appgen.UberRider, modules)
+	return &ScaleSuite{cfg: cfg, mods: appgen.Generate(appgen.UberRider, scale)}
+}
+
+// Modules returns the corpus's module count.
+func (s *ScaleSuite) Modules() int { return len(s.mods) }
+
+// Lines returns the corpus's total source line count.
+func (s *ScaleSuite) Lines() int { return appgen.LineCount(s.mods) }
+
+// Close removes the shared primed cache directory.
+func (s *ScaleSuite) Close() {
+	if s.dir != "" {
+		os.RemoveAll(s.dir)
+		cache.Forget(s.dir)
+	}
+}
+
+// primed builds the corpus once into a private cache directory and returns
+// that directory; warm and edit benchmarks rebuild from it.
+func (s *ScaleSuite) primed() (string, error) {
+	s.prime.Do(func() {
+		dir, err := os.MkdirTemp("", "bench-scale-cache-")
+		if err != nil {
+			s.primeErr = err
+			return
+		}
+		s.dir = dir
+		c := s.cfg
+		c.CacheDir = dir
+		if _, err := appgen.BuildGenerated(s.mods, c); err != nil {
+			s.primeErr = err
+		}
+	})
+	return s.dir, s.primeErr
+}
+
+// Cold measures a first-ever build of the corpus: a brand-new cache
+// directory every iteration, artifact stores included.
+func (s *ScaleSuite) Cold() func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportMetric(float64(len(s.mods)), "modules")
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir, err := os.MkdirTemp("", "bench-scale-cold-")
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := s.cfg
+			c.CacheDir = dir
+			b.StartTimer()
+			res, err := appgen.BuildGenerated(s.mods, c)
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.CodeSize()), "code-bytes")
+			os.RemoveAll(dir)
+			cache.Forget(dir)
+			b.StartTimer()
+		}
+	}
+}
+
+// Warm measures a no-change rebuild from the shared primed cache and reports
+// the llir warm-hit rate of the timed iterations (it should be 100).
+func (s *ScaleSuite) Warm() func(*testing.B) {
+	return func(b *testing.B) {
+		dir, err := s.primed()
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr := obs.New()
+		c := s.cfg
+		c.CacheDir = dir
+		c.Tracer = tr
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := appgen.BuildGenerated(s.mods, c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.CodeSize()), "code-bytes")
+		}
+		b.StopTimer()
+		reportHitRate(b, tr.Counters())
+		b.ReportMetric(float64(len(s.mods)), "modules")
+	}
+}
+
+// Edit measures the paper-scale developer loop: one module's function body
+// changes, everything else must come out of the cache. Each iteration uses a
+// distinct edit (so it cannot hit entries stored by the previous iteration)
+// and the metrics report the llir warm-hit rate, which interface-scoped keys
+// keep at (modules-1)/modules.
+func (s *ScaleSuite) Edit() func(*testing.B) {
+	return func(b *testing.B) {
+		dir, err := s.primed()
+		if err != nil {
+			b.Fatal(err)
+		}
+		target := s.mods[len(s.mods)/2].Name // an arbitrary mid-corpus module
+		tr := obs.New()
+		c := s.cfg
+		c.CacheDir = dir
+		c.Tracer = tr
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			edited := appgen.EditBody(s.mods, target, fmt.Sprintf("bench-%d", i))
+			b.StartTimer()
+			res, err := appgen.BuildGenerated(edited, c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.CodeSize()), "code-bytes")
+		}
+		b.StopTimer()
+		counters := tr.Counters()
+		reportHitRate(b, counters)
+		b.ReportMetric(float64(counters["cache/llir/misses"])/float64(b.N), "llir-misses/op")
+		b.ReportMetric(float64(len(s.mods)), "modules")
+	}
+}
+
+// reportHitRate reports the llir stage's warm-hit percentage and the total
+// time spent computing cache keys across the timed iterations.
+func reportHitRate(b *testing.B, counters map[string]int64) {
+	if probes := counters["cache/llir/hits"] + counters["cache/llir/misses"]; probes > 0 {
+		b.ReportMetric(100*float64(counters["cache/llir/hits"])/float64(probes), "llir-warm-hit-%")
+	}
+	b.ReportMetric(float64(counters["cache/key_hash_ns"])/float64(b.N), "key-hash-ns/op")
 }
 
 // OutlineRounds measures repeated machine outlining in isolation over a

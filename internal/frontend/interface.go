@@ -1,0 +1,95 @@
+package frontend
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+)
+
+// InterfaceDigest hashes a module's exported interface: everything another
+// module can observe through Imports, and nothing else. That is exactly the
+// shape NewImports exposes — classes (name, fields in declaration order,
+// initializer signature, method signatures) and non-generic free functions
+// (name, parameters including argument labels, return type, throws). Function
+// bodies, source positions, and generic free functions (which never cross
+// module boundaries) are excluded, so a body-only edit leaves the digest
+// unchanged while any signature change alters it.
+//
+// Field order matters to importers (FieldIndex drives codegen offsets), so it
+// is hashed in declaration order; classes and functions themselves are hashed
+// in sorted-name order so the digest is independent of file order within the
+// module. A class without an explicit initializer is hashed with its
+// memberwise signature — the one ensureMemberwiseInit synthesizes — so the
+// digest does not depend on whether synthesis has run yet.
+func InterfaceDigest(files ...*File) string {
+	type classEnt struct {
+		name string
+		cd   *ClassDecl
+	}
+	type funcEnt struct {
+		name string
+		fn   *FuncDecl
+	}
+	var classes []classEnt
+	var funcs []funcEnt
+	for _, f := range files {
+		for _, cd := range f.Classes {
+			classes = append(classes, classEnt{cd.Name, cd})
+		}
+		for _, fn := range f.Funcs {
+			if len(fn.Generics) == 0 {
+				funcs = append(funcs, funcEnt{fn.Name, fn})
+			}
+		}
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i].name < classes[j].name })
+	sort.Slice(funcs, func(i, j int) bool { return funcs[i].name < funcs[j].name })
+
+	h := sha256.New()
+	buf := make([]byte, 0, 256)
+	emit := func(parts ...string) {
+		buf = buf[:0]
+		for _, p := range parts {
+			buf = append(buf, p...)
+			buf = append(buf, 0) // unambiguous separator
+		}
+		h.Write(buf)
+	}
+	emitSig := func(tag string, fn *FuncDecl) {
+		throws := "-"
+		if fn.Throws {
+			throws = "throws"
+		}
+		emit(tag, fn.Name, throws, fn.Ret.String())
+		for _, p := range fn.Params {
+			// Parameter names are argument labels at call sites, so they are
+			// part of the interface.
+			emit("p", p.Name, p.Type.String())
+		}
+	}
+	for _, e := range classes {
+		emit("class", e.name)
+		for _, fld := range e.cd.Fields {
+			emit("field", fld.Name, fld.Type.String())
+		}
+		if e.cd.Init != nil {
+			emitSig("init", e.cd.Init)
+		} else {
+			// Memberwise initializer: one parameter per field, non-throwing.
+			emit("init", "init", "-", VoidType.String())
+			for _, fld := range e.cd.Fields {
+				emit("p", fld.Name, fld.Type.String())
+			}
+		}
+		methods := make([]*FuncDecl, len(e.cd.Methods))
+		copy(methods, e.cd.Methods)
+		sort.Slice(methods, func(i, j int) bool { return methods[i].Name < methods[j].Name })
+		for _, m := range methods {
+			emitSig("method", m)
+		}
+	}
+	for _, e := range funcs {
+		emitSig("func", e.fn)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

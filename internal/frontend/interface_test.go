@@ -1,0 +1,188 @@
+package frontend
+
+import "testing"
+
+// digestOf parses one file and returns its interface digest.
+func digestOf(t *testing.T, src string) string {
+	t.Helper()
+	return InterfaceDigest(parse(t, src))
+}
+
+const digestBaseSrc = `
+class Point {
+  var x: Int
+  var y: Int
+  func dist() -> Int { return self.x * self.x + self.y * self.y }
+}
+func shift(p: Point, by: Int) -> Point { return Point(x: p.x + by, y: p.y + by) }
+`
+
+// A body-only edit — the incremental-build event the digest exists for —
+// must leave the digest unchanged, whether it rewrites statements, renames
+// locals, or only adds comments.
+func TestInterfaceDigestBodyInvariance(t *testing.T) {
+	base := digestOf(t, digestBaseSrc)
+	for name, src := range map[string]string{
+		"statement rewrite": `
+class Point {
+  var x: Int
+  var y: Int
+  func dist() -> Int { return 0 - (self.y + self.x) }
+}
+func shift(p: Point, by: Int) -> Point { return Point(x: 7, y: p.y) }
+`,
+		"renamed locals": `
+class Point {
+  var x: Int
+  var y: Int
+  func dist() -> Int { let a = self.x let b = self.y return a * a + b * b }
+}
+func shift(p: Point, by: Int) -> Point { let q = Point(x: p.x + by, y: p.y + by) return q }
+`,
+		"comments appended": digestBaseSrc + "\n// trailing comment\n",
+	} {
+		if got := digestOf(t, src); got != base {
+			t.Errorf("%s changed the digest", name)
+		}
+	}
+}
+
+// Any observable signature change must alter the digest: these are exactly
+// the edits after which importers must recompile.
+func TestInterfaceDigestSignatureSensitivity(t *testing.T) {
+	base := digestOf(t, digestBaseSrc)
+	for name, src := range map[string]string{
+		"renamed func": `
+class Point {
+  var x: Int
+  var y: Int
+  func dist() -> Int { return self.x * self.x + self.y * self.y }
+}
+func shifted(p: Point, by: Int) -> Point { return Point(x: p.x + by, y: p.y + by) }
+`,
+		"renamed param (argument label)": `
+class Point {
+  var x: Int
+  var y: Int
+  func dist() -> Int { return self.x * self.x + self.y * self.y }
+}
+func shift(p: Point, offset: Int) -> Point { return Point(x: p.x + offset, y: p.y + offset) }
+`,
+		"changed param type": `
+class Point {
+  var x: Int
+  var y: Int
+  func dist() -> Int { return self.x * self.x + self.y * self.y }
+}
+func shift(p: Point, by: String) -> Point { return Point(x: p.x + by.count, y: p.y) }
+`,
+		"changed return type": `
+class Point {
+  var x: Int
+  var y: Int
+  func dist() -> Int { return self.x * self.x + self.y * self.y }
+}
+func shift(p: Point, by: Int) -> Int { return p.x + by }
+`,
+		"became throwing": `
+class Point {
+  var x: Int
+  var y: Int
+  func dist() -> Int { return self.x * self.x + self.y * self.y }
+}
+func shift(p: Point, by: Int) throws -> Point { return Point(x: p.x + by, y: p.y + by) }
+`,
+		"added free func": digestBaseSrc + "\nfunc extra() -> Int { return 1 }\n",
+		"added field": `
+class Point {
+  var x: Int
+  var y: Int
+  var z: Int
+  func dist() -> Int { return self.x * self.x + self.y * self.y }
+}
+func shift(p: Point, by: Int) -> Point { return Point(x: p.x + by, y: p.y + by, z: 0) }
+`,
+		"reordered fields": `
+class Point {
+  var y: Int
+  var x: Int
+  func dist() -> Int { return self.x * self.x + self.y * self.y }
+}
+func shift(p: Point, by: Int) -> Point { return Point(y: p.y + by, x: p.x + by) }
+`,
+		"renamed method": `
+class Point {
+  var x: Int
+  var y: Int
+  func dist2() -> Int { return self.x * self.x + self.y * self.y }
+}
+func shift(p: Point, by: Int) -> Point { return Point(x: p.x + by, y: p.y + by) }
+`,
+		"explicit init over memberwise": `
+class Point {
+  var x: Int
+  var y: Int
+  init(scale: Int) { self.x = scale self.y = scale }
+  func dist() -> Int { return self.x * self.x + self.y * self.y }
+}
+func shift(p: Point, by: Int) -> Point { return Point(scale: by) }
+`,
+	} {
+		if got := digestOf(t, src); got == base {
+			t.Errorf("%s did not change the digest", name)
+		}
+	}
+}
+
+// Generic free functions never cross module boundaries (they are compiled
+// per instantiation inside their own module), so they are not interface.
+func TestInterfaceDigestExcludesGenericFuncs(t *testing.T) {
+	withGeneric := digestBaseSrc + "\nfunc twice<T>(v: T) -> T { return v }\n"
+	if digestOf(t, withGeneric) != digestOf(t, digestBaseSrc) {
+		t.Fatal("generic free func changed the digest; generics never cross module boundaries")
+	}
+}
+
+// The digest must not depend on which file of the module declares what, nor
+// on file order: Imports exposes a flat module-wide namespace.
+func TestInterfaceDigestFileOrderInvariance(t *testing.T) {
+	a := parse(t, "func alpha(x: Int) -> Int { return x }\n")
+	b := parse(t, "class Box { var v: Int }\nfunc beta() -> Int { return 2 }\n")
+	if InterfaceDigest(a, b) != InterfaceDigest(b, a) {
+		t.Fatal("digest depends on file order")
+	}
+}
+
+// A class with no explicit initializer must hash identically before and
+// after ensureMemberwiseInit synthesizes one: llir cache keys are computed
+// from freshly parsed files, whose ASTs may or may not have been through
+// semantic analysis yet.
+func TestInterfaceDigestMemberwiseInitNormalization(t *testing.T) {
+	const src = `
+class Box {
+  var v: Int
+  var tag: String
+}
+`
+	fresh := digestOf(t, src)
+	analyzed := parse(t, src)
+	if _, err := Check("M", analyzed); err != nil {
+		t.Fatal(err)
+	}
+	if analyzed.Classes[0].Init == nil {
+		t.Fatal("Check did not synthesize a memberwise init; the test no longer exercises normalization")
+	}
+	if InterfaceDigest(analyzed) != fresh {
+		t.Fatal("digest changed after memberwise-init synthesis")
+	}
+}
+
+// The digest is part of persistent cache keys, so it must be stable across
+// process restarts and releases: pin it. If this golden value changes, bump
+// artifact.SchemaVersion — old cache entries were keyed with the old digest.
+func TestInterfaceDigestGolden(t *testing.T) {
+	const want = "000bf78af523dbb020883568583ef95fcc455fc2a432f8082085b256af6810eb"
+	if got := digestOf(t, digestBaseSrc); got != want {
+		t.Fatalf("digest drifted: got %s want %s", got, want)
+	}
+}

@@ -23,6 +23,13 @@ type Program struct {
 type Imports struct {
 	Classes map[string]*ClassDecl
 	Funcs   map[string]*FuncDecl
+
+	// Views handed out by ImportsIndex.For share the maps of the whole-build
+	// index; owner tags hide the viewing module's own declarations. All three
+	// fields are zero for sets built by NewImports (no exclusion).
+	classOwner map[string]int
+	funcOwner  map[string]int
+	exclude    int
 }
 
 // NewImports builds an import set from previously parsed modules' files.
@@ -77,14 +84,15 @@ func CheckModule(module string, imports *Imports, files ...*File) (*Program, err
 			Classes: make(map[string]*ClassDecl),
 			Funcs:   make(map[string]*FuncDecl),
 		},
-		generics: make(map[string]*FuncDecl),
-		imports:  imports,
+		generics:        make(map[string]*FuncDecl),
+		imports:         imports,
+		importedClasses: make(map[string]bool),
 	}
 	if imports != nil {
-		for name, cd := range imports.Classes {
+		imports.EachClass(func(name string, cd *ClassDecl) {
 			c.prog.Classes[name] = cd
-			c.importedClasses = append(c.importedClasses, name)
-		}
+			c.importedClasses[name] = true
+		})
 	}
 	if err := c.collect(files); err != nil {
 		return nil, err
@@ -141,7 +149,7 @@ type checker struct {
 	imports  *Imports
 	// importedClasses tracks classes that came from imports: visible for
 	// typing, but their inits/methods are compiled by their home module.
-	importedClasses []string
+	importedClasses map[string]bool
 }
 
 // importedFunc resolves a free function from the import set.
@@ -149,17 +157,12 @@ func (c *checker) importedFunc(name string) *FuncDecl {
 	if c.imports == nil {
 		return nil
 	}
-	return c.imports.Funcs[name]
+	return c.imports.Func(name)
 }
 
 // classIsImported reports whether name came from imports.
 func (c *checker) classIsImported(name string) bool {
-	for _, n := range c.importedClasses {
-		if n == name {
-			return true
-		}
-	}
-	return false
+	return c.importedClasses[name]
 }
 
 func (c *checker) errf(line int, format string, args ...any) error {

@@ -84,6 +84,10 @@ func (t *Tracer) WriteSummary(w io.Writer) error {
 			probes, hits, counters["cache/misses"],
 			100*float64(hits)/float64(probes),
 			counters["cache/bytes_read"], counters["cache/bytes_written"])
+		if ns := counters["cache/key_hash_ns"]; ns > 0 {
+			fmt.Fprintf(w, "cache keys: %s hashing sources and interface digests\n",
+				time.Duration(ns).Round(time.Microsecond))
+		}
 	}
 
 	// The resilience scoreboard: what the build survived or degraded over —

@@ -46,8 +46,9 @@ func Analyze(prog *mir.Program, opts Options) []Pattern {
 
 	spSensitive := spSensitiveFuncs(prog)
 	var patterns []Pattern
+	var ls laneScratch
 	tree.ForEachRepeat(opts.MinLength, 2, func(r suffixtree.Repeat) {
-		set, reject := buildSet(prog, m, r, liveness, spSensitive, opts)
+		set, reject := buildSet(prog, m, r, liveness, spSensitive, opts, &ls)
 		if reject != "" {
 			return
 		}

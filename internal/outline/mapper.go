@@ -29,6 +29,12 @@ type mapping struct {
 
 	// insts holds the canonical instruction for each non-negative symbol.
 	insts []isa.Inst
+	// idByInst interns instructions to symbols. It persists across remap
+	// calls together with insts: an instruction keeps its symbol from round
+	// to round, so repeated outlining rounds skip re-interning the (mostly
+	// unchanged) program. Symbol values don't matter to the suffix tree —
+	// only equality does — and interning order stays deterministic.
+	idByInst map[isa.Inst]int
 }
 
 // legalForOutlining reports whether the mapper may give in a shared symbol.
@@ -60,17 +66,28 @@ func legalForOutlining(in isa.Inst) bool {
 // cascade the paper's Figure 11 illustrates.
 func mapProgram(prog *mir.Program) *mapping {
 	m := &mapping{}
-	idByInst := make(map[isa.Inst]int)
+	m.remap(prog)
+	return m
+}
+
+// remap rebuilds the flattened view in place, reusing str/locs storage and
+// the persistent intern table from the previous round.
+func (m *mapping) remap(prog *mir.Program) {
+	m.str = m.str[:0]
+	m.locs = m.locs[:0]
+	if m.idByInst == nil {
+		m.idByInst = make(map[isa.Inst]int)
+	}
 	sentinel := -1
 	for fi, f := range prog.Funcs {
 		for bi, b := range f.Blocks {
 			for ii, in := range b.Insts {
 				l := loc{fn: fi, block: bi, inst: ii}
 				if legalForOutlining(in) {
-					id, ok := idByInst[in]
+					id, ok := m.idByInst[in]
 					if !ok {
 						id = len(m.insts)
-						idByInst[in] = id
+						m.idByInst[in] = id
 						m.insts = append(m.insts, in)
 					}
 					m.str = append(m.str, id)
@@ -87,7 +104,6 @@ func mapProgram(prog *mir.Program) *mapping {
 			sentinel--
 		}
 	}
-	return m
 }
 
 // instsAt returns the instruction sequence covered by [start, start+n) of

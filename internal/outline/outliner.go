@@ -336,11 +336,15 @@ type repeatResult struct {
 	reject string
 }
 
-// scratch holds outlineOnce's round-local slices so round one's allocations
-// serve every later round of the same Outline call. Rounds shrink the
-// program, so the first round's capacities are the high-water mark and later
-// rounds allocate (almost) nothing.
+// scratch holds outlineOnce's round-local state so round one's allocations
+// serve every later round of the same Outline call: the flattened mapping
+// (with its persistent instruction-intern table), the suffix-tree builder's
+// arena, per-lane candidate buffers, and the block-splice buffer all carry
+// over. Rounds shrink the program, so the first round's capacities are the
+// high-water mark and later rounds allocate (almost) nothing.
 type scratch struct {
+	m        mapping
+	stb      suffixtree.Builder
 	repeats  []suffixtree.Repeat
 	needLive []bool
 	byRepeat []repeatResult
@@ -348,6 +352,67 @@ type scratch struct {
 	used     []bool
 	edits    []edit
 	newFuncs []*mir.Function
+	lanes    []laneScratch
+	blockBuf []isa.Inst
+}
+
+// laneScratch is one analysis worker's reusable storage: the sorted-starts
+// buffer, the occurrence staging buffer, and chunked arenas for the candidate
+// sets and occurrence lists that outlive buildSet. Chunks are recycled across
+// rounds (reset rewinds the cursors), so steady-state candidate analysis
+// allocates nothing. Chunked (rather than appended) storage keeps previously
+// returned pointers stable while the arena grows.
+type laneScratch struct {
+	starts  []int
+	candTmp []candidate
+
+	setChunks  [][]candSet
+	si, sj     int
+	candChunks [][]candidate
+	ci, cj     int
+}
+
+const (
+	setChunkLen  = 256
+	candChunkLen = 4096
+)
+
+func (ls *laneScratch) reset() { ls.si, ls.sj, ls.ci, ls.cj = 0, 0, 0, 0 }
+
+// newSet returns a zeroed candSet from the arena.
+func (ls *laneScratch) newSet() *candSet {
+	if ls.si == len(ls.setChunks) {
+		ls.setChunks = append(ls.setChunks, make([]candSet, setChunkLen))
+	}
+	s := &ls.setChunks[ls.si][ls.sj]
+	*s = candSet{}
+	if ls.sj++; ls.sj == setChunkLen {
+		ls.si, ls.sj = ls.si+1, 0
+	}
+	return s
+}
+
+// saveCands copies the staged occurrence list into the arena. The returned
+// slice has exact capacity, so the greedy loop's in-place pruning
+// (cands[:0] + append) can never write past it into a neighbour.
+func (ls *laneScratch) saveCands(tmp []candidate) []candidate {
+	n := len(tmp)
+	if n == 0 {
+		return nil
+	}
+	if n > candChunkLen {
+		return append([]candidate(nil), tmp...)
+	}
+	if ls.ci < len(ls.candChunks) && candChunkLen-ls.cj < n {
+		ls.ci, ls.cj = ls.ci+1, 0
+	}
+	if ls.ci == len(ls.candChunks) {
+		ls.candChunks = append(ls.candChunks, make([]candidate, candChunkLen))
+	}
+	dst := ls.candChunks[ls.ci][ls.cj : ls.cj+n : ls.cj+n]
+	copy(dst, tmp)
+	ls.cj += n
+	return dst
 }
 
 // zeroedBools returns a false-filled []bool of length n, reusing s's backing
@@ -368,11 +433,12 @@ func outlineOnce(prog *mir.Program, opts Options, counter *int, round int, sc *s
 	remarks := tr.RemarksEnabled()
 	var rs RoundStats
 	var rems []obs.Remark
-	m := mapProgram(prog)
+	sc.m.remap(prog)
+	m := &sc.m
 	if len(m.str) == 0 {
 		return rs, nil, nil
 	}
-	tree := suffixtree.New(m.str)
+	tree := sc.stb.Build(m.str)
 	tr.Add("outline/suffixtree/nodes", int64(tree.NodeCount()))
 
 	// Collect every repeat first (suffix-tree order is deterministic), then
@@ -411,8 +477,16 @@ func outlineOnce(prog *mir.Program, opts Options, counter *int, round int, sc *s
 		sc.byRepeat = make([]repeatResult, len(repeats))
 	}
 	byRepeat := sc.byRepeat[:len(repeats)]
-	par.Do(opts.Parallelism, len(repeats), func(i int) {
-		set, reject := buildSet(prog, m, repeats[i], liveness, spSensitive, opts)
+	if lanes := par.Workers(opts.Parallelism, len(repeats)); cap(sc.lanes) < lanes {
+		sc.lanes = make([]laneScratch, lanes)
+	} else {
+		sc.lanes = sc.lanes[:lanes]
+		for i := range sc.lanes {
+			sc.lanes[i].reset()
+		}
+	}
+	par.DoLanes(opts.Parallelism, len(repeats), func(lane, i int) {
+		set, reject := buildSet(prog, m, repeats[i], liveness, spSensitive, opts, &sc.lanes[lane])
 		byRepeat[i] = repeatResult{set, reject}
 	})
 	// Collect in repeat (suffix-tree) order: both the greedy input and the
@@ -503,7 +577,7 @@ func outlineOnce(prog *mir.Program, opts Options, counter *int, round int, sc *s
 	tr.Add("outline/candidates/selected", int64(rs.FunctionsCreated))
 	tr.Add("outline/candidates/rejected", int64(len(repeats)-rs.FunctionsCreated))
 
-	applyEdits(prog, edits)
+	applyEdits(prog, edits, &sc.blockBuf)
 	for _, fn := range newFuncs {
 		prog.AddFunc(fn)
 	}
@@ -516,10 +590,15 @@ func outlineOnce(prog *mir.Program, opts Options, counter *int, round int, sc *s
 // A non-empty reject reason means the set can never be profitably outlined;
 // the partially-built set is still returned so the decision can be reported
 // as a remark. spSensitive lists outlined functions whose execution depends
-// on SP pointing at the original frame (see spSensitiveFuncs).
-func buildSet(prog *mir.Program, m *mapping, r suffixtree.Repeat, liveness func(int) *mir.Liveness, spSensitive map[string]bool, opts Options) (*candSet, string) {
+// on SP pointing at the original frame (see spSensitiveFuncs). ls is the
+// calling worker's reusable storage: the returned set and its occurrence
+// list live in ls's arenas (valid until its next reset), and the sorted
+// occurrence list is staged in ls.starts — r.Starts aliases suffix-tree
+// storage shared between repeats and must not be sorted in place.
+func buildSet(prog *mir.Program, m *mapping, r suffixtree.Repeat, liveness func(int) *mir.Liveness, spSensitive map[string]bool, opts Options, ls *laneScratch) (*candSet, string) {
 	seq := m.instsAt(prog, r.Starts[0], r.Length)
-	set := &candSet{seq: seq}
+	set := ls.newSet()
+	set.seq = seq
 	for _, in := range seq {
 		set.seqBytes += in.Size()
 		if in.ReadsSP() {
@@ -567,8 +646,10 @@ func buildSet(prog *mir.Program, m *mapping, r suffixtree.Repeat, liveness func(
 	}
 
 	// Sort and de-overlap occurrences (e.g. "AAAA" matching "AA" at 0,1,2).
-	starts := append([]int(nil), r.Starts...)
+	starts := append(ls.starts[:0], r.Starts...)
 	sort.Ints(starts)
+	ls.starts = starts
+	tmp := ls.candTmp[:0]
 	lastEnd := -1
 	for _, st := range starts {
 		if st < lastEnd {
@@ -585,9 +666,11 @@ func buildSet(prog *mir.Program, m *mapping, r suffixtree.Repeat, liveness func(
 				continue
 			}
 		}
-		set.cands = append(set.cands, c)
+		tmp = append(tmp, c)
 		lastEnd = st + r.Length
 	}
+	ls.candTmp = tmp
+	set.cands = ls.saveCands(tmp)
 	set.ben = set.benefit()
 	if len(set.cands) < 2 {
 		return set, "too-few-occurrences"
@@ -683,10 +766,12 @@ type edit struct {
 	repl   []isa.Inst
 }
 
-// applyEdits splices all replacements. Edits never overlap; applying each
-// block's edits from the highest instruction index down keeps earlier edits'
-// indices valid.
-func applyEdits(prog *mir.Program, edits []edit) {
+// applyEdits splices all replacements. Edits never overlap, so each touched
+// block is rebuilt exactly once: its edits (ascending) interleave with the
+// untouched runs between them into buf, which is then copied back over the
+// block. One pass per block replaces the per-edit tail copies that dominated
+// allocation at scale.
+func applyEdits(prog *mir.Program, edits []edit, buf *[]isa.Inst) {
 	sort.Slice(edits, func(i, j int) bool {
 		a, b := edits[i].where, edits[j].where
 		if a.fn != b.fn {
@@ -695,11 +780,26 @@ func applyEdits(prog *mir.Program, edits []edit) {
 		if a.block != b.block {
 			return a.block < b.block
 		}
-		return a.inst > b.inst // descending within a block
+		return a.inst < b.inst
 	})
-	for _, e := range edits {
-		blk := prog.Funcs[e.where.fn].Blocks[e.where.block]
-		tail := append([]isa.Inst(nil), blk.Insts[e.where.inst+e.length:]...)
-		blk.Insts = append(blk.Insts[:e.where.inst], append(e.repl, tail...)...)
+	for i := 0; i < len(edits); {
+		j := i
+		for j < len(edits) &&
+			edits[j].where.fn == edits[i].where.fn &&
+			edits[j].where.block == edits[i].where.block {
+			j++
+		}
+		blk := prog.Funcs[edits[i].where.fn].Blocks[edits[i].where.block]
+		out := (*buf)[:0]
+		pos := 0
+		for _, e := range edits[i:j] {
+			out = append(out, blk.Insts[pos:e.where.inst]...)
+			out = append(out, e.repl...)
+			pos = e.where.inst + e.length
+		}
+		out = append(out, blk.Insts[pos:]...)
+		*buf = out
+		blk.Insts = append(blk.Insts[:0], out...)
+		i = j
 	}
 }

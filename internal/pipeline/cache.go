@@ -3,6 +3,7 @@ package pipeline
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"outliner/internal/artifact"
 	"outliner/internal/cache"
@@ -23,8 +24,10 @@ import (
 //
 //   - stage "llir" (both pipelines): the lowered LLIR module produced by the
 //     per-module frontend→SIL→LLIR stage. Input: the module's own sources
-//     plus a dependency hash over every other module's sources (imports
-//     expose their declarations). Config: only the fields that stage reads —
+//     plus every other module's exported-interface digest (imports expose
+//     declarations, not bodies — see frontend.InterfaceDigest), so a
+//     body-only edit in one module leaves every other module's entry valid.
+//     Config: only the fields that stage reads —
 //     SILOutline, SpecializeClosures, Verify — so builds differing in
 //     backend-only knobs (outlining rounds, merge passes, pipeline choice)
 //     share frontend artifacts.
@@ -85,19 +88,32 @@ func SourceHash(src Source) string {
 	return h.Sum()
 }
 
-// importsHash is the dependency fingerprint of module self: the source
-// hashes of every other module, in module order. Coarse by design — any
-// edit anywhere invalidates every module's frontend artifact — because a
-// module type-checks against the declarations of all other modules; scoping
-// the hash to exported interfaces is future work (see DESIGN.md).
-func importsHash(self int, moduleHashes []string) string {
-	h := cache.NewHasher()
-	for j, mh := range moduleHashes {
-		if j != self {
-			h.WriteString(mh)
-		}
+// ModuleKeys holds the per-module digests one build's key computations
+// share: each module's source content is hashed exactly once, and each
+// module's exported interface is digested exactly once, no matter how many
+// importers fold them into their keys.
+type ModuleKeys struct {
+	// Src[i] is SourceHash of module i — the full content fingerprint.
+	Src []string
+	// Iface[i] is frontend.InterfaceDigest of module i's parsed files — the
+	// dependency fingerprint importers see. Body edits leave it unchanged.
+	Iface []string
+}
+
+// ComputeModuleKeys derives the build's shared digest table from the
+// already-parsed modules. The cost is recorded under cache/key_hash_ns.
+func ComputeModuleKeys(sources []Source, parsed [][]*frontend.File, tr *obs.Tracer) *ModuleKeys {
+	start := time.Now()
+	keys := &ModuleKeys{
+		Src:   make([]string, len(sources)),
+		Iface: make([]string, len(sources)),
 	}
-	return h.Sum()
+	for i, src := range sources {
+		keys.Src[i] = SourceHash(src)
+		keys.Iface[i] = frontend.InterfaceDigest(parsed[i]...)
+	}
+	tr.Add("cache/key_hash_ns", time.Since(start).Nanoseconds())
+	return keys
 }
 
 // llirFingerprint covers exactly the Config fields the frontend→LLIR stage
@@ -137,12 +153,19 @@ func faultFingerprint(cfg Config) string {
 	return " fault=" + cfg.Fault.String()
 }
 
-func (bc *BuildCache) llirKey(self int, moduleHashes []string, cfg Config) cache.Key {
+// llirKey scopes module self's dependency fingerprint to its imports'
+// exported interfaces: the input hash covers self's own sources in full plus
+// only the interface digests of the other modules, in module order.
+func (bc *BuildCache) llirKey(self int, keys *ModuleKeys, cfg Config) cache.Key {
+	h := cache.NewHasher().WriteString(keys.Src[self])
+	for j, d := range keys.Iface {
+		if j != self {
+			h.WriteString(d)
+		}
+	}
 	return cache.Key{
-		Stage: "llir",
-		Input: cache.NewHasher().
-			WriteString(moduleHashes[self]).
-			WriteString(importsHash(self, moduleHashes)).Sum(),
+		Stage:  "llir",
+		Input:  h.Sum(),
 		Config: llirFingerprint(cfg),
 		Schema: artifact.SchemaVersion,
 	}
@@ -227,16 +250,18 @@ func (bc *BuildCache) decodeFault(key cache.Key) error {
 
 // CompileToLLIRCached is CompileToLLIR behind the build cache: on a hit the
 // stored module is decoded instead of recompiled; on a miss (or a corrupted
-// entry) the module is compiled and published. moduleHashes[i] must be
-// SourceHash of module i and self the index of src. Cold and warm paths
+// entry) the module is compiled and published. keys must be the build's
+// ComputeModuleKeys table and self the index of src. Cold and warm paths
 // yield structurally identical modules, so the built image is byte-identical
 // either way.
-func (bc *BuildCache) CompileToLLIRCached(src Source, cfg Config, imports *frontend.Imports, self int, moduleHashes []string, lane int) (*llir.Module, error) {
+func (bc *BuildCache) CompileToLLIRCached(src Source, cfg Config, imports *frontend.Imports, self int, keys *ModuleKeys, lane int) (*llir.Module, error) {
 	if !bc.enabled() {
 		return CompileToLLIR(src, cfg, imports)
 	}
 	tr := cfg.Tracer
-	key := bc.llirKey(self, moduleHashes, cfg)
+	keyStart := time.Now()
+	key := bc.llirKey(self, keys, cfg)
+	tr.Add("cache/key_hash_ns", time.Since(keyStart).Nanoseconds())
 	sp := tr.StartSpan("cache llir "+src.Name, lane)
 	cacheProbe(tr, "llir")
 	data, ok, pr := bc.c.GetProbe(key)

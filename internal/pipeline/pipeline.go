@@ -284,41 +284,41 @@ func Build(sources []Source, cfg Config) (res *Result, err error) {
 	mark := tr.Mark()
 	front := tr.StartStage("frontend+permodule", 0)
 
-	// Parse everything once and build per-module import sets. Import
-	// construction stays serial: the sets share AST nodes across modules,
-	// and NewImports synthesizes missing memberwise initializers in place,
-	// so building them concurrently would race. After this point the
-	// imported declarations are only read. Under KeepGoing every module is
-	// still parsed (and every parse error reported), but a parse failure
-	// remains fatal: import sets need all modules' declarations.
-	parsed := make([][]*frontend.File, len(sources))
-	var parseErrs []error
-	for i, src := range sources {
-		files, perr := ParseSource(src)
+	// Parse every module in parallel, then build the whole-build import index
+	// serially: the index shares AST nodes across modules and synthesizes
+	// missing memberwise initializers in place, so it is constructed once
+	// before workers start; after this point the imported declarations are
+	// only read. Under KeepGoing every module is still parsed (and every
+	// parse error reported), but a parse failure remains fatal: the import
+	// index needs all modules' declarations.
+	parseModule := func(lane, i int) ([]*frontend.File, error) {
+		cfg.Fault.MaybePanic(fault.WorkerTask, "parse "+sources[i].Name)
+		files, perr := ParseSource(sources[i])
 		if perr != nil {
-			perr = fmt.Errorf("pipeline: module %s: %w", src.Name, perr)
-			if cfg.KeepGoing {
-				parseErrs = append(parseErrs, perr)
-				continue
-			}
-			front.End()
-			return nil, perr
+			return nil, fmt.Errorf("pipeline: module %s: %w", sources[i].Name, perr)
 		}
-		parsed[i] = files
+		return files, nil
 	}
-	if len(parseErrs) > 0 {
-		front.End()
-		return nil, gatherKeepGoing(tr, parseErrs)
+	var parsed [][]*frontend.File
+	if cfg.KeepGoing {
+		var errs []error
+		parsed, errs = par.MapAllLanesStage("parse", cfg.Parallelism, len(sources), parseModule)
+		if kerr := gatherKeepGoing(tr, errs); kerr != nil {
+			front.End()
+			return nil, kerr
+		}
+	} else {
+		parsed, err = par.MapLanesStage("parse", cfg.Parallelism, len(sources), parseModule)
+		if err != nil {
+			front.End()
+			notePanics(tr, err)
+			return nil, err
+		}
 	}
+	ix := frontend.NewImportsIndex(parsed...)
 	imports := make([]*frontend.Imports, len(sources))
 	for i := range sources {
-		var others []*frontend.File
-		for j, files := range parsed {
-			if j != i {
-				others = append(others, files...)
-			}
-		}
-		imports[i] = frontend.NewImports(others...)
+		imports[i] = ix.For(i)
 	}
 
 	bc, err := OpenBuildCache(cfg)
@@ -326,12 +326,9 @@ func Build(sources []Source, cfg Config) (res *Result, err error) {
 		front.End()
 		return nil, err
 	}
-	var moduleHashes []string
+	var keys *ModuleKeys
 	if bc != nil {
-		moduleHashes = make([]string, len(sources))
-		for i, src := range sources {
-			moduleHashes[i] = SourceHash(src)
-		}
+		keys = ComputeModuleKeys(sources, parsed, tr)
 	}
 
 	// Each module compiles to LLIR independently given its import set
@@ -342,7 +339,7 @@ func Build(sources []Source, cfg Config) (res *Result, err error) {
 		cfg.Fault.MaybePanic(fault.WorkerTask, sources[i].Name)
 		sp := tr.StartSpan("frontend "+sources[i].Name, lane+1)
 		defer sp.End()
-		lm, lerr := bc.CompileToLLIRCached(sources[i], cfg, imports[i], i, moduleHashes, lane+1)
+		lm, lerr := bc.CompileToLLIRCached(sources[i], cfg, imports[i], i, keys, lane+1)
 		if lerr != nil {
 			return nil, fmt.Errorf("pipeline: module %s: %w", sources[i].Name, lerr)
 		}

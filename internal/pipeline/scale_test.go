@@ -1,0 +1,158 @@
+package pipeline_test
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+	"testing"
+
+	"outliner/internal/appgen"
+	"outliner/internal/cache"
+	"outliner/internal/obs"
+	"outliner/internal/pipeline"
+)
+
+// scaleModules is the corpus size for the invalidation-precision tests. The
+// default is CI-sized but still large enough that the ≥99% warm-hit-rate
+// acceptance bound is meaningful (it needs ≥101 modules); the nightly
+// paper-scale job sets SCALE_MODULES=476 to run them at the paper's size.
+func scaleModules(t *testing.T) int {
+	t.Helper()
+	if env := os.Getenv("SCALE_MODULES"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil {
+			t.Fatalf("SCALE_MODULES=%q: %v", env, err)
+		}
+		return n
+	}
+	return 120
+}
+
+// scaleCorpus generates an UberRider corpus with at least n modules.
+func scaleCorpus(t *testing.T, n int) []appgen.Module {
+	t.Helper()
+	return appgen.Generate(appgen.UberRider, appgen.ScaleForModules(appgen.UberRider, n))
+}
+
+// buildScaled builds a generated corpus and returns its counters.
+func buildScaled(t *testing.T, mods []appgen.Module, cfg pipeline.Config) map[string]int64 {
+	t.Helper()
+	tr := obs.New()
+	cfg.Tracer = tr
+	if _, err := appgen.BuildGenerated(mods, cfg); err != nil {
+		t.Fatalf("BuildGenerated: %v", err)
+	}
+	return tr.Counters()
+}
+
+// The headline incremental-build property at paper scale: editing one
+// module's function bodies re-lowers only that module. Every other module's
+// llir key — its own source hash plus the other modules' exported-interface
+// digests — is unchanged, so the warm hit rate of the rebuild is
+// (modules-1)/modules ≥ 99%.
+func TestScaleBodyEditWarmHitRate(t *testing.T) {
+	mods := scaleCorpus(t, scaleModules(t))
+	dir := t.TempDir()
+	defer cache.Forget(dir)
+	cfg := pipeline.Default
+	cfg.CacheDir = dir
+
+	cold := buildScaled(t, mods, cfg)
+	if cold["cache/llir/misses"] != int64(len(mods)) || cold["cache/llir/hits"] != 0 {
+		t.Fatalf("cold build counters: %+v", cold)
+	}
+
+	target := mods[len(mods)/2].Name
+	edited := appgen.EditBody(mods, target, "warm-hit-test")
+	counters := buildScaled(t, edited, cfg)
+	hits, misses := counters["cache/llir/hits"], counters["cache/llir/misses"]
+	if misses != 1 || hits != int64(len(mods))-1 {
+		t.Fatalf("body edit of %s: llir hits=%d misses=%d, want %d/1",
+			target, hits, misses, len(mods)-1)
+	}
+	if rate := float64(hits) / float64(hits+misses); rate < 0.99 {
+		t.Fatalf("warm hit rate %.4f < 0.99 after a one-module body edit", rate)
+	}
+	if counters["cache/key_hash_ns"] == 0 {
+		t.Fatal("cache/key_hash_ns not recorded")
+	}
+}
+
+// The converse precision property: editing a module's exported interface
+// (here: adding an exported function) must rebuild its importers. SwiftLite
+// modules import every other module's exports, so all llir entries miss —
+// nothing is allowed to serve a stale view of the changed interface.
+func TestScaleInterfaceEditRebuildsImporters(t *testing.T) {
+	mods := scaleCorpus(t, 40)
+	dir := t.TempDir()
+	defer cache.Forget(dir)
+	cfg := pipeline.Default
+	cfg.CacheDir = dir
+	buildScaled(t, mods, cfg)
+
+	target := mods[len(mods)/2].Name
+	edited := appgen.EditInterface(mods, target, "iface")
+	counters := buildScaled(t, edited, cfg)
+	if counters["cache/llir/hits"] != 0 || counters["cache/llir/misses"] != int64(len(mods)) {
+		t.Fatalf("interface edit of %s: llir hits=%d misses=%d, want 0/%d",
+			target, counters["cache/llir/hits"], counters["cache/llir/misses"], len(mods))
+	}
+}
+
+// Module keys are deterministic across parallelism levels and process
+// restarts: a corpus built cold at -j4 must warm-hit completely at -j1 from
+// the disk tier (the memory tier is dropped to simulate a new process), and
+// every build of the same corpus — uncached, cold, or warm — must produce a
+// byte-identical image. Runs on the pristine corpus and on a body-edited one.
+func TestScaleDeterminismAcrossParallelismAndRestart(t *testing.T) {
+	mods := scaleCorpus(t, 40)
+	for name, corpus := range map[string][]appgen.Module{
+		"pristine": mods,
+		"edited":   appgen.EditBody(mods, mods[3].Name, "determinism"),
+	} {
+		t.Run(name, func(t *testing.T) {
+			listing := func(cfg pipeline.Config) (string, map[string]int64) {
+				tr := obs.New()
+				cfg.Tracer = tr
+				res, err := appgen.BuildGenerated(corpus, cfg)
+				if err != nil {
+					t.Fatalf("BuildGenerated: %v", err)
+				}
+				var buf bytes.Buffer
+				if err := res.WriteImageListing(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return buf.String(), tr.Counters()
+			}
+			cfg := pipeline.Default
+			cfg.Parallelism = 1
+			ref, _ := listing(cfg)
+
+			dir := t.TempDir()
+			defer cache.Forget(dir)
+			cold := cfg
+			cold.CacheDir = dir
+			cold.Parallelism = 4
+			if got, _ := listing(cold); got != ref {
+				t.Fatal("cold -j4 cached build differs from uncached -j1 build")
+			}
+
+			c, err := cache.Shared(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.DropMemory() // a fresh process would see only the disk tier
+
+			warm := cfg
+			warm.CacheDir = dir
+			warm.Parallelism = 1
+			got, counters := listing(warm)
+			if got != ref {
+				t.Fatal("disk-warm -j1 build differs from uncached -j1 build")
+			}
+			if counters["cache/misses"] != 0 || counters["cache/hits"] != counters["cache/probes"] {
+				t.Fatalf("keys drifted across -j or restart: %+v", counters)
+			}
+		})
+	}
+}

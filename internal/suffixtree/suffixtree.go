@@ -4,64 +4,113 @@
 // machine instruction to an integer (identical instructions share an integer,
 // un-outlinable instructions get fresh sentinels) and asks the tree for every
 // repeated substring together with all of its occurrences.
+//
+// Construction goes through a Builder so the outliner can amortize storage
+// across rounds: nodes live in one slab, children live in a flat
+// open-addressed edge table instead of a map per node, and every buffer is
+// reused by the next Build. Inputs are limited to 2³¹−1 symbols (node fields
+// are int32) — far beyond any whole-program instruction string.
 package suffixtree
 
 import "sort"
 
 const (
-	noNode  = -1
-	leafEnd = -2 // sentinel edge end meaning "grows with the string"
+	noNode  = int32(-1)
+	leafEnd = int32(-2) // sentinel edge end meaning "grows with the string"
 )
 
 type node struct {
-	start int // edge label is s[start:end)
-	end   int // leafEnd for leaves while building
-	link  int // suffix link
-	// children maps the first symbol of an outgoing edge to the child node.
-	children map[int]int
+	start int32 // edge label is s[start:end)
+	end   int32 // leafEnd for leaves while building
+	link  int32 // suffix link
+
+	// Filled in by groupEdges(): this node's outgoing edges are
+	// edges[edgeLo:edgeHi), sorted by first symbol. Equal means leaf.
+	edgeLo, edgeHi int32
 
 	// Filled in by annotate():
-	depth    int // string depth (length of the substring this node spells)
-	leafLo   int // [leafLo, leafHi) into leafStarts: leaves beneath this node
-	leafHi   int
-	suffixIx int // for leaves: starting index of the suffix; -1 otherwise
+	depth    int32 // string depth (length of the substring this node spells)
+	leafLo   int32 // [leafLo, leafHi) into leafStarts: leaves beneath this node
+	leafHi   int32
+	suffixIx int32 // for leaves: starting index of the suffix; -1 otherwise
 }
 
-// Tree is an immutable suffix tree over an int slice.
-type Tree struct {
-	s     []int
-	nodes []node
-	root  int
+// edge is one parent→child link keyed by the first symbol of its label.
+type edge struct {
+	parent, sym, child int32
+}
 
-	// leafStarts lists suffix start positions in DFS order, so that every
-	// node's occurrence set is the contiguous slice
-	// leafStarts[leafLo:leafHi].
+// Tree is an immutable suffix tree over an int slice. Trees returned by a
+// Builder alias its storage and are valid only until the next Build call.
+type Tree struct {
+	s          []int
+	nodes      []node
 	leafStarts []int
 }
 
-// New builds the suffix tree of s. The caller must ensure s ends with (and is
-// internally separated by) symbols that occur exactly once — the outliner
-// uses negative sentinels — so that every suffix ends at a leaf.
+const root = int32(0)
+
+// Builder holds the reusable storage of suffix-tree construction. The zero
+// value is ready to use; a Builder is not safe for concurrent use.
+type Builder struct {
+	s     []int
+	nodes []node
+	edges []edge
+
+	// Open-addressed hash table mapping (parent, sym) to an index into
+	// edges; -1 is empty. Only used during build — groupEdges supersedes it.
+	table []int32
+	mask  uint32
+
+	scratch    []edge // scatter target for grouping edges by parent
+	cnt        []int32
+	leafStarts []int
+	stack      []dfsFrame
+}
+
+type dfsFrame struct {
+	v     int32
+	depth int32
+	next  int32 // cursor into edges[edgeLo:edgeHi)
+}
+
+// New builds the suffix tree of s with a throwaway Builder. The caller must
+// ensure s ends with (and is internally separated by) symbols that occur
+// exactly once — the outliner uses negative sentinels — so that every suffix
+// ends at a leaf.
 func New(s []int) *Tree {
-	t := &Tree{s: s, root: 0}
-	t.nodes = make([]node, 1, 2*len(s)+2)
-	t.nodes[0] = node{start: -1, end: -1, link: noNode, suffixIx: -1}
-	t.build()
-	t.annotate()
-	return t
+	return new(Builder).Build(s)
+}
+
+// Build constructs the suffix tree of s, reusing the Builder's storage. The
+// returned Tree (and any Repeat.Starts handed out from it) is invalidated by
+// the next Build.
+func (b *Builder) Build(s []int) *Tree {
+	b.s = s
+	if cap(b.nodes) < 1 {
+		b.nodes = make([]node, 0, 2*len(s)+2)
+	}
+	b.nodes = b.nodes[:0]
+	b.nodes = append(b.nodes, node{start: -1, end: -1, link: noNode, suffixIx: -1})
+	b.edges = b.edges[:0]
+	b.resetTable(4 * (len(s) + 1))
+	b.build()
+	b.groupEdges()
+	b.annotate()
+	return &Tree{s: s, nodes: b.nodes, leafStarts: b.leafStarts}
 }
 
 // NodeCount returns the number of nodes in the tree (root included) — the
 // structure-size figure the telemetry layer reports per outlining round.
 func (t *Tree) NodeCount() int { return len(t.nodes) }
 
-func (t *Tree) newNode(start, end int) int {
-	t.nodes = append(t.nodes, node{start: start, end: end, link: noNode, suffixIx: -1})
-	return len(t.nodes) - 1
+func (b *Builder) newNode(start, end int32) int32 {
+	b.nodes = append(b.nodes, node{start: start, end: end, link: noNode, suffixIx: -1})
+	return int32(len(b.nodes) - 1)
 }
 
-func (t *Tree) edgeLen(v, pos int) int {
-	n := &t.nodes[v]
+func (b *Builder) edgeLen(v, pos int32) int32 {
+	n := &b.nodes[v]
 	end := n.end
 	if end == leafEnd {
 		end = pos + 1
@@ -69,153 +118,244 @@ func (t *Tree) edgeLen(v, pos int) int {
 	return end - n.start
 }
 
+// ---- (parent, sym) → child lookup during construction ----
+
+func edgeHash(parent, sym int32) uint64 {
+	return (uint64(uint32(parent))<<32 | uint64(uint32(sym))) * 0x9e3779b97f4a7c15
+}
+
+func (b *Builder) resetTable(want int) {
+	size := 16
+	for size < want {
+		size <<= 1
+	}
+	if cap(b.table) >= size {
+		b.table = b.table[:size]
+	} else {
+		b.table = make([]int32, size)
+	}
+	for i := range b.table {
+		b.table[i] = -1
+	}
+	b.mask = uint32(size - 1)
+}
+
+func (b *Builder) grow() {
+	old := b.edges
+	b.resetTable(2 * len(b.table))
+	for i, e := range old {
+		slot := uint32(edgeHash(e.parent, e.sym)>>32) & b.mask
+		for b.table[slot] != -1 {
+			slot = (slot + 1) & b.mask
+		}
+		b.table[slot] = int32(i)
+	}
+}
+
+func (b *Builder) child(v, sym int32) (int32, bool) {
+	slot := uint32(edgeHash(v, sym)>>32) & b.mask
+	for {
+		ei := b.table[slot]
+		if ei == -1 {
+			return 0, false
+		}
+		if e := &b.edges[ei]; e.parent == v && e.sym == sym {
+			return e.child, true
+		}
+		slot = (slot + 1) & b.mask
+	}
+}
+
+func (b *Builder) setChild(v, sym, child int32) {
+	slot := uint32(edgeHash(v, sym)>>32) & b.mask
+	for {
+		ei := b.table[slot]
+		if ei == -1 {
+			break
+		}
+		if e := &b.edges[ei]; e.parent == v && e.sym == sym {
+			e.child = child
+			return
+		}
+		slot = (slot + 1) & b.mask
+	}
+	b.edges = append(b.edges, edge{parent: v, sym: sym, child: child})
+	b.table[slot] = int32(len(b.edges) - 1)
+	if 4*len(b.edges) >= 3*len(b.table) {
+		b.grow()
+	}
+}
+
 // build runs Ukkonen's algorithm.
-func (t *Tree) build() {
-	s := t.s
-	activeNode, activeEdge, activeLen := t.root, 0, 0
-	remaining := 0
-	for pos := 0; pos < len(s); pos++ {
+func (b *Builder) build() {
+	s := b.s
+	activeNode, activeLen := root, int32(0)
+	activeEdge := int32(0)
+	remaining := int32(0)
+	for pos := int32(0); pos < int32(len(s)); pos++ {
 		remaining++
 		lastNew := noNode
 		for remaining > 0 {
 			if activeLen == 0 {
 				activeEdge = pos
 			}
-			child, ok := t.child(activeNode, s[activeEdge])
+			child, ok := b.child(activeNode, int32(s[activeEdge]))
 			if !ok {
 				// No edge: create a leaf here.
-				leaf := t.newNode(pos, leafEnd)
-				t.setChild(activeNode, s[activeEdge], leaf)
+				leaf := b.newNode(pos, leafEnd)
+				b.setChild(activeNode, int32(s[activeEdge]), leaf)
 				if lastNew != noNode {
-					t.nodes[lastNew].link = activeNode
+					b.nodes[lastNew].link = activeNode
 					lastNew = noNode
 				}
 			} else {
-				if el := t.edgeLen(child, pos); activeLen >= el {
+				if el := b.edgeLen(child, pos); activeLen >= el {
 					// Walk down.
 					activeEdge += el
 					activeLen -= el
 					activeNode = child
 					continue
 				}
-				if s[t.nodes[child].start+activeLen] == s[pos] {
+				if s[b.nodes[child].start+activeLen] == s[pos] {
 					// Symbol already present: extend the active point.
-					if lastNew != noNode && activeNode != t.root {
-						t.nodes[lastNew].link = activeNode
+					if lastNew != noNode && activeNode != root {
+						b.nodes[lastNew].link = activeNode
 						lastNew = noNode
 					}
 					activeLen++
 					break
 				}
 				// Split the edge.
-				splitEnd := t.nodes[child].start + activeLen
-				split := t.newNode(t.nodes[child].start, splitEnd)
-				t.setChild(activeNode, s[activeEdge], split)
-				leaf := t.newNode(pos, leafEnd)
-				t.setChild(split, s[pos], leaf)
-				t.nodes[child].start = splitEnd
-				t.setChild(split, s[splitEnd], child)
+				splitEnd := b.nodes[child].start + activeLen
+				split := b.newNode(b.nodes[child].start, splitEnd)
+				b.setChild(activeNode, int32(s[activeEdge]), split)
+				leaf := b.newNode(pos, leafEnd)
+				b.setChild(split, int32(s[pos]), leaf)
+				b.nodes[child].start = splitEnd
+				b.setChild(split, int32(s[splitEnd]), child)
 				if lastNew != noNode {
-					t.nodes[lastNew].link = split
+					b.nodes[lastNew].link = split
 				}
 				lastNew = split
 			}
 			remaining--
-			if activeNode == t.root && activeLen > 0 {
+			if activeNode == root && activeLen > 0 {
 				activeLen--
 				activeEdge = pos - remaining + 1
-			} else if activeNode != t.root {
-				if l := t.nodes[activeNode].link; l != noNode {
+			} else if activeNode != root {
+				if l := b.nodes[activeNode].link; l != noNode {
 					activeNode = l
 				} else {
-					activeNode = t.root
+					activeNode = root
 				}
 			}
 		}
 	}
 }
 
-func (t *Tree) child(v, sym int) (int, bool) {
-	c := t.nodes[v].children
-	if c == nil {
-		return 0, false
+// groupEdges arranges edges so each node's children are the contiguous run
+// edges[edgeLo:edgeHi), sorted by first symbol: a counting sort by parent
+// (edges arrive in insertion order) followed by an insertion sort of each
+// node's few children. This replaces both the per-node child maps and the
+// per-node sorted-symbol allocations of the DFS.
+func (b *Builder) groupEdges() {
+	n := len(b.nodes)
+	if cap(b.cnt) >= n+1 {
+		b.cnt = b.cnt[:n+1]
+		for i := range b.cnt {
+			b.cnt[i] = 0
+		}
+	} else {
+		b.cnt = make([]int32, n+1)
 	}
-	ch, ok := c[sym]
-	return ch, ok
-}
-
-func (t *Tree) setChild(v, sym, child int) {
-	if t.nodes[v].children == nil {
-		t.nodes[v].children = make(map[int]int)
+	for _, e := range b.edges {
+		b.cnt[e.parent+1]++
 	}
-	t.nodes[v].children[sym] = child
+	for i := 1; i <= n; i++ {
+		b.cnt[i] += b.cnt[i-1]
+	}
+	for v := range b.nodes {
+		b.nodes[v].edgeLo = b.cnt[v]
+		b.nodes[v].edgeHi = b.cnt[v+1]
+	}
+	if cap(b.scratch) >= len(b.edges) {
+		b.scratch = b.scratch[:len(b.edges)]
+	} else {
+		b.scratch = make([]edge, len(b.edges))
+	}
+	for _, e := range b.edges { // scatter, consuming cnt as cursors
+		b.scratch[b.cnt[e.parent]] = e
+		b.cnt[e.parent]++
+	}
+	b.edges, b.scratch = b.scratch, b.edges
+	for v := range b.nodes {
+		lo, hi := b.nodes[v].edgeLo, b.nodes[v].edgeHi
+		if hi-lo > 16 {
+			// The root's fanout is the whole alphabet — insertion sort
+			// would be quadratic there.
+			g := b.edges[lo:hi]
+			sort.Slice(g, func(i, j int) bool { return g[i].sym < g[j].sym })
+			continue
+		}
+		for i := lo + 1; i < hi; i++ {
+			e := b.edges[i]
+			j := i
+			for j > lo && b.edges[j-1].sym > e.sym {
+				b.edges[j] = b.edges[j-1]
+				j--
+			}
+			b.edges[j] = e
+		}
+	}
 }
 
 // annotate computes string depths, suffix indices for leaves, and the
 // DFS-contiguous leaf ranges for every node.
-func (t *Tree) annotate() {
-	n := len(t.s)
-	t.leafStarts = make([]int, 0, n+1)
-
-	type frame struct {
-		v     int
-		depth int
-		kids  []int
-		next  int
+func (b *Builder) annotate() {
+	n := int32(len(b.s))
+	if cap(b.leafStarts) >= len(b.s)+1 {
+		b.leafStarts = b.leafStarts[:0]
+	} else {
+		b.leafStarts = make([]int, 0, len(b.s)+1)
 	}
-	stack := []frame{{v: t.root, depth: 0, kids: t.sortedChildren(t.root)}}
-	t.nodes[t.root].leafLo = 0
+	stack := b.stack[:0]
+	stack = append(stack, dfsFrame{v: root, depth: 0, next: b.nodes[root].edgeLo})
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
-		nd := &t.nodes[f.v]
-		if f.next == 0 {
+		nd := &b.nodes[f.v]
+		if f.next == nd.edgeLo { // first visit
 			nd.depth = f.depth
-			nd.leafLo = len(t.leafStarts)
-			if len(f.kids) == 0 {
+			nd.leafLo = int32(len(b.leafStarts))
+			if nd.edgeLo == nd.edgeHi {
 				// Leaf: its suffix starts at n - depth.
 				nd.suffixIx = n - f.depth
-				t.leafStarts = append(t.leafStarts, nd.suffixIx)
+				b.leafStarts = append(b.leafStarts, int(nd.suffixIx))
 			}
 		}
-		if f.next < len(f.kids) {
-			c := f.kids[f.next]
+		if f.next < nd.edgeHi {
+			c := b.edges[f.next]
 			f.next++
-			edge := t.nodes[c].end
-			if edge == leafEnd {
-				edge = n
+			cn := &b.nodes[c.child]
+			end := cn.end
+			if end == leafEnd {
+				end = n
 			}
-			stack = append(stack, frame{
-				v:     c,
-				depth: f.depth + edge - t.nodes[c].start,
-				kids:  t.sortedChildren(c),
+			stack = append(stack, dfsFrame{
+				v:     c.child,
+				depth: f.depth + end - cn.start,
+				next:  cn.edgeLo,
 			})
 			continue
 		}
-		nd.leafHi = len(t.leafStarts)
+		nd.leafHi = int32(len(b.leafStarts))
 		stack = stack[:len(stack)-1]
 	}
-}
-
-func (t *Tree) sortedChildren(v int) []int {
-	c := t.nodes[v].children
-	if len(c) == 0 {
-		return nil
-	}
-	syms := make([]int, 0, len(c))
-	for sym := range c {
-		syms = append(syms, sym)
-	}
-	sort.Ints(syms)
-	kids := make([]int, len(syms))
-	for i, sym := range syms {
-		kids[i] = c[sym]
-	}
-	return kids
+	b.stack = stack[:0]
 }
 
 // Repeat is one repeated substring: its length and the start index of every
 // occurrence in the input. Starts aliases internal storage; callers must not
-// modify it.
+// modify it, and it is invalidated by the Builder's next Build.
 type Repeat struct {
 	Length int
 	Starts []int
@@ -228,14 +368,14 @@ type Repeat struct {
 func (t *Tree) ForEachRepeat(minLen, minCount int, fn func(Repeat)) {
 	for v := range t.nodes {
 		nd := &t.nodes[v]
-		if v == t.root || len(nd.children) == 0 {
+		if int32(v) == root || nd.edgeLo == nd.edgeHi {
 			continue // root or leaf
 		}
-		count := nd.leafHi - nd.leafLo
-		if nd.depth < minLen || count < minCount {
+		count := int(nd.leafHi - nd.leafLo)
+		if int(nd.depth) < minLen || count < minCount {
 			continue
 		}
-		fn(Repeat{Length: nd.depth, Starts: t.leafStarts[nd.leafLo:nd.leafHi]})
+		fn(Repeat{Length: int(nd.depth), Starts: t.leafStarts[nd.leafLo:nd.leafHi]})
 	}
 }
 

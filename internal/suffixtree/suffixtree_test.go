@@ -260,3 +260,44 @@ func intsEqual(a, b []int) bool {
 	}
 	return true
 }
+
+// A reused Builder must produce exactly the tree a fresh construction would:
+// the outliner rebuilds the tree every round from the same Builder, and its
+// output feeds deterministic, byte-identical builds.
+func TestBuilderReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var b Builder
+	for round := 0; round < 20; round++ {
+		n := 1 + rng.Intn(400)
+		alphabet := 1 + rng.Intn(12)
+		s := make([]int, n)
+		sentinel := -1
+		for i := range s {
+			if rng.Intn(10) == 0 {
+				s[i] = sentinel
+				sentinel--
+			} else {
+				s[i] = rng.Intn(alphabet)
+			}
+		}
+		fresh := collect(New(s), 2, 2)
+		reused := collect(b.Build(s), 2, 2)
+		if len(fresh) != len(reused) {
+			t.Fatalf("round %d: reused builder found %d repeats, fresh %d", round, len(reused), len(fresh))
+		}
+		for key, starts := range fresh {
+			got, ok := reused[key]
+			if !ok {
+				t.Fatalf("round %d: reused builder missing repeat %q", round, key)
+			}
+			if len(got) != len(starts) {
+				t.Fatalf("round %d: repeat %q starts %v vs fresh %v", round, key, got, starts)
+			}
+			for i := range got {
+				if got[i] != starts[i] {
+					t.Fatalf("round %d: repeat %q starts %v vs fresh %v", round, key, got, starts)
+				}
+			}
+		}
+	}
+}
