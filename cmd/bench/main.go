@@ -7,6 +7,11 @@
 //	-suite scale   paper-scale incremental builds: cold / warm / one-module
 //	               edit over a -modules corpus (BENCH_scale.json is the
 //	               committed baseline, recorded at -modules 476)
+//	-suite profile instrumented-run profile collection: build a -modules
+//	               corpus, execute its span/main entry points, and write a
+//	               mergeable execution profile to -profile-out (-entries
+//	               picks a subset for sharded collection; -merge combines
+//	               shards instead of collecting)
 //
 // Regenerate a baseline with:
 //
@@ -25,10 +30,14 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"testing"
 
+	"outliner/internal/appgen"
 	"outliner/internal/benchkit"
+	"outliner/internal/perf"
 	"outliner/internal/pipeline"
+	"outliner/internal/profile"
 )
 
 // Record is one benchmark result in the emitted JSON.
@@ -63,8 +72,15 @@ func run() int {
 		minWarm   = flag.Float64("min-warm-speedup", 0, "scale suite: fail unless the warm rebuild is at least this many times faster than the cold build (0 disables)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file (go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)")
+		entries   = flag.String("entries", "", "profile suite: comma-separated entry points to execute (default: every span + main)")
+		profOut   = flag.String("profile-out", "", "profile suite: write the collected (or merged) execution profile here")
+		merge     = flag.String("merge", "", "profile suite: comma-separated profile shards to merge into -profile-out instead of collecting")
 	)
 	flag.Parse()
+
+	if *suite == "profile" {
+		return runProfileSuite(*modules, *entries, *profOut, *merge)
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -121,7 +137,7 @@ func run() int {
 		}
 		report = Report{Modules: s.Modules()}
 	default:
-		fatal(fmt.Errorf("unknown -suite %q (want pr4 or scale)", *suite))
+		fatal(fmt.Errorf("unknown -suite %q (want pr4, scale, or profile)", *suite))
 	}
 	for _, bm := range benches {
 		fmt.Fprintf(os.Stderr, "bench: %s...\n", bm.name)
@@ -157,6 +173,50 @@ func run() int {
 		code = 1
 	}
 	return code
+}
+
+// runProfileSuite implements -suite profile, the instrumented-run collection
+// mode: build the -modules corpus, execute its entry points under
+// instrumentation, and write the canonical profile to -profile-out. With
+// -merge, it instead merges already-collected shards (the distributed
+// collection path: shards from different machines or entry-point subsets
+// combine bit-identically in any order).
+func runProfileSuite(modules int, entries, out, merge string) int {
+	if out == "" {
+		fmt.Fprintln(os.Stderr, "bench: -suite profile needs -profile-out")
+		return 2
+	}
+	if merge != "" {
+		shards := strings.Split(merge, ",")
+		p, err := profile.ReadFiles(shards...)
+		if err != nil {
+			fatal(err)
+		}
+		if err := p.WriteFile(out); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "bench: merged %d shards -> %s (digest %s)\n",
+			len(shards), out, p.Digest())
+		return 0
+	}
+	scale := appgen.ScaleForModules(appgen.UberRider, modules)
+	names := benchkit.DefaultEntries(appgen.UberRider.Spans)
+	if entries != "" {
+		names = strings.Split(entries, ",")
+	}
+	fmt.Fprintf(os.Stderr, "bench: building %d-module corpus and profiling %d entry points...\n",
+		modules, len(names))
+	p, res, err := benchkit.CollectProfile(pipeline.Default, scale, names, 0)
+	if err != nil {
+		fatal(err)
+	}
+	if err := p.WriteFile(out); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (digest %s)\n", out, p.Digest())
+	profile.WriteHotReport(os.Stderr, p, 10, 0)
+	fmt.Fprint(os.Stderr, perf.FormatPageTouch(perf.PageTouch(res.Image, p, perf.Devices[0])))
+	return 0
 }
 
 // checkWarmSpeedup enforces the scale suite's headline acceptance number:

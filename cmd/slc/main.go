@@ -33,7 +33,9 @@ import (
 	"outliner/internal/llir"
 	"outliner/internal/obs"
 	"outliner/internal/outline"
+	"outliner/internal/perf"
 	"outliner/internal/pipeline"
+	"outliner/internal/profile"
 )
 
 func main() {
@@ -60,6 +62,10 @@ func main() {
 		fRate    = flag.Float64("fault-rate", 0, "fault-injection probability per fault point (0 disables; a failing seed replays exactly at any -j)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the build to this file (go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write an end-of-build heap profile to this file (go tool pprof)")
+		profOut  = flag.String("profile-out", "", "with -run: write the instrumented run's execution profile (canonical JSON, mergeable across runs) to this file")
+		profIn   = flag.String("profile-in", "", "execution profile (from -profile-out or cmd/bench -suite profile) feeding the build: annotates outliner remarks with hot/cold verdicts and enables -outline-cold-only")
+		coldOnly = flag.Bool("outline-cold-only", false, "outline only cold functions: with -profile-in, never extract from a function whose entry count reaches -outline-cold-threshold")
+		coldThr  = flag.Int64("outline-cold-threshold", 1, "entry count at which a profiled function counts as hot (0 disables cold-only gating)")
 	)
 	flag.Parse()
 	if *cpuProf != "" {
@@ -132,6 +138,17 @@ func main() {
 	if *fRate > 0 {
 		cfg.Fault = fault.New(*fSeed, *fRate)
 	}
+	var prof *profile.Profile
+	if *profIn != "" {
+		p, err := profile.ReadFile(*profIn)
+		if err != nil {
+			fatal(err)
+		}
+		prof = p
+		cfg.Profile = prof
+	}
+	cfg.OutlineColdOnly = *coldOnly
+	cfg.OutlineColdThreshold = *coldThr
 	res, err := pipeline.Build(sources, cfg)
 	if err != nil {
 		// A failed build still reports its telemetry: the resilience
@@ -158,6 +175,13 @@ func main() {
 	if *summary {
 		if err := tracer.WriteSummary(os.Stderr); err != nil {
 			fatal(err)
+		}
+		if prof != nil {
+			fmt.Fprintln(os.Stderr)
+			if err := profile.WriteHotReport(os.Stderr, prof, 10, *coldThr); err != nil {
+				fatal(err)
+			}
+			fmt.Fprint(os.Stderr, perf.FormatPageTouch(perf.PageTouch(res.Image, prof, perf.Devices[0])))
 		}
 	}
 	if *counters != "" {
@@ -229,7 +253,11 @@ func main() {
 		}
 		return
 	}
-	m, err := exec.New(res.Prog, exec.Options{MaxSteps: *maxSteps})
+	var col *profile.Collector
+	if *profOut != "" {
+		col = profile.NewCollector()
+	}
+	m, err := exec.New(res.Prog, exec.Options{MaxSteps: *maxSteps, Profile: col})
 	if err != nil {
 		fatal(err)
 	}
@@ -239,6 +267,15 @@ func main() {
 		fatal(err)
 	}
 	st := m.Stats()
+	st.EmitCounters(tracer)
+	if col != nil {
+		p := col.Profile()
+		if err := p.WriteFile(*profOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote execution profile %s (digest %s, %d functions)\n",
+			*profOut, p.Digest(), len(p.Funcs))
+	}
 	fmt.Fprintf(os.Stderr, "executed %d instructions (%d calls, %.2f%% in outlined functions)\n",
 		st.DynamicInsts, st.Calls, 100*float64(st.OutlinedInsts)/float64(st.DynamicInsts))
 	_ = llir.RuntimeSyms

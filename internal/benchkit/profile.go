@@ -1,0 +1,57 @@
+package benchkit
+
+import (
+	"fmt"
+
+	"outliner/internal/appgen"
+	"outliner/internal/exec"
+	"outliner/internal/pipeline"
+	"outliner/internal/profile"
+)
+
+// DefaultEntries returns the generated app's instrumentable entry points:
+// every core-span use case plus main (which sweeps all spans) — the
+// "typical usage scenarios" §VII profiles.
+func DefaultEntries(spans int) []string {
+	out := make([]string, 0, spans+1)
+	for i := 1; i <= spans; i++ {
+		out = append(out, fmt.Sprintf("span%d", i))
+	}
+	return append(out, "main")
+}
+
+// CollectProfile builds the UberRider corpus at scale under cfg, executes
+// each named entry point once on the built program with instrumentation on,
+// and returns the merged profile plus the build it came from. One machine is
+// reused across entries (the realistic multi-scenario run the ISSUE's
+// per-run stats fix exists for); per-entry exec stats land on cfg.Tracer as
+// exec/* counters when it is set.
+func CollectProfile(cfg pipeline.Config, scale float64, entries []string, maxSteps int64) (*profile.Profile, *pipeline.Result, error) {
+	res, err := appgen.BuildApp(appgen.UberRider, scale, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := ProfileEntries(res, entries, maxSteps, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, res, nil
+}
+
+// ProfileEntries runs the named entry points of a built program under an
+// instrumented machine and returns the collected profile.
+func ProfileEntries(res *pipeline.Result, entries []string, maxSteps int64, cfg pipeline.Config) (*profile.Profile, error) {
+	col := profile.NewCollector()
+	m, err := exec.New(res.Prog, exec.Options{MaxSteps: maxSteps, Profile: col})
+	if err != nil {
+		return nil, err
+	}
+	for _, entry := range entries {
+		m.ResetStats()
+		if _, err := m.Run(entry); err != nil {
+			return nil, fmt.Errorf("profile run %q: %w", entry, err)
+		}
+		m.Stats().EmitCounters(cfg.Tracer)
+	}
+	return col.Profile(), nil
+}

@@ -60,6 +60,7 @@ func Lattice() []Point {
 			FMSA: true, SILOutline: true, SpecializeClosures: true,
 			SplitGCMetadata: true}},
 		{Name: "osize", Config: pipeline.OSize},
+		{Name: "osize-cold-only", Config: coldOnly(pipeline.OSize)},
 		{Name: "wp-extensions", Config: pipeline.Config{
 			WholeProgram: true, OutlineRounds: 5, CanonicalizeSequences: true,
 			LayoutOutlined: true, SILOutline: true, SpecializeClosures: true,
@@ -78,6 +79,16 @@ func Lattice() []Point {
 func SmokeLattice() []Point {
 	all := Lattice()
 	return []Point{all[0], pointNamed(all, "default-osize"), pointNamed(all, "osize")}
+}
+
+// coldOnly arms profile-guided cold-only outlining on a copy of cfg. The
+// profile itself is left nil: the Oracle collects one on its reference run
+// and injects it (see Check), so the gate reflects the program actually
+// under test rather than a canned profile.
+func coldOnly(cfg pipeline.Config) pipeline.Config {
+	cfg.OutlineColdOnly = true
+	cfg.OutlineColdThreshold = 1
+	return cfg
 }
 
 func pointNamed(pts []Point, name string) Point {
@@ -140,5 +151,8 @@ func PointFromBits(bits uint64) Point {
 		Verify:                true,
 	}
 	cfg.SplitGCMetadata = cfg.WholeProgram
+	if bits&(1<<11) != 0 {
+		cfg = coldOnly(cfg)
+	}
 	return Point{Name: fmt.Sprintf("bits-%#x", bits), Rank: 1, Config: cfg}
 }

@@ -101,6 +101,35 @@ func TestOracleSmoke(t *testing.T) {
 	}
 }
 
+// TestOracleColdOnlyAxis checks the profile-gated lattice point: the oracle
+// collects a profile on its reference run, injects it into the cold-only
+// point, and the gated build must still agree semantically. The point ships
+// with a nil profile so the injection path is the one exercised.
+func TestOracleColdOnlyAxis(t *testing.T) {
+	pt, ok := PointNamed("osize-cold-only")
+	if !ok {
+		t.Fatal("lattice point osize-cold-only missing")
+	}
+	if !pt.Config.OutlineColdOnly || pt.Config.OutlineColdThreshold != 1 {
+		t.Fatalf("osize-cold-only not armed: %+v", pt.Config)
+	}
+	if pt.Config.Profile != nil {
+		t.Fatal("lattice point must not carry a canned profile")
+	}
+	gen := appgen.UberRider
+	gen.Seed = 11
+	gen.Spans = 1
+	mods := appgen.Generate(gen, 0.03)
+	o := &Oracle{MaxSteps: 20_000_000}
+	div, err := o.Check(mods, []Point{Lattice()[0], pt})
+	if err != nil {
+		t.Fatalf("reference build: %v", err)
+	}
+	if div != nil {
+		t.Fatalf("cold-only divergence: %v", div)
+	}
+}
+
 // findObservableCorruption scans the outlined MOVZ constants of the build
 // at pts[1] for one whose corruption diverges from the reference — not
 // every materialized constant reaches the program's output, so tests pick

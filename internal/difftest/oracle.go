@@ -8,6 +8,7 @@ import (
 	"outliner/internal/exec"
 	"outliner/internal/mir"
 	"outliner/internal/pipeline"
+	"outliner/internal/profile"
 )
 
 // Class classifies how two lattice points disagree.
@@ -104,6 +105,11 @@ func (o *Oracle) Build(mods []appgen.Module, pt Point) (*mir.Program, error) {
 
 // Run builds mods at one lattice point and executes @main.
 func (o *Oracle) Run(mods []appgen.Module, pt Point) Outcome {
+	return o.run(mods, pt, nil)
+}
+
+// run is Run with optional profile collection on the executed program.
+func (o *Oracle) run(mods []appgen.Module, pt Point, col *profile.Collector) Outcome {
 	out := Outcome{Point: pt.Name}
 	prog, err := o.Build(mods, pt)
 	if err != nil {
@@ -113,7 +119,7 @@ func (o *Oracle) Run(mods []appgen.Module, pt Point) Outcome {
 	if o.Corrupt != nil {
 		o.Corrupt(prog)
 	}
-	m, err := exec.New(prog, exec.Options{MaxSteps: o.maxSteps()})
+	m, err := exec.New(prog, exec.Options{MaxSteps: o.maxSteps(), Profile: col})
 	if err != nil {
 		out.BuildErr = err
 		return out
@@ -189,15 +195,25 @@ func clip(s string) string {
 // reference). It returns a Divergence when two points disagree, an error
 // when the input itself is unbuildable (the reference fails), and (nil,
 // nil) when all points agree.
+//
+// The reference run is instrumented, and its execution profile is injected
+// into any cold-only point that does not already carry one — so the
+// profile-gated axis ("never outline from a hot function") is exercised
+// against the exact dynamic behaviour the oracle is about to compare.
 func (o *Oracle) Check(mods []appgen.Module, pts []Point) (*Divergence, error) {
 	if len(pts) < 2 {
 		return nil, fmt.Errorf("difftest: need at least 2 lattice points, have %d", len(pts))
 	}
-	ref := o.Run(mods, pts[0])
+	col := profile.NewCollector()
+	ref := o.run(mods, pts[0], col)
 	if ref.BuildErr != nil {
 		return nil, fmt.Errorf("difftest: reference %s failed to build: %w", pts[0].Name, ref.BuildErr)
 	}
+	refProf := col.Profile()
 	for _, pt := range pts[1:] {
+		if pt.Config.OutlineColdOnly && pt.Config.Profile == nil {
+			pt.Config.Profile = refProf
+		}
 		got := o.Run(mods, pt)
 		if cls, detail := Compare(ref, got); cls != ClassAgree {
 			return &Divergence{Class: cls, Ref: ref, Got: got, Detail: detail}, nil

@@ -20,6 +20,8 @@ import (
 
 	"outliner/internal/isa"
 	"outliner/internal/mir"
+	"outliner/internal/obs"
+	"outliner/internal/profile"
 )
 
 // Memory layout constants (byte addresses; everything is 8-byte words).
@@ -38,6 +40,13 @@ type Options struct {
 	MaxSteps int64
 	// Trace receives one event per executed instruction when non-nil.
 	Trace func(ev Event)
+	// Profile, when non-nil, collects an execution profile: function entry
+	// counts, call edges keyed by call-site offset, basic-block execution
+	// counts, and per-function step totals. Counts accumulate locally and
+	// flush to the collector at the end of every Run, so one collector can
+	// merge many runs and many machines. Nil costs one pointer check per
+	// instruction — the interpreter is otherwise unchanged.
+	Profile *profile.Collector
 }
 
 // Event describes one executed instruction for tracing (consumed by the
@@ -56,7 +65,7 @@ type Event struct {
 	SP int64
 }
 
-// Stats summarizes a run.
+// Stats summarizes execution since machine creation or the last ResetStats.
 type Stats struct {
 	DynamicInsts int64
 	Calls        int64
@@ -66,9 +75,27 @@ type Stats struct {
 	Stores       int64
 	HeapAllocs   int64
 	HeapWords    int64
+	// RuntimeCalls counts transfers into runtime entries (swift_retain,
+	// print_int, ...) — the paper's §V-2 runtime-call density signal.
+	RuntimeCalls int64
 	// OutlinedInsts counts dynamic instructions executed inside outlined
 	// functions (the paper reports ~3%).
 	OutlinedInsts int64
+}
+
+// EmitCounters publishes the stats as internal/obs counters, so instrumented
+// and oracle runs show up in -trace/-summary next to build-stage counters.
+// Nil-tracer safe, like the rest of the obs API.
+func (s Stats) EmitCounters(tr *obs.Tracer) {
+	tr.Add("exec/steps", s.DynamicInsts)
+	tr.Add("exec/calls", s.Calls)
+	tr.Add("exec/branches", s.Branches)
+	tr.Add("exec/taken_branches", s.Taken)
+	tr.Add("exec/loads", s.Loads)
+	tr.Add("exec/stores", s.Stores)
+	tr.Add("exec/runtime_calls", s.RuntimeCalls)
+	tr.Add("exec/heap_allocs", s.HeapAllocs)
+	tr.Add("exec/outlined_insts", s.OutlinedInsts)
 }
 
 // Machine interprets one program.
@@ -97,6 +124,26 @@ type Machine struct {
 
 	out   strings.Builder
 	stats Stats
+
+	// Profiling state; nil/empty unless opts.Profile is set. Counts
+	// accumulate in flat per-function / per-instruction arrays during a run
+	// (no map work on the hot path) and flush to the collector when Run
+	// returns.
+	pcol       *profile.Collector
+	funcAddrs  []int64  // function index -> entry address
+	blockLabel []string // code index -> label when first inst of its block
+	pSteps     []int64  // per-function dynamic steps this run
+	pEntries   []int64  // per-function entries this run
+	pBlocks    []int64  // per-code-index block executions this run
+	pCalls     map[callSite]int64
+}
+
+// callSite identifies a call edge: calling function, call-site offset from
+// its entry, and callee name.
+type callSite struct {
+	fn     int
+	off    int64
+	callee string
 }
 
 type symKey struct {
@@ -146,19 +193,37 @@ func New(prog *mir.Program, opts Options) (*Machine, error) {
 	}
 
 	// Lay out code.
+	profiling := opts.Profile != nil
 	addr := codeBase
 	for fi, f := range prog.Funcs {
 		m.funcEntry[f.Name] = addr
+		m.funcAddrs = append(m.funcAddrs, addr)
 		m.outlined = append(m.outlined, f.Outlined)
 		for _, b := range f.Blocks {
 			m.addrOf[symKey{fn: fi, label: b.Label}] = addr
+			first := true
 			for _, in := range b.Insts {
 				size := int64(in.Size())
 				m.code = append(m.code, codeInst{in: in, fn: fi, addr: addr, next: addr + size})
 				m.funcOf = append(m.funcOf, fi)
+				if profiling {
+					label := ""
+					if first {
+						label = b.Label
+					}
+					m.blockLabel = append(m.blockLabel, label)
+				}
+				first = false
 				addr += size
 			}
 		}
+	}
+	if profiling {
+		m.pcol = opts.Profile
+		m.pSteps = make([]int64, len(prog.Funcs))
+		m.pEntries = make([]int64, len(prog.Funcs))
+		m.pBlocks = make([]int64, len(m.code))
+		m.pCalls = make(map[callSite]int64)
 	}
 
 	// Lay out globals in program order (the order the linker decided —
@@ -194,12 +259,30 @@ func (m *Machine) addrIndex(addr int64) (int, error) {
 // Output returns everything printed so far.
 func (m *Machine) Output() string { return m.out.String() }
 
-// Stats returns execution statistics.
+// Stats returns execution statistics accumulated since machine creation or
+// the last ResetStats.
 func (m *Machine) Stats() Stats { return m.stats }
 
+// ResetStats zeroes the statistics, making per-run accounting possible on a
+// reused machine: multi-entry profiling runs call Run repeatedly on one
+// machine, and without a reset every run's Stats would include its
+// predecessors' counts.
+func (m *Machine) ResetStats() { m.stats = Stats{} }
+
 // Run executes function name (no arguments) until it returns. Returns the
-// accumulated output.
+// accumulated output. When profiling, the run's counts — including those of
+// a failed run — flush to the collector before Run returns, and the run
+// starts from zeroed accumulators, so repeated Runs on one machine never
+// double-count.
 func (m *Machine) Run(name string) (string, error) {
+	out, err := m.run(name)
+	if m.pcol != nil {
+		m.flushProfile()
+	}
+	return out, err
+}
+
+func (m *Machine) run(name string) (string, error) {
 	entry, ok := m.funcEntry[name]
 	if !ok {
 		return "", fmt.Errorf("exec: no function %q", name)
@@ -212,6 +295,9 @@ func (m *Machine) Run(name string) (string, error) {
 	idx, err := m.addrIndex(entry)
 	if err != nil {
 		return "", err
+	}
+	if m.pcol != nil {
+		m.pEntries[m.code[idx].fn]++
 	}
 	steps := int64(0)
 	for {
@@ -229,6 +315,9 @@ func (m *Machine) Run(name string) (string, error) {
 		m.stats.DynamicInsts++
 		if m.outlined[ci.fn] {
 			m.stats.OutlinedInsts++
+		}
+		if m.pcol != nil {
+			m.profStep(idx, ci, nextAddr)
 		}
 		if nextAddr == haltAddr {
 			return m.Output(), nil
@@ -280,6 +369,76 @@ func (m *Machine) fault(err error, ci *codeInst, steps int64) *Error {
 	e.Inst = ci.in.String()
 	e.Step = steps
 	return e
+}
+
+// profStep records one executed instruction into the run's profiling
+// accumulators: a step for the hosting function, a block execution when the
+// instruction opens its block, and — for calls and cross-function tail
+// calls — a call edge plus an entry for the callee.
+func (m *Machine) profStep(idx int, ci *codeInst, nextAddr int64) {
+	m.pSteps[ci.fn]++
+	if m.blockLabel[idx] != "" {
+		m.pBlocks[idx]++
+	}
+	op := ci.in.Op
+	isCall := op == isa.BL || op == isa.BLR
+	if !isCall && op != isa.B {
+		return
+	}
+	if nextAddr >= rtBase {
+		m.profCall(ci, runtimeEntries[(nextAddr-rtBase)/8])
+		return
+	}
+	ti, err := m.addrIndex(nextAddr)
+	if err != nil {
+		return // halt address or a fault the main loop will surface
+	}
+	tfn := m.code[ti].fn
+	if isCall || tfn != ci.fn {
+		m.pEntries[tfn]++
+		m.profCall(ci, m.prog.Funcs[tfn].Name)
+	}
+}
+
+func (m *Machine) profCall(ci *codeInst, callee string) {
+	m.pCalls[callSite{fn: ci.fn, off: ci.addr - m.funcAddrs[ci.fn], callee: callee}]++
+}
+
+// flushProfile drains the run's accumulators into the collector (zeroing
+// them), taking the collector lock once per run.
+func (m *Machine) flushProfile() {
+	p := profile.New()
+	for fi, f := range m.prog.Funcs {
+		entries, steps := m.pEntries[fi], m.pSteps[fi]
+		if entries == 0 && steps == 0 {
+			continue
+		}
+		fp := p.Func(f.Name)
+		fp.Entries = entries
+		fp.Steps = steps
+		m.pEntries[fi], m.pSteps[fi] = 0, 0
+	}
+	for idx, n := range m.pBlocks {
+		if n == 0 {
+			continue
+		}
+		ci := &m.code[idx]
+		fp := p.Func(m.prog.Funcs[ci.fn].Name)
+		if fp.Blocks == nil {
+			fp.Blocks = make(map[string]int64)
+		}
+		fp.Blocks[m.blockLabel[idx]] += n
+		m.pBlocks[idx] = 0
+	}
+	for site, n := range m.pCalls {
+		fp := p.Func(m.prog.Funcs[site.fn].Name)
+		if fp.Calls == nil {
+			fp.Calls = make(map[string]int64)
+		}
+		fp.Calls[profile.EdgeKey(site.callee, site.off)] += n
+	}
+	clear(m.pCalls)
+	m.pcol.Add(p)
 }
 
 func (m *Machine) get(r isa.Reg) int64 {
@@ -595,6 +754,7 @@ func (m *Machine) condHolds(c isa.Cond) bool {
 // address (the caller's LR).
 func (m *Machine) runtimeCall(addr int64) (int64, error) {
 	name := runtimeEntries[(addr-rtBase)/8]
+	m.stats.RuntimeCalls++
 	x0 := m.regs[isa.X0]
 	switch name {
 	case "swift_retain", "objc_retain":

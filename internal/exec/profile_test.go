@@ -1,0 +1,227 @@
+package exec
+
+import (
+	"testing"
+
+	"outliner/internal/mir"
+	"outliner/internal/obs"
+	"outliner/internal/profile"
+)
+
+// loopSrc calls @helper three times from a counted loop and @leaf once via a
+// tail call inside @helper, exercising entry counts, call edges, block
+// counts, and runtime-call edges.
+const loopSrc = `
+func @leaf {
+entry:
+  ADDXrs $x0, $x0, $x0
+  RET
+}
+func @helper {
+entry:
+  B @leaf
+}
+func @main {
+entry:
+  STPXpre $x29, $x30, $sp, #-16
+  MOVZXi $x19, #0
+loop:
+  CMPXri $x19, #3
+  Bcc.ge @done
+  MOVZXi $x0, #21
+  BL @helper
+  BL @print_int
+  ADDXri $x19, $x19, #1
+  B @loop
+done:
+  LDPXpost $x29, $x30, $sp, #16
+  RET
+}
+`
+
+func profiledRun(t *testing.T, src, entry string) (*profile.Profile, *Machine) {
+	t.Helper()
+	p, err := mir.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	col := profile.NewCollector()
+	m, err := New(p, Options{MaxSteps: 1_000_000, Profile: col})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := m.Run(entry); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return col.Profile(), m
+}
+
+func TestProfileCounts(t *testing.T) {
+	p, m := profiledRun(t, loopSrc, "main")
+
+	if got := p.Count("main"); got != 1 {
+		t.Errorf("main entries = %d, want 1", got)
+	}
+	if got := p.Count("helper"); got != 3 {
+		t.Errorf("helper entries = %d, want 3", got)
+	}
+	// @helper tail-calls @leaf, so leaf is entered once per helper call.
+	if got := p.Count("leaf"); got != 3 {
+		t.Errorf("leaf entries = %d, want 3", got)
+	}
+
+	mf := p.Funcs["main"]
+	if mf == nil {
+		t.Fatal("no main in profile")
+	}
+	if mf.Blocks["loop"] != 4 { // 3 iterations + the exiting test
+		t.Errorf("main loop block = %d, want 4", mf.Blocks["loop"])
+	}
+	if mf.Blocks["entry"] != 1 || mf.Blocks["done"] != 1 {
+		t.Errorf("main blocks = %v", mf.Blocks)
+	}
+
+	// Call edges carry call-site offsets and runtime callees.
+	var helperEdge, printEdge string
+	for edge, n := range mf.Calls {
+		switch {
+		case n == 3 && hasPrefix(edge, "helper@+"):
+			helperEdge = edge
+		case n == 3 && hasPrefix(edge, "print_int@+"):
+			printEdge = edge
+		}
+	}
+	if helperEdge == "" || printEdge == "" {
+		t.Errorf("main call edges = %v", mf.Calls)
+	}
+
+	// Step totals must sum to the machine's dynamic instruction count.
+	if got, want := p.TotalSteps(), m.Stats().DynamicInsts; got != want {
+		t.Errorf("TotalSteps = %d, Stats().DynamicInsts = %d", got, want)
+	}
+	if m.Stats().RuntimeCalls != 3 {
+		t.Errorf("RuntimeCalls = %d, want 3", m.Stats().RuntimeCalls)
+	}
+}
+
+// A reused machine must not double-count: each Run flushes and zeroes its
+// accumulators, so N runs produce exactly N× one run's counts.
+func TestProfileMultiRunNoDoubleCount(t *testing.T) {
+	p, err := mir.Parse(loopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := profile.NewCollector()
+	m, err := New(p, Options{MaxSteps: 1_000_000, Profile: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	one := col.Profile()
+	if _, err := m.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	two := col.Profile()
+	if got, want := two.Count("helper"), 2*one.Count("helper"); got != want {
+		t.Errorf("helper entries after 2 runs = %d, want %d", got, want)
+	}
+	if got, want := two.TotalSteps(), 2*one.TotalSteps(); got != want {
+		t.Errorf("steps after 2 runs = %d, want %d (double-count bug)", got, want)
+	}
+}
+
+// Collected profiles must be identical across separate machines and across
+// equivalent collection shardings (one collector for two runs vs two merged
+// collectors).
+func TestProfileDeterministicAcrossMachines(t *testing.T) {
+	a, _ := profiledRun(t, loopSrc, "main")
+	b, _ := profiledRun(t, loopSrc, "main")
+	if string(a.Encode()) != string(b.Encode()) {
+		t.Fatal("same run on two machines produced different profiles")
+	}
+	c, _ := profiledRun(t, loopSrc, "main")
+	merged := profile.Merged(a, b)
+	col := profile.NewCollector()
+	col.Add(c)
+	col.Add(c)
+	if string(merged.Encode()) != string(col.Profile().Encode()) {
+		t.Fatal("sharded collection diverged from merged collection")
+	}
+}
+
+func TestResetStatsPerRun(t *testing.T) {
+	p, err := mir.Parse(loopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p, Options{MaxSteps: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	first := m.Stats()
+	m.ResetStats()
+	if m.Stats() != (Stats{}) {
+		t.Fatal("ResetStats left residue")
+	}
+	if _, err := m.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats() != first {
+		t.Errorf("per-run stats diverged: %+v vs %+v", m.Stats(), first)
+	}
+}
+
+func TestStatsEmitCounters(t *testing.T) {
+	_, m := profiledRun(t, loopSrc, "main")
+	tr := obs.New()
+	m.Stats().EmitCounters(tr)
+	got := tr.Counters()
+	if got["exec/steps"] != m.Stats().DynamicInsts || got["exec/steps"] == 0 {
+		t.Errorf("exec/steps = %d", got["exec/steps"])
+	}
+	if got["exec/runtime_calls"] != 3 {
+		t.Errorf("exec/runtime_calls = %d", got["exec/runtime_calls"])
+	}
+	// Nil tracer must be a no-op, like the rest of the obs API.
+	m.Stats().EmitCounters(nil)
+}
+
+// Profiling must not change execution: output and stats match an
+// uninstrumented run.
+func TestProfilingIsTransparent(t *testing.T) {
+	p, err := mir.Parse(loopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := New(p, Options{MaxSteps: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainOut, err := plain.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := New(p, Options{MaxSteps: 1_000_000, Profile: profile.NewCollector()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profOut, err := prof.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plainOut != profOut {
+		t.Errorf("output diverged: %q vs %q", plainOut, profOut)
+	}
+	if plain.Stats() != prof.Stats() {
+		t.Errorf("stats diverged: %+v vs %+v", plain.Stats(), prof.Stats())
+	}
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}

@@ -22,7 +22,7 @@ type Remark struct {
 	Status string `json:"status"`
 	// Reason explains a rejection (empty when selected):
 	// "sp-access-under-lr-spill", "too-few-occurrences", "unprofitable",
-	// "occurrences-overlap", "unprofitable-after-overlap".
+	// "occurrences-overlap", "unprofitable-after-overlap", "hot-function".
 	Reason string `json:"reason,omitempty"`
 	// Round is the 1-based repeated-outlining round.
 	Round int `json:"round"`
@@ -41,6 +41,13 @@ type Remark struct {
 	// Strategy is the emission strategy ("tail-call", "thunk", "plain";
 	// empty when classification was never reached).
 	Strategy string `json:"strategy,omitempty"`
+	// ExecCount is the execution profile's entry count for the hottest
+	// function hosting an occurrence of this candidate. Present only when a
+	// profile fed the build (-profile-in).
+	ExecCount int64 `json:"execCount,omitempty"`
+	// Hotness is the profile verdict for the candidate: "hot" when ExecCount
+	// meets the cold threshold, "cold" otherwise. Empty without a profile.
+	Hotness string `json:"hotness,omitempty"`
 }
 
 // remarkBatch is the atomic emission unit: every remark of one

@@ -48,7 +48,7 @@ func Analyze(prog *mir.Program, opts Options) []Pattern {
 	var patterns []Pattern
 	var ls laneScratch
 	tree.ForEachRepeat(opts.MinLength, 2, func(r suffixtree.Repeat) {
-		set, reject := buildSet(prog, m, r, liveness, spSensitive, opts, &ls)
+		set, reject := buildSet(prog, m, r, liveness, spSensitive, nil, opts, &ls)
 		if reject != "" {
 			return
 		}

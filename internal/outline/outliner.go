@@ -9,6 +9,7 @@ import (
 	"outliner/internal/mir"
 	"outliner/internal/obs"
 	"outliner/internal/par"
+	"outliner/internal/profile"
 	"outliner/internal/suffixtree"
 	"outliner/internal/verify"
 )
@@ -68,6 +69,22 @@ type Options struct {
 	// point fires after a round's rewrites (only when Verify is on, so the
 	// damage is always caught) to exercise the verifier + rollback path.
 	Fault *fault.Injector
+	// Profile supplies execution counts from an instrumented run. With a
+	// profile set, every candidate remark is annotated with the entry count
+	// of the hottest function hosting an occurrence and a hot/cold verdict.
+	Profile *profile.Profile
+	// ColdOnly restricts extraction to cold code (the BOLT outliner's
+	// --outliner-cold-only): occurrences hosted in a function whose profile
+	// entry count reaches ColdThreshold are skipped, so hot paths are never
+	// outlined. Gating is active only when all three of ColdOnly, a non-nil
+	// Profile, and a positive ColdThreshold are present — any of them absent
+	// leaves the outliner byte-identical to an unprofiled build.
+	ColdOnly bool
+	// ColdThreshold is the entry count at or above which a function counts
+	// as hot (--outliner-cold-threshold). It also sets the remark verdict
+	// boundary; when only annotating (no ColdOnly), a non-positive value
+	// defaults to 1: any observed entry marks a function hot.
+	ColdThreshold int64
 }
 
 // Options.OnVerifyFailure values.
@@ -182,6 +199,14 @@ type candSet struct {
 	// every candidate is costed as a full LR spill and every function as a
 	// full frame, regardless of the strategy actually emitted.
 	flatCost bool
+	// execCount/hotness annotate the set's remark when a profile fed the
+	// build: the entry count of the hottest function hosting any
+	// (non-overlapping) occurrence, and its verdict against the threshold.
+	execCount int64
+	hotness   string
+	// gated counts occurrences dropped by cold-only gating; it distinguishes
+	// the "hot-function" rejection from "too-few-occurrences".
+	gated int
 }
 
 // Outline runs repeated machine outlining over prog in place and returns
@@ -326,6 +351,8 @@ func candRemark(set *candSet, occ, round int, opts Options, status, reason, fn s
 		Occurrences: occ,
 		Benefit:     set.ben,
 		Strategy:    set.strat.String(),
+		ExecCount:   set.execCount,
+		Hotness:     set.hotness,
 	}
 }
 
@@ -472,6 +499,17 @@ func outlineOnce(prog *mir.Program, opts Options, counter *int, round int, sc *s
 
 	tr.Add("outline/candidates/found", int64(len(repeats)))
 
+	// hotFns marks the functions cold-only gating must protect. Computed per
+	// round: earlier rounds' outlined functions appear in prog.Funcs but not
+	// in the profile, so they count as cold and stay outlinable.
+	var hotFns []bool
+	if opts.ColdOnly && opts.Profile != nil && opts.ColdThreshold > 0 {
+		hotFns = make([]bool, len(prog.Funcs))
+		for fi, f := range prog.Funcs {
+			hotFns[fi] = opts.Profile.Count(f.Name) >= opts.ColdThreshold
+		}
+	}
+
 	spSensitive := spSensitiveFuncs(prog)
 	if cap(sc.byRepeat) < len(repeats) {
 		sc.byRepeat = make([]repeatResult, len(repeats))
@@ -486,13 +524,15 @@ func outlineOnce(prog *mir.Program, opts Options, counter *int, round int, sc *s
 		}
 	}
 	par.DoLanes(opts.Parallelism, len(repeats), func(lane, i int) {
-		set, reject := buildSet(prog, m, repeats[i], liveness, spSensitive, opts, &sc.lanes[lane])
+		set, reject := buildSet(prog, m, repeats[i], liveness, spSensitive, hotFns, opts, &sc.lanes[lane])
 		byRepeat[i] = repeatResult{set, reject}
 	})
 	// Collect in repeat (suffix-tree) order: both the greedy input and the
 	// remark stream stay deterministic for any worker count.
 	sets := sc.sets[:0]
+	gated := int64(0)
 	for i, rr := range byRepeat {
+		gated += int64(rr.set.gated)
 		if rr.reject != "" {
 			if remarks {
 				occ := len(rr.set.cands)
@@ -507,6 +547,9 @@ func outlineOnce(prog *mir.Program, opts Options, counter *int, round int, sc *s
 		sets = append(sets, rr.set)
 	}
 	sc.sets = sets
+	if gated > 0 {
+		tr.Add("outline/profile/gated_occurrences", gated)
+	}
 
 	// Greedy: most beneficial first. Ties resolve to longer sequences, then
 	// earliest occurrence, for determinism.
@@ -595,7 +638,7 @@ func outlineOnce(prog *mir.Program, opts Options, counter *int, round int, sc *s
 // list live in ls's arenas (valid until its next reset), and the sorted
 // occurrence list is staged in ls.starts — r.Starts aliases suffix-tree
 // storage shared between repeats and must not be sorted in place.
-func buildSet(prog *mir.Program, m *mapping, r suffixtree.Repeat, liveness func(int) *mir.Liveness, spSensitive map[string]bool, opts Options, ls *laneScratch) (*candSet, string) {
+func buildSet(prog *mir.Program, m *mapping, r suffixtree.Repeat, liveness func(int) *mir.Liveness, spSensitive map[string]bool, hotFns []bool, opts Options, ls *laneScratch) (*candSet, string) {
 	seq := m.instsAt(prog, r.Starts[0], r.Length)
 	set := ls.newSet()
 	set.seq = seq
@@ -656,6 +699,20 @@ func buildSet(prog *mir.Program, m *mapping, r suffixtree.Repeat, liveness func(
 			continue
 		}
 		c := candidate{start: st, length: r.Length, where: m.locs[st]}
+		if opts.Profile != nil {
+			// Annotate before gating: the remark reports the hottest host
+			// even when gating then drops that occurrence.
+			if n := opts.Profile.Count(prog.Funcs[c.where.fn].Name); n > set.execCount {
+				set.execCount = n
+			}
+		}
+		if hotFns != nil && hotFns[c.where.fn] {
+			// Cold-only gating: never extract from a hot function — the
+			// extra dynamic call would tax exactly the paths the profile
+			// says dominate execution.
+			set.gated++
+			continue
+		}
 		if set.strat == stratPlain {
 			lv := liveness(c.where.fn)
 			endIdx := c.where.inst + r.Length - 1
@@ -672,7 +729,21 @@ func buildSet(prog *mir.Program, m *mapping, r suffixtree.Repeat, liveness func(
 	ls.candTmp = tmp
 	set.cands = ls.saveCands(tmp)
 	set.ben = set.benefit()
+	if opts.Profile != nil {
+		thr := opts.ColdThreshold
+		if thr <= 0 {
+			thr = 1
+		}
+		if set.execCount >= thr {
+			set.hotness = "hot"
+		} else {
+			set.hotness = "cold"
+		}
+	}
 	if len(set.cands) < 2 {
+		if set.gated > 0 {
+			return set, "hot-function"
+		}
 		return set, "too-few-occurrences"
 	}
 	if set.ben < opts.MinBenefit {

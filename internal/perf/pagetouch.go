@@ -1,0 +1,164 @@
+package perf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"outliner/internal/binimg"
+	"outliner/internal/profile"
+)
+
+// PageTouchResult is the code-locality yardstick for layout work: how an
+// image's function placement interacts with a profile's call graph. It is
+// the metric Codestitcher and "Optimizing Function Layout for Mobile
+// Applications" optimize — callers placed near callees keep hot call chains
+// within fewer pages, cutting cold-start page faults and iTLB pressure —
+// computed here entirely from a (profile, image) pair, no re-execution.
+type PageTouchResult struct {
+	PageSize int
+	// CodePages is the total page count the code section spans.
+	CodePages int
+	// TouchedPages counts pages containing at least one executed function —
+	// the working set a run of the profiled workload pulls in.
+	TouchedPages int
+	// CrossPageCalls is the execution-weighted number of profiled call edges
+	// whose call site and callee entry live on different pages; TotalCalls
+	// is the weighted total with both endpoints in the image. Their ratio is
+	// the layout's page-locality score.
+	CrossPageCalls int64
+	TotalCalls     int64
+	// Faults counts misses of a resident-set LRU over a deterministic
+	// replay of the profiled call edges — a first-touch / re-touch page
+	// fault model of walking the call graph on a memory-constrained device.
+	Faults int64
+}
+
+// CrossRatio returns CrossPageCalls/TotalCalls (0 when no calls).
+func (r PageTouchResult) CrossRatio() float64 {
+	if r.TotalCalls == 0 {
+		return 0
+	}
+	return float64(r.CrossPageCalls) / float64(r.TotalCalls)
+}
+
+// PageTouch evaluates img's code layout against an execution profile on dev.
+// Deterministic: iteration is in sorted function/edge order and the edge
+// replay compresses counts logarithmically, so equal (profile, image, device)
+// triples produce equal results in bounded time regardless of count scale.
+func PageTouch(img *binimg.Image, p *profile.Profile, dev Device) PageTouchResult {
+	pageSize := int64(dev.PageSize)
+	if pageSize == 0 {
+		pageSize = binimg.PageSize
+	}
+	res := PageTouchResult{PageSize: int(pageSize)}
+
+	syms := make(map[string]binimg.Symbol)
+	codeEnd := int64(0)
+	for _, s := range img.Symbols {
+		if !s.Code {
+			continue
+		}
+		syms[s.Name] = s
+		if end := int64(s.Addr + s.Size); end > codeEnd {
+			codeEnd = end
+		}
+	}
+	res.CodePages = int((codeEnd + pageSize - 1) / pageSize)
+	if p == nil {
+		return res
+	}
+
+	names := make([]string, 0, len(p.Funcs))
+	for name := range p.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	touched := make(map[int64]bool)
+	resident := newLRUSet(residentCodePages(dev))
+	for _, name := range names {
+		fp := p.Funcs[name]
+		sym, ok := syms[name]
+		if !ok {
+			continue // runtime entries and dead-stripped functions
+		}
+		if fp.Entries > 0 || fp.Steps > 0 {
+			for pg := int64(sym.Addr) / pageSize; pg <= int64(sym.Addr+sym.Size-1)/pageSize; pg++ {
+				touched[pg] = true
+			}
+		}
+		edges := make([]string, 0, len(fp.Calls))
+		for edge := range fp.Calls {
+			edges = append(edges, edge)
+		}
+		sort.Strings(edges)
+		for _, edge := range edges {
+			callee, off, ok := profile.SplitEdgeKey(edge)
+			if !ok {
+				continue
+			}
+			n := fp.Calls[edge]
+			site := int64(sym.Addr) + off
+			csym, inImage := syms[callee]
+			if inImage {
+				res.TotalCalls += n
+				if site/pageSize != int64(csym.Addr)/pageSize {
+					res.CrossPageCalls += n
+				}
+			}
+			// Replay the edge against the resident set log2(n)+1 times: heavy
+			// edges keep their pages resident longer without making the replay
+			// cost proportional to dynamic execution counts.
+			for reps := replayCount(n); reps > 0; reps-- {
+				if !resident.access(site / pageSize) {
+					res.Faults++
+				}
+				if inImage {
+					if !resident.access(int64(csym.Addr) / pageSize) {
+						res.Faults++
+					}
+				}
+			}
+		}
+	}
+	res.TouchedPages = len(touched)
+	return res
+}
+
+// residentCodePages sizes the fault model's working set; reuse the device's
+// data working-set knob as the code one (same memory-pressure model).
+func residentCodePages(dev Device) int {
+	if dev.ResidentDataPages > 0 {
+		return dev.ResidentDataPages
+	}
+	return 64
+}
+
+// replayCount compresses an edge's execution count into replay repetitions:
+// 0 → 0, then log2(n)+1, capped so hostile profiles stay bounded.
+func replayCount(n int64) int {
+	if n <= 0 {
+		return 0
+	}
+	reps := 1
+	for n > 1 {
+		n >>= 1
+		reps++
+	}
+	if reps > 40 {
+		reps = 40
+	}
+	return reps
+}
+
+// FormatPageTouch renders the metric for reports.
+func FormatPageTouch(r PageTouchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "page-touch (%d-byte pages): %d/%d code pages touched\n",
+		r.PageSize, r.TouchedPages, r.CodePages)
+	fmt.Fprintf(&b, "  cross-page calls: %d/%d (%.1f%%)\n",
+		r.CrossPageCalls, r.TotalCalls, 100*r.CrossRatio())
+	fmt.Fprintf(&b, "  simulated page faults: %d\n", r.Faults)
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+
+	"outliner/internal/binimg"
+	"outliner/internal/profile"
+)
+
+// syntheticImage lays out three functions: two sharing page 0, one alone on
+// page 2 (4KiB pages).
+func syntheticImage() *binimg.Image {
+	return &binimg.Image{
+		CodeSize: 9000,
+		Symbols: []binimg.Symbol{
+			{Name: "near_a", Addr: 0, Size: 128, Code: true},
+			{Name: "near_b", Addr: 128, Size: 128, Code: true},
+			{Name: "far_c", Addr: 8192, Size: 808, Code: true},
+			{Name: "glob", Addr: 0, Size: 64, Code: false},
+		},
+	}
+}
+
+func dev4k() Device { return Devices[0] } // iPhone6s: 4KiB pages
+
+func TestPageTouchCrossPageCalls(t *testing.T) {
+	p := profile.New()
+	a := p.Func("near_a")
+	a.Entries, a.Steps = 1, 100
+	a.Calls = map[string]int64{
+		profile.EdgeKey("near_b", 16): 10, // same page
+		profile.EdgeKey("far_c", 32):  5,  // crosses to page 2
+	}
+	p.Func("near_b").Entries = 10
+	p.Func("near_b").Steps = 50
+	p.Func("far_c").Entries = 5
+	p.Func("far_c").Steps = 25
+
+	r := PageTouch(syntheticImage(), p, dev4k())
+	if r.TotalCalls != 15 || r.CrossPageCalls != 5 {
+		t.Fatalf("calls = %d/%d, want 5/15", r.CrossPageCalls, r.TotalCalls)
+	}
+	if r.TouchedPages != 2 {
+		t.Fatalf("touched = %d, want 2 (page 0 and page 2)", r.TouchedPages)
+	}
+	if r.CodePages != 3 {
+		t.Fatalf("code pages = %d, want 3", r.CodePages)
+	}
+	if got := r.CrossRatio(); got < 0.33 || got > 0.34 {
+		t.Fatalf("cross ratio = %v", got)
+	}
+	if r.Faults == 0 {
+		t.Fatal("expected first-touch faults")
+	}
+	out := FormatPageTouch(r)
+	if !strings.Contains(out, "cross-page calls: 5/15") {
+		t.Fatalf("report: %s", out)
+	}
+}
+
+func TestPageTouchDeterministicAndInert(t *testing.T) {
+	p := profile.New()
+	f := p.Func("near_a")
+	f.Entries, f.Steps = 3, 30
+	f.Calls = map[string]int64{
+		profile.EdgeKey("far_c", 8):      100,
+		profile.EdgeKey("near_b", 4):     7,
+		profile.EdgeKey("print_int", 12): 9, // runtime callee: not in image
+		"malformed-edge":                 1,
+	}
+	img := syntheticImage()
+	r1 := PageTouch(img, p, dev4k())
+	r2 := PageTouch(img, p, dev4k())
+	if r1 != r2 {
+		t.Fatalf("non-deterministic: %+v vs %+v", r1, r2)
+	}
+	if r1.TotalCalls != 107 { // runtime + malformed edges excluded
+		t.Fatalf("TotalCalls = %d, want 107", r1.TotalCalls)
+	}
+	empty := PageTouch(img, nil, dev4k())
+	if empty.TouchedPages != 0 || empty.TotalCalls != 0 || empty.Faults != 0 {
+		t.Fatalf("nil profile must be inert: %+v", empty)
+	}
+	if empty.CodePages != 3 {
+		t.Fatalf("CodePages = %d", empty.CodePages)
+	}
+}

@@ -136,7 +136,20 @@ func machineFingerprint(cfg Config) string {
 	}
 	return fmt.Sprintf("merge=%t fmsa=%t rounds=%d flat=%t verify=%t onvf=%s",
 		cfg.MergeFunctions, cfg.FMSA, cfg.OutlineRounds, cfg.FlatOutlineCost, cfg.Verify, onvf) +
-		faultFingerprint(cfg)
+		faultFingerprint(cfg) + profileFingerprint(cfg)
+}
+
+// profileFingerprint keys machine-stage entries by profile identity and
+// cold-only policy. The profile content digest (not a file name) identifies
+// the profile, so two different profiles can never share entries; an
+// unprofiled, ungated build contributes nothing, keeping its keys identical
+// to every earlier release's.
+func profileFingerprint(cfg Config) string {
+	if cfg.Profile == nil && !cfg.OutlineColdOnly {
+		return ""
+	}
+	return fmt.Sprintf(" prof=%s coldonly=%t coldthr=%d",
+		cfg.Profile.Digest(), cfg.OutlineColdOnly, cfg.OutlineColdThreshold)
 }
 
 // faultFingerprint keys cache entries by the fault-injection schedule. Any

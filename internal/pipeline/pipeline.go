@@ -28,6 +28,7 @@ import (
 	"outliner/internal/obs"
 	"outliner/internal/outline"
 	"outliner/internal/par"
+	"outliner/internal/profile"
 	"outliner/internal/sir"
 	"outliner/internal/verify"
 )
@@ -116,6 +117,20 @@ type Config struct {
 	// can neither publish nor consume a clean build's artifacts. nil
 	// disables injection at zero cost.
 	Fault *fault.Injector
+	// Profile supplies an execution profile from an instrumented run
+	// (-profile-in): outliner candidate remarks gain execution counts and
+	// hot/cold verdicts, and cold-only gating becomes possible. The profile
+	// digest joins the machine-stage cache fingerprint, so profiled builds
+	// never collide with clean builds' cache entries.
+	Profile *profile.Profile
+	// OutlineColdOnly restricts machine outlining to cold functions
+	// (-outline-cold-only); see outline.Options.ColdOnly. Without a Profile
+	// or with OutlineColdThreshold <= 0 it gates nothing and the image is
+	// byte-identical to an unprofiled build.
+	OutlineColdOnly bool
+	// OutlineColdThreshold is the entry count at which a function counts as
+	// hot (-outline-cold-threshold).
+	OutlineColdThreshold int64
 }
 
 // BuildErrors is a keep-going build's aggregated failure: one error per
@@ -536,6 +551,9 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (res *Result, err error) {
 					RemarkModule:    lm.Name,
 					OnVerifyFailure: cfg.OnVerifyFailure,
 					Fault:           cfg.Fault,
+					Profile:         cfg.Profile,
+					ColdOnly:        cfg.OutlineColdOnly,
+					ColdThreshold:   cfg.OutlineColdThreshold,
 				})
 				if cerr != nil {
 					return nil, fmt.Errorf("pipeline: module %s: %w", lm.Name, cerr)
@@ -592,6 +610,9 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (res *Result, err error) {
 			Tracer:          tr,
 			OnVerifyFailure: cfg.OnVerifyFailure,
 			Fault:           cfg.Fault,
+			Profile:         cfg.Profile,
+			ColdOnly:        cfg.OutlineColdOnly,
+			ColdThreshold:   cfg.OutlineColdThreshold,
 		})
 		if oerr != nil {
 			return nil, oerr

@@ -1,0 +1,40 @@
+package profile
+
+import "sync"
+
+// Collector is the concurrency-safe accumulation point an instrumented run
+// feeds (exec.Options.Profile). Machines batch their per-run counts into a
+// small Profile and hand it to Add, so the lock is taken once per run, not
+// once per instruction; several machines (difftest oracle shards, parallel
+// benchmark entry points) may share one collector.
+type Collector struct {
+	mu sync.Mutex
+	p  *Profile
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{p: New()}
+}
+
+// Add merges one run's counts into the collector.
+func (c *Collector) Add(p *Profile) {
+	if c == nil || p == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.p.Merge(p)
+}
+
+// Profile returns a snapshot of everything collected so far. The snapshot is
+// independent of the collector: later Adds don't mutate it, so its Digest is
+// stable once it feeds a build.
+func (c *Collector) Profile() *Profile {
+	if c == nil {
+		return New()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Merged(c.p)
+}

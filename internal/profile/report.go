@@ -1,0 +1,63 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteHotReport renders the "hottest functions / coverage" section of a
+// build or run summary: the top-n functions by dynamic steps, each row's
+// share of total execution, and the hot/cold split at threshold (a
+// non-positive threshold reports verdicts at threshold 1). Deterministic for
+// a given profile.
+func WriteHotReport(w io.Writer, p *Profile, n int, threshold int64) error {
+	if p == nil || len(p.Funcs) == 0 {
+		_, err := fmt.Fprintln(w, "profile: empty (no instrumented runs)")
+		return err
+	}
+	thr := threshold
+	if thr <= 0 {
+		thr = 1
+	}
+	executed, hot := 0, 0
+	for _, f := range p.Funcs {
+		if f.Entries > 0 || f.Steps > 0 {
+			executed++
+		}
+		if f.Entries >= thr {
+			hot++
+		}
+	}
+	total := p.TotalSteps()
+	top := p.TopN(n)
+	var covered int64
+	for _, f := range top {
+		covered += f.Steps
+	}
+	pct := func(part int64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(part) / float64(total)
+	}
+	if _, err := fmt.Fprintf(w,
+		"profile: %d functions (%d executed, %d hot at threshold %d), %d total steps\n",
+		len(p.Funcs), executed, hot, thr, total); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "hottest %d functions (%.1f%% of execution):\n",
+		len(top), pct(covered)); err != nil {
+		return err
+	}
+	for _, f := range top {
+		verdict := "cold"
+		if f.Entries >= thr {
+			verdict = "hot"
+		}
+		if _, err := fmt.Fprintf(w, "  %-40s %10d steps  %6.1f%%  %8d entries  %s\n",
+			f.Name, f.Steps, pct(f.Steps), f.Entries, verdict); err != nil {
+			return err
+		}
+	}
+	return nil
+}
