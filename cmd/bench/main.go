@@ -246,27 +246,34 @@ func checkWarmSpeedup(report Report, min float64) bool {
 
 // guardReport compares the fresh report against a committed baseline:
 // every benchmark present in both must stay within tolerance of the
-// baseline's ns/op, and the warm cached build must still beat the uncached
-// build (the cache's reason to exist — a fault-tolerance regression that
-// turned every warm probe into a degraded miss would fail here even if
-// absolute times drifted). Missing or extra benchmarks are reported but not
-// fatal, so the guard survives benchmark additions.
+// baseline's ns/op, and the cache's structural invariants must still hold —
+// in the pr4 suite the warm cached build beats the uncached build, in the
+// scale suite (BENCH_scale.json) the warm rebuild beats the cold build (a
+// fault-tolerance regression that turned every warm probe into a degraded
+// miss would fail here even if absolute times drifted). Missing or extra
+// benchmarks are reported but not fatal, so the guard survives benchmark
+// additions. Failures return false rather than exiting, so run()'s profile
+// and cleanup defers fire on the failure path.
 func guardReport(report Report, path string, tolerance float64) bool {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		return false
 	}
 	var base Report
 	if err := json.Unmarshal(raw, &base); err != nil {
-		fatal(fmt.Errorf("%s: %w", path, err))
+		fmt.Fprintf(os.Stderr, "bench: %s: %v\n", path, err)
+		return false
 	}
 	if base.Scale != report.Scale {
-		fatal(fmt.Errorf("guard: baseline %s was recorded at -scale %g, this run used %g; times are not comparable",
-			path, base.Scale, report.Scale))
+		fmt.Fprintf(os.Stderr, "guard: baseline %s was recorded at -scale %g, this run used %g; times are not comparable\n",
+			path, base.Scale, report.Scale)
+		return false
 	}
 	if base.Modules != report.Modules {
-		fatal(fmt.Errorf("guard: baseline %s was recorded at -modules %d, this run used %d; times are not comparable",
-			path, base.Modules, report.Modules))
+		fmt.Fprintf(os.Stderr, "guard: baseline %s was recorded at -modules %d, this run used %d; times are not comparable\n",
+			path, base.Modules, report.Modules)
+		return false
 	}
 	baseline := make(map[string]Record, len(base.Results))
 	for _, r := range base.Results {
@@ -293,6 +300,15 @@ func guardReport(report Report, path string, tolerance float64) bool {
 		if w && u && warm.NsPerOp >= uncached.NsPerOp {
 			fmt.Fprintf(os.Stderr, "guard: REGRESSION %s: warm build (%.0f ns/op) no faster than uncached (%.0f ns/op)\n",
 				pipe, warm.NsPerOp, uncached.NsPerOp)
+			ok = false
+		}
+	}
+	// The scale suite's analog: a fully warm rebuild of the paper-scale
+	// corpus must beat the cold build outright.
+	if warm, w := current["ScaleBuild/warm"]; w {
+		if cold, c := current["ScaleBuild/cold"]; c && warm.NsPerOp >= cold.NsPerOp {
+			fmt.Fprintf(os.Stderr, "guard: REGRESSION ScaleBuild: warm rebuild (%.0f ns/op) no faster than cold (%.0f ns/op)\n",
+				warm.NsPerOp, cold.NsPerOp)
 			ok = false
 		}
 	}

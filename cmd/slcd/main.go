@@ -1,0 +1,227 @@
+// Command slcd is the build-farm side of the toolchain: one binary serving
+// three roles, selected by -mode.
+//
+//	slcd -mode serve  (default): the compile daemon. Accepts concurrent build
+//	    requests over HTTP (POST /build), dedupes identical in-flight stage
+//	    work across requests through the single-flight layer, and shares one
+//	    build cache — optionally backed by a sharded remote tier — across
+//	    every request it serves.
+//	slcd -mode shard: one remote cache shard — an LRU-capped, disk-backed
+//	    entry store speaking the cache's HTTP protocol (GET/PUT/DELETE
+//	    /entry/<id>, GET /statz).
+//	slcd -mode client: a build client. Generates or reads sources, posts N
+//	    concurrent identical requests, verifies the responses agree
+//	    byte-for-byte, and writes the listing and counters.
+//
+// A two-terminal quickstart lives in the repository README; the service-mode
+// design notes live in DESIGN.md.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"outliner/internal/appgen"
+	"outliner/internal/cache"
+	"outliner/internal/slcd"
+)
+
+func main() {
+	var (
+		mode = flag.String("mode", "serve", "role: serve (compile daemon) | shard (remote cache shard) | client (post build requests)")
+		addr = flag.String("addr", "127.0.0.1:9470", "listen address (serve and shard modes)")
+
+		// serve
+		cacheDir  = flag.String("cache-dir", "", "daemon build cache directory (empty = cache off)")
+		shards    = flag.String("shards", "", "comma-separated remote cache shard base URLs, e.g. http://127.0.0.1:9471,http://127.0.0.1:9472")
+		jobs      = flag.Int("j", 0, "per-build parallel workers (0 = one per CPU)")
+		maxBuilds = flag.Int("max-builds", 4, "concurrently executing build requests; further requests queue")
+
+		// shard
+		shardDir = flag.String("shard-dir", "", "shard entry directory (shard mode; required)")
+		shardMax = flag.Int64("shard-max-bytes", 256<<20, "shard size cap in bytes; least-recently-used entries are evicted")
+
+		// client
+		server   = flag.String("server", "http://127.0.0.1:9470", "daemon base URL (client mode)")
+		requests = flag.Int("requests", 1, "concurrent identical build requests to post; responses must agree byte-for-byte")
+		genMods  = flag.Int("gen-modules", 0, "generate a deterministic app with this many modules instead of reading source files")
+		rounds   = flag.Int("rounds", 5, "client request knob: outlining rounds")
+		verify   = flag.Bool("verify", true, "client request knob: run the machine-code verifier")
+		outFile  = flag.String("o", "", "client: write the agreed image listing to this file")
+		counters = flag.String("counters", "", "client: write the first response's counters as JSON to this file")
+	)
+	flag.Parse()
+
+	var err error
+	switch *mode {
+	case "serve":
+		err = runServe(*addr, *cacheDir, *shards, *jobs, *maxBuilds)
+	case "shard":
+		err = runShard(*addr, *shardDir, *shardMax)
+	case "client":
+		err = runClient(clientOpts{
+			server: *server, requests: *requests, genModules: *genMods,
+			rounds: *rounds, verify: *verify,
+			outFile: *outFile, countersFile: *counters, files: flag.Args(),
+		})
+	default:
+		err = fmt.Errorf("unknown -mode %q (serve | shard | client)", *mode)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slcd:", err)
+		os.Exit(1)
+	}
+}
+
+func runServe(addr, cacheDir, shards string, jobs, maxBuilds int) error {
+	opts := slcd.Options{
+		CacheDir:    cacheDir,
+		Parallelism: jobs,
+		MaxBuilds:   maxBuilds,
+	}
+	if shards != "" {
+		opts.ShardURLs = strings.Split(shards, ",")
+	}
+	srv := slcd.NewServer(opts)
+	fmt.Fprintf(os.Stderr, "slcd: compile daemon on %s (cache=%q, shards=%d, max-builds=%d)\n",
+		addr, cacheDir, len(opts.ShardURLs), opts.MaxBuilds)
+	return http.ListenAndServe(addr, srv.Handler())
+}
+
+func runShard(addr, dir string, maxBytes int64) error {
+	if dir == "" {
+		return fmt.Errorf("shard mode requires -shard-dir")
+	}
+	store, err := cache.OpenShard(dir, maxBytes)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "slcd: cache shard on %s (dir=%s, cap=%d bytes, %d entries adopted)\n",
+		addr, dir, maxBytes, store.Len())
+	return http.ListenAndServe(addr, cache.NewShardServer(store))
+}
+
+type clientOpts struct {
+	server       string
+	requests     int
+	genModules   int
+	rounds       int
+	verify       bool
+	outFile      string
+	countersFile string
+	files        []string
+}
+
+// runClient posts opts.requests concurrent identical build requests and
+// verifies every response succeeded with the same listing — the client-side
+// half of the determinism contract the race and soak tests assert in-process.
+func runClient(opts clientOpts) error {
+	req, err := buildRequest(opts)
+	if err != nil {
+		return err
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	if opts.requests < 1 {
+		opts.requests = 1
+	}
+	resps := make([]*slcd.BuildResponse, opts.requests)
+	errs := make([]error, opts.requests)
+	var wg sync.WaitGroup
+	for i := 0; i < opts.requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = post(opts.server, payload)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < opts.requests; i++ {
+		if errs[i] != nil {
+			return fmt.Errorf("request %d: %w", i, errs[i])
+		}
+		if !resps[i].OK {
+			return fmt.Errorf("request %d failed (%s): %s", i, resps[i].ErrorClass, resps[i].Error)
+		}
+		if resps[i].Listing != resps[0].Listing {
+			return fmt.Errorf("request %d listing differs from request 0 — concurrent identical requests must agree byte-for-byte", i)
+		}
+	}
+	first := resps[0]
+	fmt.Printf("slcd client: %d request(s) ok, code %d bytes, total %d bytes\n",
+		opts.requests, first.CodeSize, first.TotalSize)
+	if opts.outFile != "" {
+		if err := os.WriteFile(opts.outFile, []byte(first.Listing), 0o644); err != nil {
+			return err
+		}
+	}
+	if opts.countersFile != "" {
+		data, err := json.MarshalIndent(first.Counters, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(opts.countersFile, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildRequest assembles the request from -gen-modules or the .sl file args
+// (each file its own module, like slc).
+func buildRequest(opts clientOpts) (*slcd.BuildRequest, error) {
+	cfg := slcd.DefaultConfig()
+	cfg.OutlineRounds = opts.rounds
+	cfg.Verify = opts.verify
+	req := &slcd.BuildRequest{Config: cfg}
+	switch {
+	case opts.genModules > 0:
+		profile := appgen.UberRider
+		scale := appgen.ScaleForModules(profile, opts.genModules)
+		for _, m := range appgen.Generate(profile, scale) {
+			req.Modules = append(req.Modules, slcd.ModuleSource{Name: m.Name, Files: m.Files})
+		}
+	case len(opts.files) > 0:
+		for _, path := range opts.files {
+			text, err := os.ReadFile(path)
+			if err != nil {
+				return nil, err
+			}
+			name := strings.TrimSuffix(filepath.Base(path), ".sl")
+			req.Modules = append(req.Modules, slcd.ModuleSource{
+				Name:  name,
+				Files: map[string]string{filepath.Base(path): string(text)},
+			})
+		}
+	default:
+		return nil, fmt.Errorf("client mode needs .sl file arguments or -gen-modules N")
+	}
+	return req, nil
+}
+
+func post(server string, payload []byte) (*slcd.BuildResponse, error) {
+	resp, err := http.Post(server+"/build", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var msg bytes.Buffer
+		msg.ReadFrom(resp.Body)
+		return nil, fmt.Errorf("daemon returned %d: %s", resp.StatusCode, strings.TrimSpace(msg.String()))
+	}
+	var out slcd.BuildResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

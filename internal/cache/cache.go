@@ -21,7 +21,11 @@
 // The in-memory tier makes repeated in-process builds (the experiment
 // sweeps) hit at memory speed; the on-disk tier under -cache-dir carries
 // warm starts across processes. Processes sharing a directory share one
-// in-memory tier via Shared.
+// in-memory tier via Shared. An optional third tier (SetRemote) shares
+// artifacts across machines: a sharded remote cache speaking ShardServer's
+// HTTP protocol, with every shard an LRU-capped instance of the same disk
+// entry format. Flight adds the build farm's single-flight layer on top, so
+// concurrent builds that miss on the same key compute it once.
 package cache
 
 import (
@@ -91,8 +95,8 @@ func HashBytes(b []byte) string {
 // long experiment sweeps stay within a fixed footprint.
 const memLimitBytes = 256 << 20
 
-// Cache is one two-tier artifact store. The zero value and nil are valid
-// always-miss caches.
+// Cache is one tiered artifact store (memory + disk, plus an optional
+// sharded remote tier). The zero value and nil are valid always-miss caches.
 type Cache struct {
 	dir string
 
@@ -103,6 +107,11 @@ type Cache struct {
 	sleep  func(time.Duration)
 	remove func(string) error
 	fault  *fault.Injector
+
+	// remote is the optional third tier: a sharded remote cache shared by a
+	// fleet of builds (see SetRemote). Lookup order is memory → disk →
+	// remote; remote hits are promoted into the local tiers.
+	remote *Remote
 
 	mu       sync.Mutex
 	mem      map[string][]byte
@@ -156,6 +165,29 @@ func Forget(dir string) {
 	}
 }
 
+// SetRemote attaches (or detaches, with nil) the sharded remote tier. The
+// remote tier obeys the same contract as the others: it can only ever turn a
+// miss into a hit, never a build into a failure — a dead or corrupt shard
+// degrades to a miss. Attaching a remote to a Shared cache attaches it for
+// every build in the process using that directory; that is exactly what a
+// compile daemon wants, and exactly why faulted builds (which open private
+// handles) never see it.
+func (c *Cache) SetRemote(r *Remote) {
+	if c != nil {
+		c.mu.Lock()
+		c.remote = r
+		c.mu.Unlock()
+	}
+}
+
+// getRemote reads the remote tier under the lock: concurrent daemon builds
+// re-attach the same remote through OpenBuildCache while others probe.
+func (c *Cache) getRemote() *Remote {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.remote
+}
+
 // DropMemory empties the in-memory tier, leaving disk entries intact.
 // Tests use it to simulate a fresh process against a warm directory.
 func (c *Cache) DropMemory() {
@@ -179,7 +211,8 @@ func (c *Cache) Get(k Key) ([]byte, bool) {
 // GetProbe is Get plus a Probe describing what the lookup survived:
 // transient-I/O retries, corruption, a failed delete of the damaged entry.
 // Every failure mode degrades to a miss — the probe exists for telemetry,
-// not control flow.
+// not control flow. Tiers are consulted hottest-first (memory, disk, remote
+// shard) and the probe's Tier names the one that served a hit.
 func (c *Cache) GetProbe(k Key) ([]byte, bool, Probe) {
 	var pr Probe
 	if c == nil {
@@ -190,20 +223,57 @@ func (c *Cache) GetProbe(k Key) ([]byte, bool, Probe) {
 	data, ok := c.mem[id]
 	c.mu.Unlock()
 	if ok {
+		pr.Tier = "memory"
 		return data, true, pr
 	}
-	if c.dir == "" {
-		return nil, false, pr
+	if c.dir != "" {
+		if payload, ok := c.getDisk(id, &pr); ok {
+			pr.Tier = "disk"
+			c.remember(id, payload)
+			return payload, true, pr
+		}
 	}
+	if remote := c.getRemote(); remote != nil {
+		raw, shard, ok, rpr := remote.get(id)
+		pr.Merge(rpr)
+		if ok {
+			payload, err := decodeEntry(raw)
+			if err != nil {
+				// The shard served damaged bytes (or they were damaged in
+				// flight): delete the entry so the rebuild republishes a good
+				// one end-to-end, the disk tier's exact contract.
+				pr.Corrupt = true
+				remote.drop(shard, id)
+			} else {
+				// Promote into the local tiers so the next probe is local;
+				// a failed disk promotion only costs the promotion.
+				if c.dir != "" {
+					var ppr Probe
+					if err := c.writeEntry(id, raw, &ppr); err == nil {
+						pr.Retries += ppr.Retries
+					}
+				}
+				c.remember(id, payload)
+				pr.Tier = TierName(shard)
+				return payload, true, pr
+			}
+		}
+	}
+	return nil, false, pr
+}
+
+// getDisk is the disk-tier half of GetProbe: read, validate, and on damage
+// delete-and-miss.
+func (c *Cache) getDisk(id string, pr *Probe) ([]byte, bool) {
 	path := c.entryPath(id)
-	raw, err := c.readEntry(id, path, &pr)
+	raw, err := c.readEntry(id, path, pr)
 	if err != nil {
 		// Absence is the ordinary miss; anything else is a degraded miss
 		// worth reporting.
 		if !errors.Is(err, fs.ErrNotExist) {
 			pr.IOErr = err
 		}
-		return nil, false, pr
+		return nil, false
 	}
 	raw = c.fault.MaybeCorrupt(fault.CacheRead, id, raw)
 	payload, err := decodeEntry(raw)
@@ -215,10 +285,9 @@ func (c *Cache) GetProbe(k Key) ([]byte, bool, Probe) {
 		if rerr := c.removeEntry(path); rerr != nil && !errors.Is(rerr, fs.ErrNotExist) {
 			pr.RemoveErr = rerr
 		}
-		return nil, false, pr
+		return nil, false
 	}
-	c.remember(id, payload)
-	return payload, true, pr
+	return payload, true
 }
 
 // Put stores data under k in both tiers. The cache takes ownership of data.
@@ -228,8 +297,10 @@ func (c *Cache) Put(k Key, data []byte) {
 	c.PutProbe(k, data)
 }
 
-// PutProbe is Put plus a Probe describing retries and the final disk error
-// (if any) the publication degraded over.
+// PutProbe is Put plus a Probe describing retries and the final disk (or
+// remote-shard) error the publication degraded over, if any. The entry is
+// published to every configured tier: memory, disk, and the owning remote
+// shard — any tier can fail independently without failing the others.
 func (c *Cache) PutProbe(k Key, data []byte) Probe {
 	var pr Probe
 	if c == nil {
@@ -237,11 +308,18 @@ func (c *Cache) PutProbe(k Key, data []byte) Probe {
 	}
 	id := k.id()
 	c.store(id, data)
-	if c.dir == "" {
-		return pr
+	remote := c.getRemote()
+	var enc []byte
+	if c.dir != "" || remote != nil {
+		enc = encodeEntry(data)
 	}
-	if err := c.writeEntry(id, encodeEntry(data), &pr); err != nil {
-		pr.IOErr = err
+	if c.dir != "" {
+		if err := c.writeEntry(id, enc, &pr); err != nil {
+			pr.IOErr = err
+		}
+	}
+	if remote != nil {
+		pr.Merge(remote.put(id, enc))
 	}
 	return pr
 }

@@ -1,0 +1,98 @@
+package cache
+
+import (
+	"errors"
+	"sync"
+)
+
+// Flight is the build farm's single-flight layer: concurrent builds that miss
+// the cache on the same stage key share one execution instead of compiling
+// the same artifact in parallel. The currency is the encoded artifact bytes —
+// never a decoded structure — so every waiter decodes its own private copy
+// and builds stay free of shared mutable state, exactly as a warm cache hit
+// would be.
+//
+// One Flight is shared across every request a compile daemon serves
+// (pipeline.Config.Flight); the key space is the content-addressed cache key,
+// which already folds in stage, input hash, config fingerprint, and schema,
+// so two requests can only ever share work when they would have produced
+// byte-identical artifacts.
+//
+// A nil *Flight is valid and never dedupes — Do then just runs fn.
+type Flight struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+
+	execs int64 // leader executions (fn invocations)
+	waits int64 // calls that waited on another caller's execution
+}
+
+// flightCall is one in-flight execution; waiters block on done.
+type flightCall struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// ErrFlightAborted is what waiters receive when the leader's fn panicked:
+// the leader re-panics (so the pipeline's panic isolation still sees it) and
+// every waiter degrades to this structured error instead of hanging.
+var ErrFlightAborted = errors.New("cache: single-flight leader aborted")
+
+// NewFlight returns an empty single-flight group.
+func NewFlight() *Flight {
+	return &Flight{calls: make(map[string]*flightCall)}
+}
+
+// Do executes fn for k exactly once among concurrent callers: the first
+// caller (the leader) runs fn; callers arriving while it runs wait and share
+// the leader's result. shared reports whether this call waited rather than
+// executed. Completed calls are forgotten immediately — the cache, not the
+// Flight, is the store — so an error is never sticky: the next Do for the
+// same key executes again.
+func (f *Flight) Do(k Key, fn func() ([]byte, error)) (data []byte, shared bool, err error) {
+	if f == nil {
+		data, err = fn()
+		return data, false, err
+	}
+	id := k.id()
+	f.mu.Lock()
+	if c, ok := f.calls[id]; ok {
+		f.waits++
+		f.mu.Unlock()
+		<-c.done
+		return c.data, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	f.calls[id] = c
+	f.execs++
+	f.mu.Unlock()
+
+	// Release waiters no matter how fn exits. On a panic the deferred path
+	// runs before the panic unwinds past Do, so waiters get ErrFlightAborted
+	// while the leader's panic keeps propagating to the pipeline's recovery.
+	completed := false
+	defer func() {
+		if !completed {
+			c.err = ErrFlightAborted
+		}
+		f.mu.Lock()
+		delete(f.calls, id)
+		f.mu.Unlock()
+		close(c.done)
+	}()
+	c.data, c.err = fn()
+	completed = true
+	return c.data, false, c.err
+}
+
+// Stats returns the group's lifetime totals: leader executions and deduped
+// waits. A compile daemon surfaces them on its /stats endpoint.
+func (f *Flight) Stats() (execs, waits int64) {
+	if f == nil {
+		return 0, 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.execs, f.waits
+}

@@ -1,0 +1,296 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"outliner/internal/fault"
+)
+
+// Remote is the sharded remote cache tier's client: entries are spread over N
+// shard servers (ShardServer's HTTP protocol) by a deterministic hash of the
+// content address, so every daemon and every build agrees on which shard owns
+// which key without coordination.
+//
+// The remote tier obeys the same degraded-mode contract as the disk tier: a
+// dead shard, a slow shard, a corrupt response — every failure mode is a
+// miss (Get) or an unpublished entry (Put), never a build failure. Transient
+// errors retry with the disk tier's capped backoff; a shard that stays dead
+// just stops contributing hits until it comes back.
+type Remote struct {
+	shards []string // base URLs, e.g. "http://10.0.0.7:9471"
+	client *http.Client
+
+	// Injectable seams, mirroring Cache: sleep replaces the backoff clock and
+	// fault arms the RemoteGet/RemotePut injection sites (the shard-kill
+	// chaos hook). Arm only private instances.
+	sleep func(time.Duration)
+	fault *fault.Injector
+
+	inflight []atomic.Int64 // per-shard in-flight HTTP operations
+
+	mu      sync.Mutex
+	stats   []remoteShardStats
+	drained map[string]int64
+}
+
+// remoteShardStats is one shard's client-side counter set.
+type remoteShardStats struct {
+	hits, misses, puts, errors, deletes int64
+}
+
+// remoteTimeout bounds one shard HTTP operation; a hung shard must cost a
+// bounded slice of a build, not a build.
+const remoteTimeout = 5 * time.Second
+
+// NewRemote returns a client over the given shard base URLs. An empty list
+// returns nil — a valid "no remote tier" value everywhere a *Remote is
+// accepted.
+func NewRemote(shardURLs []string) *Remote {
+	if len(shardURLs) == 0 {
+		return nil
+	}
+	return &Remote{
+		shards:   append([]string(nil), shardURLs...),
+		client:   &http.Client{Timeout: remoteTimeout},
+		inflight: make([]atomic.Int64, len(shardURLs)),
+		stats:    make([]remoteShardStats, len(shardURLs)),
+	}
+}
+
+// SetFault arms deterministic fault injection on the remote paths. Arm only
+// private instances, never one shared by a daemon's concurrent builds.
+func (r *Remote) SetFault(inj *fault.Injector) {
+	if r != nil {
+		r.fault = inj
+	}
+}
+
+// Shards returns the number of shards.
+func (r *Remote) Shards() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.shards)
+}
+
+// ShardFor maps a content address to its owning shard: an FNV-1a hash of the
+// id, mod the shard count. Pure, so every client agrees.
+func (r *Remote) ShardFor(id string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(len(r.shards)))
+}
+
+// TierName names the tier that served a remote hit, for Probe.Tier.
+func TierName(shard int) string { return fmt.Sprintf("remote-shard-%d", shard) }
+
+func (r *Remote) entryURL(shard int, id string) string {
+	return r.shards[shard] + "/entry/" + id
+}
+
+func (r *Remote) backoff(attempt int) {
+	d := retryBase << (attempt - 1)
+	if d > retryCap {
+		d = retryCap
+	}
+	if r.sleep != nil {
+		r.sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// get fetches the raw encoded entry for id from its shard, with
+// transient-error retry. Every failure shape — refused connection, timeout,
+// 5xx, short body — degrades to a miss; only a 200 with a body is a hit.
+func (r *Remote) get(id string) (raw []byte, shard int, ok bool, pr Probe) {
+	if r == nil {
+		return nil, 0, false, pr
+	}
+	shard = r.ShardFor(id)
+	r.inflight[shard].Add(1)
+	defer r.inflight[shard].Add(-1)
+	var err error
+	for attempt := 0; attempt < retryAttempts; attempt++ {
+		if attempt > 0 {
+			pr.Retries++
+			r.backoff(attempt)
+		}
+		var body []byte
+		var status int
+		ierr := r.fault.MaybeError(fault.RemoteGet, fmt.Sprintf("%s#%d", id, attempt))
+		if ierr == nil {
+			status, body, ierr = r.do(http.MethodGet, r.entryURL(shard, id), nil)
+		}
+		if ierr == nil {
+			switch {
+			case status == http.StatusOK:
+				body = r.fault.MaybeCorrupt(fault.RemoteGet, id, body)
+				r.note(shard, func(s *remoteShardStats) { s.hits++ })
+				return body, shard, true, pr
+			case status == http.StatusNotFound:
+				r.note(shard, func(s *remoteShardStats) { s.misses++ })
+				return nil, shard, false, pr
+			default:
+				ierr = fmt.Errorf("cache: shard %d: unexpected status %d", shard, status)
+			}
+		}
+		err = ierr
+		if Classify(err) == ClassFatal {
+			break
+		}
+	}
+	pr.RemoteErr = err
+	r.note(shard, func(s *remoteShardStats) { s.errors++; s.misses++ })
+	return nil, shard, false, pr
+}
+
+// put publishes the encoded entry to its shard with retry; failures degrade
+// to an unpublished entry, recorded on the probe.
+func (r *Remote) put(id string, enc []byte) (pr Probe) {
+	if r == nil {
+		return pr
+	}
+	shard := r.ShardFor(id)
+	r.inflight[shard].Add(1)
+	defer r.inflight[shard].Add(-1)
+	var err error
+	for attempt := 0; attempt < retryAttempts; attempt++ {
+		if attempt > 0 {
+			pr.Retries++
+			r.backoff(attempt)
+		}
+		var status int
+		ierr := r.fault.MaybeError(fault.RemotePut, fmt.Sprintf("%s#%d", id, attempt))
+		if ierr == nil {
+			status, _, ierr = r.do(http.MethodPut, r.entryURL(shard, id), enc)
+		}
+		if ierr == nil {
+			switch status {
+			case http.StatusNoContent, http.StatusOK:
+				r.note(shard, func(s *remoteShardStats) { s.puts++ })
+				return pr
+			case http.StatusBadRequest:
+				// The shard rejected the entry (over its cap): retrying sends
+				// the same bytes, so degrade immediately.
+				pr.RemoteErr = fmt.Errorf("cache: shard %d rejected entry", shard)
+				r.note(shard, func(s *remoteShardStats) { s.errors++ })
+				return pr
+			default:
+				ierr = fmt.Errorf("cache: shard %d: unexpected status %d", shard, status)
+			}
+		}
+		err = ierr
+		if Classify(err) == ClassFatal {
+			break
+		}
+	}
+	pr.RemoteErr = err
+	r.note(shard, func(s *remoteShardStats) { s.errors++ })
+	return pr
+}
+
+// drop deletes a corrupt entry from its shard (fire-and-forget): the next
+// publication replaces it, the same crash-safe rebuild-and-republish protocol
+// the disk tier follows.
+func (r *Remote) drop(shard int, id string) {
+	if r == nil {
+		return
+	}
+	r.inflight[shard].Add(1)
+	defer r.inflight[shard].Add(-1)
+	if _, _, err := r.do(http.MethodDelete, r.entryURL(shard, id), nil); err == nil {
+		r.note(shard, func(s *remoteShardStats) { s.deletes++ })
+	}
+}
+
+// do runs one HTTP operation and returns status plus (for GET) the body.
+func (r *Remote) do(method, url string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	var data []byte
+	if method == http.MethodGet && resp.StatusCode == http.StatusOK {
+		data, err = io.ReadAll(io.LimitReader(resp.Body, maxEntryUpload))
+		if err != nil {
+			return 0, nil, err
+		}
+	} else {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	}
+	return resp.StatusCode, data, nil
+}
+
+func (r *Remote) note(shard int, f func(*remoteShardStats)) {
+	r.mu.Lock()
+	f(&r.stats[shard])
+	r.mu.Unlock()
+}
+
+// Counters returns a snapshot of per-shard client counters in obs namespace
+// style: cache/remote/shard<N>/{hits,misses,puts,errors,deletes,inflight}.
+func (r *Remote) Counters() map[string]int64 {
+	out := map[string]int64{}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.stats {
+		p := fmt.Sprintf("cache/remote/shard%d/", i)
+		out[p+"hits"] = r.stats[i].hits
+		out[p+"misses"] = r.stats[i].misses
+		out[p+"puts"] = r.stats[i].puts
+		out[p+"errors"] = r.stats[i].errors
+		out[p+"deletes"] = r.stats[i].deletes
+		out[p+"inflight"] = r.inflight[i].Load()
+	}
+	return out
+}
+
+// DrainCounters returns per-shard counter deltas since the previous drain
+// (inflight, a gauge, is reported as its current value each time), so a
+// daemon can mirror remote activity into its obs tracer without double
+// counting across requests.
+func (r *Remote) DrainCounters() map[string]int64 {
+	out := map[string]int64{}
+	if r == nil {
+		return out
+	}
+	snap := r.Counters()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.drained == nil {
+		r.drained = map[string]int64{}
+	}
+	for name, v := range snap {
+		if len(name) > 9 && name[len(name)-9:] == "/inflight" {
+			out[name] = v
+			continue
+		}
+		if d := v - r.drained[name]; d > 0 {
+			out[name] = d
+			r.drained[name] = v
+		}
+	}
+	return out
+}

@@ -100,6 +100,11 @@ type Probe struct {
 	Corrupt   bool  // a damaged disk entry was detected and discarded
 	RemoveErr error // deleting the damaged entry failed (entry left behind)
 	IOErr     error // final I/O error the operation degraded over, if any
+	RemoteErr error // remote-shard error the operation degraded over, if any
+	// Tier names the tier that served a hit — "memory", "disk", or
+	// "remote-shard-<n>" — and is empty on a miss (or a Put). The -summary
+	// scoreboard uses it to attribute multi-tier hits.
+	Tier string
 }
 
 // merge folds another operation's probe into p (the pipeline aggregates one
@@ -112,6 +117,12 @@ func (p *Probe) Merge(q Probe) {
 	}
 	if p.IOErr == nil {
 		p.IOErr = q.IOErr
+	}
+	if p.RemoteErr == nil {
+		p.RemoteErr = q.RemoteErr
+	}
+	if p.Tier == "" {
+		p.Tier = q.Tier
 	}
 }
 

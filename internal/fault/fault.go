@@ -52,6 +52,13 @@ const (
 	// and entry; an injected error models a decoder rejection and degrades to
 	// a miss.
 	ArtifactDecode Site = "artifact/decode"
+	// RemoteGet covers the sharded remote cache tier's fetch path — the
+	// shard-kill injection site. Keys are "<entry-id>#<attempt>" like
+	// CacheRead; an ErrorKind injection models a dead or flaky shard, a
+	// CorruptKind injection damages the response bytes in flight.
+	RemoteGet Site = "remote/get"
+	// RemotePut covers the remote tier's publish path, keyed like RemoteGet.
+	RemotePut Site = "remote/put"
 )
 
 // Kind is what an armed fault point injects.

@@ -88,6 +88,35 @@ func (t *Tracer) WriteSummary(w io.Writer) error {
 			fmt.Fprintf(w, "cache keys: %s hashing sources and interface digests\n",
 				time.Duration(ns).Round(time.Microsecond))
 		}
+		// Per-tier hit attribution (cache/tier/<tier>/hits): which tier —
+		// memory, disk, or a remote shard — actually served each hit.
+		var tiers []string
+		for name, v := range counters {
+			if v > 0 && strings.HasPrefix(name, "cache/tier/") && strings.HasSuffix(name, "/hits") {
+				tiers = append(tiers, name)
+			}
+		}
+		if len(tiers) > 0 {
+			sort.Strings(tiers)
+			fmt.Fprintln(w, "cache hits by tier:")
+			rows := [][]string{{"tier", "hits"}}
+			for _, k := range tiers {
+				tier := strings.TrimSuffix(strings.TrimPrefix(k, "cache/tier/"), "/hits")
+				rows = append(rows, []string{tier, fmt.Sprintf("%d", counters[k])})
+			}
+			writeTable(w, rows)
+		}
+	}
+
+	// The single-flight scoreboard, present in service mode: stage
+	// computations actually executed vs. builds that consumed another
+	// in-flight build's result.
+	if computes, deduped := counters["flight/computes"], counters["flight/deduped"]; computes > 0 || deduped > 0 {
+		fmt.Fprintf(w, "\nsingle-flight: %d stage computes, %d deduped "+
+			"(llir %d/%d, machine %d/%d)\n",
+			computes, deduped,
+			counters["flight/llir/computes"], counters["flight/llir/deduped"],
+			counters["flight/machine/computes"], counters["flight/machine/deduped"])
 	}
 
 	// The resilience scoreboard: what the build survived or degraded over —
@@ -105,7 +134,9 @@ func (t *Tracer) WriteSummary(w io.Writer) error {
 			name == "build/keep_going_errors",
 			name == "cache/retries",
 			name == "cache/remove_failed",
-			name == "cache/io_errors":
+			name == "cache/io_errors",
+			name == "cache/remote_errors",
+			name == "cache/corrupt":
 			resilience = append(resilience, name)
 		}
 	}

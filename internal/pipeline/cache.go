@@ -44,6 +44,10 @@ import (
 // only add encode/hash overhead to every build.
 type BuildCache struct {
 	c *cache.Cache
+	// flight dedupes identical in-flight stage computations across the
+	// concurrent builds sharing cfg.Flight (a compile daemon). nil outside
+	// service mode and on faulted builds.
+	flight *cache.Flight
 	// fault arms the ArtifactDecode injection point (an injected decoder
 	// rejection, degrading to a miss). nil when the build runs clean.
 	fault *fault.Injector
@@ -51,9 +55,10 @@ type BuildCache struct {
 
 // OpenBuildCache returns the cache for cfg.CacheDir, or nil (a valid
 // always-miss cache) when no cache directory is configured. A faulted build
-// gets a private cache handle, never the process-shared one: injected I/O
-// errors and corruption must not leak into concurrent clean builds of the
-// same directory.
+// gets a private cache handle, never the process-shared one — and neither the
+// remote tier nor the single-flight layer: injected I/O errors and corruption
+// must not leak into concurrent clean builds of the same directory, and a
+// faulted build's artifacts must never be shared through a flight group.
 func OpenBuildCache(cfg Config) (*BuildCache, error) {
 	if cfg.CacheDir == "" {
 		return nil, nil
@@ -67,11 +72,18 @@ func OpenBuildCache(cfg Config) (*BuildCache, error) {
 		}
 	} else {
 		c, err = cache.Shared(cfg.CacheDir)
+		if err == nil && cfg.Remote != nil {
+			c.SetRemote(cfg.Remote)
+		}
 	}
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: %w", err)
 	}
-	return &BuildCache{c: c, fault: cfg.Fault}, nil
+	bc := &BuildCache{c: c, fault: cfg.Fault}
+	if cfg.Fault == nil {
+		bc.flight = cfg.Flight
+	}
+	return bc, nil
 }
 
 func (bc *BuildCache) enabled() bool { return bc != nil && bc.c != nil }
@@ -239,10 +251,10 @@ func cacheStore(tr *obs.Tracer, stage string, n int) {
 	tr.Add("cache/bytes_written", int64(n))
 }
 
-// probeCounters mirrors what a disk operation survived — retries, a failed
-// corrupt-entry deletion, a degraded-over I/O error — into the build's
-// counters (-summary's resilience section). Zero-valued fields add nothing,
-// so clean builds keep clean counter sets.
+// probeCounters mirrors what a disk or remote operation survived — retries, a
+// failed corrupt-entry deletion, a degraded-over I/O or shard error — into the
+// build's counters (-summary's resilience section). Zero-valued fields add
+// nothing, so clean builds keep clean counter sets.
 func probeCounters(tr *obs.Tracer, pr cache.Probe) {
 	if pr.Retries > 0 {
 		tr.Add("cache/retries", int64(pr.Retries))
@@ -253,6 +265,30 @@ func probeCounters(tr *obs.Tracer, pr cache.Probe) {
 	if pr.IOErr != nil {
 		tr.Add("cache/io_errors", 1)
 	}
+	if pr.RemoteErr != nil {
+		tr.Add("cache/remote_errors", 1)
+	}
+}
+
+// tierCounter attributes a hit to the tier that served it ("memory", "disk",
+// "remote-shard-<n>"), the -summary scoreboard's per-tier breakdown.
+func tierCounter(tr *obs.Tracer, tier string) {
+	if tier != "" {
+		tr.Add("cache/tier/"+tier+"/hits", 1)
+	}
+}
+
+// Single-flight counters. computes counts closures that actually ran the
+// stage (the dedupe test's strict equation: computes == unique stage keys);
+// deduped counts builds that consumed another build's in-flight result.
+func flightCompute(tr *obs.Tracer, stage string) {
+	tr.Add("flight/computes", 1)
+	tr.Add("flight/"+stage+"/computes", 1)
+}
+
+func flightDeduped(tr *obs.Tracer, stage string) {
+	tr.Add("flight/deduped", 1)
+	tr.Add("flight/"+stage+"/deduped", 1)
 }
 
 // decodeFault consults the ArtifactDecode injection point for key; a non-nil
@@ -287,7 +323,8 @@ func (bc *BuildCache) CompileToLLIRCached(src Source, cfg Config, imports *front
 		}
 		if derr == nil {
 			cacheHit(tr, "llir", len(data))
-			sp.Arg("hit", true).End()
+			tierCounter(tr, pr.Tier)
+			sp.Arg("hit", true).Arg("tier", pr.Tier).End()
 			return m, nil
 		}
 		cacheMiss(tr, "llir", true)
@@ -295,25 +332,68 @@ func (bc *BuildCache) CompileToLLIRCached(src Source, cfg Config, imports *front
 		cacheMiss(tr, "llir", pr.Corrupt)
 	}
 	sp.Arg("hit", false).End()
-	m, err := CompileToLLIR(src, cfg, imports)
+	if bc.flight == nil {
+		m, err := CompileToLLIR(src, cfg, imports)
+		if err != nil {
+			return nil, err
+		}
+		enc := artifact.EncodeModule(m)
+		probeCounters(tr, bc.c.PutProbe(key, enc))
+		cacheStore(tr, "llir", len(enc))
+		return m, nil
+	}
+	// Service mode: route the miss through the single-flight layer so
+	// concurrent builds compiling the same key do the work once. The flight's
+	// currency is the encoded artifact — each waiter decodes a private copy,
+	// so no mutable structure is ever shared across builds.
+	var computed *llir.Module
+	enc, shared, err := bc.flight.Do(key, func() ([]byte, error) {
+		// Re-probe under the flight: an earlier leader may have published and
+		// left the group between this build's probe and its turn here.
+		if data, ok, _ := bc.c.GetProbe(key); ok {
+			return data, nil
+		}
+		flightCompute(tr, "llir")
+		m, cerr := CompileToLLIR(src, cfg, imports)
+		if cerr != nil {
+			return nil, cerr
+		}
+		enc := artifact.EncodeModule(m)
+		probeCounters(tr, bc.c.PutProbe(key, enc))
+		cacheStore(tr, "llir", len(enc))
+		computed = m
+		return enc, nil
+	})
+	if shared {
+		flightDeduped(tr, "llir")
+	}
 	if err != nil {
 		return nil, err
 	}
-	enc := artifact.EncodeModule(m)
-	probeCounters(tr, bc.c.PutProbe(key, enc))
-	cacheStore(tr, "llir", len(enc))
+	if computed != nil {
+		// This build led the flight: return the module it compiled directly,
+		// exactly the non-flight cold path.
+		return computed, nil
+	}
+	m, derr := artifact.DecodeModule(enc)
+	if derr != nil {
+		// The shared bytes failed this build's decode — compile privately,
+		// the degraded path of last resort (the leader already published).
+		return CompileToLLIR(src, cfg, imports)
+	}
 	return m, nil
 }
 
 // getMachine probes the per-module machine-stage entry. The bool reports a
-// usable hit; stats may be nil (a build with OutlineRounds == 0).
-func (bc *BuildCache) getMachine(key cache.Key, tr *obs.Tracer) (*mir.Program, *outline.Stats, bool) {
+// usable hit and tier names the tier that served it; stats may be nil (a
+// build with OutlineRounds == 0).
+func (bc *BuildCache) getMachine(key cache.Key, tr *obs.Tracer) (*mir.Program, *outline.Stats, string, bool) {
 	cacheProbe(tr, "machine")
 	data, ok, pr := bc.c.GetProbe(key)
 	probeCounters(tr, pr)
 	if !ok {
 		cacheMiss(tr, "machine", pr.Corrupt)
-		return nil, nil, false
+		return nil, nil, "", false
 	}
 	derr := bc.decodeFault(key)
 	var p *mir.Program
@@ -323,16 +403,74 @@ func (bc *BuildCache) getMachine(key cache.Key, tr *obs.Tracer) (*mir.Program, *
 	}
 	if derr != nil {
 		cacheMiss(tr, "machine", true)
-		return nil, nil, false
+		return nil, nil, "", false
 	}
 	cacheHit(tr, "machine", len(data))
-	return p, st, true
+	tierCounter(tr, pr.Tier)
+	return p, st, pr.Tier, true
 }
 
 func (bc *BuildCache) putMachine(key cache.Key, p *mir.Program, st *outline.Stats, tr *obs.Tracer) {
 	enc := artifact.EncodeMachine(p, st)
 	probeCounters(tr, bc.c.PutProbe(key, enc))
 	cacheStore(tr, "machine", len(enc))
+}
+
+// machineMiss runs the per-module machine-stage computation on a cache miss
+// and publishes the artifact — through the single-flight layer when one is
+// configured, so concurrent service-mode builds compute each key once.
+// compute must be single-shot: it mutates its module in place (the merge
+// passes), and machineMiss guarantees at most one invocation per call.
+func (bc *BuildCache) machineMiss(key cache.Key, tr *obs.Tracer, compute func() (*mir.Program, *outline.Stats, error)) (*mir.Program, error) {
+	if !bc.enabled() || bc.flight == nil {
+		p, st, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		if bc.enabled() {
+			bc.putMachine(key, p, st, tr)
+		}
+		return p, nil
+	}
+	var computed *mir.Program
+	enc, shared, err := bc.flight.Do(key, func() ([]byte, error) {
+		// Re-probe under the flight: an earlier leader may have published and
+		// left the group between this build's probe and its turn here.
+		if data, ok, _ := bc.c.GetProbe(key); ok {
+			return data, nil
+		}
+		flightCompute(tr, "machine")
+		p, st, cerr := compute()
+		if cerr != nil {
+			return nil, cerr
+		}
+		enc := artifact.EncodeMachine(p, st)
+		probeCounters(tr, bc.c.PutProbe(key, enc))
+		cacheStore(tr, "machine", len(enc))
+		computed = p
+		return enc, nil
+	})
+	if shared {
+		flightDeduped(tr, "machine")
+	}
+	if err != nil {
+		return nil, err
+	}
+	if computed != nil {
+		// This build led the flight: its compute emitted outlining counters
+		// live, so return its program directly.
+		return computed, nil
+	}
+	p, st, derr := artifact.DecodeMachine(enc)
+	if derr != nil {
+		// The shared bytes failed this build's decode. compute is single-shot
+		// and has not run in this build, so the private fallback is safe; the
+		// leader already published, so nothing is re-published.
+		p, _, cerr := compute()
+		return p, cerr
+	}
+	replayOutlineCounters(tr, st)
+	return p, nil
 }
 
 // replayOutlineCounters re-emits the per-round outlining counters a cache

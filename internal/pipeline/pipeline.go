@@ -94,6 +94,21 @@ type Config struct {
 	// whether a build runs cold, warm, or with no cache at all, and a
 	// damaged cache entry is treated as a miss, never an error.
 	CacheDir string
+	// Flight is the build farm's single-flight layer: when several concurrent
+	// builds (a compile daemon's requests) share one Flight, identical
+	// in-flight stage keys are computed once and the encoded artifact is
+	// shared; every waiter decodes a private copy. Strictly an accelerator,
+	// like the cache itself: it never changes an artifact, so it is excluded
+	// from cache fingerprints. nil disables dedupe. Fault-armed builds ignore
+	// it (they must not share work with clean builds).
+	Flight *cache.Flight
+	// Remote attaches a sharded remote cache tier (cache.NewRemote) behind
+	// CacheDir: probes that miss memory and disk consult the owning shard,
+	// and publications replicate there. A dead or corrupt shard degrades to
+	// a miss, never a failure. Requires CacheDir; attaching a remote to a
+	// shared cache directory attaches it for every build in the process
+	// using that directory. Fault-armed builds ignore it.
+	Remote *cache.Remote
 	// KeepGoing makes the per-module parallel stages — frontend lowering in
 	// both pipelines, and the default pipeline's per-module codegen+outline —
 	// run every module even after one fails, then fail with a *BuildErrors
@@ -520,56 +535,60 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (res *Result, err error) {
 			if bc.enabled() {
 				csp := tr.StartSpan("cache machine "+lm.Name, lane+1)
 				mkey = machineKey(artifact.EncodeModule(lm), crossRefs, lm, cfg)
-				p, st, ok := bc.getMachine(mkey, tr)
-				csp.Arg("hit", ok).End()
+				p, st, tier, ok := bc.getMachine(mkey, tr)
+				csp.Arg("hit", ok).Arg("tier", tier).End()
 				if ok {
 					replayOutlineCounters(tr, st)
 					return p, nil
 				}
 			}
-			if cfg.MergeFunctions {
-				llir.MergeFunctionsKeeping(lm, crossRefs)
-			}
-			if cfg.FMSA {
-				llir.MergeBySequenceAlignmentKeeping(lm, crossRefs)
-			}
-			p, cerr := codegen.CompileTraced(lm, 1, tr, lane+1, cfg.Fault)
-			if cerr != nil {
-				return nil, fmt.Errorf("pipeline: module %s: %w", lm.Name, cerr)
-			}
-			var st *outline.Stats
-			if cfg.OutlineRounds > 0 {
-				st, cerr = outline.Outline(p, outline.Options{
-					Rounds:          cfg.OutlineRounds,
-					FlatCostModel:   cfg.FlatOutlineCost,
-					FuncPrefix:      "OUTLINED_FUNCTION_" + lm.Name + "_",
-					Verify:          cfg.Verify,
-					ExternSyms:      extern,
-					Parallelism:     1,
-					Tracer:          tr,
-					TraceLane:       lane + 1,
-					RemarkModule:    lm.Name,
-					OnVerifyFailure: cfg.OnVerifyFailure,
-					Fault:           cfg.Fault,
-					Profile:         cfg.Profile,
-					ColdOnly:        cfg.OutlineColdOnly,
-					ColdThreshold:   cfg.OutlineColdThreshold,
-				})
+			// The miss path: merge, codegen, outline, verify. machineMiss
+			// runs it directly, or — in service mode — behind the
+			// single-flight layer so concurrent builds compute each key once.
+			// It is invoked at most once per module (it mutates lm in place).
+			compute := func() (*mir.Program, *outline.Stats, error) {
+				if cfg.MergeFunctions {
+					llir.MergeFunctionsKeeping(lm, crossRefs)
+				}
+				if cfg.FMSA {
+					llir.MergeBySequenceAlignmentKeeping(lm, crossRefs)
+				}
+				p, cerr := codegen.CompileTraced(lm, 1, tr, lane+1, cfg.Fault)
 				if cerr != nil {
-					return nil, fmt.Errorf("pipeline: module %s: %w", lm.Name, cerr)
+					return nil, nil, fmt.Errorf("pipeline: module %s: %w", lm.Name, cerr)
 				}
-			}
-			if cfg.Verify {
-				// Cross-module references are external at this point, exactly
-				// as the system linker would see them.
-				if err := runVerify(p, extern, tr, "module "+lm.Name+" after codegen"); err != nil {
-					return nil, err
+				var st *outline.Stats
+				if cfg.OutlineRounds > 0 {
+					st, cerr = outline.Outline(p, outline.Options{
+						Rounds:          cfg.OutlineRounds,
+						FlatCostModel:   cfg.FlatOutlineCost,
+						FuncPrefix:      "OUTLINED_FUNCTION_" + lm.Name + "_",
+						Verify:          cfg.Verify,
+						ExternSyms:      extern,
+						Parallelism:     1,
+						Tracer:          tr,
+						TraceLane:       lane + 1,
+						RemarkModule:    lm.Name,
+						OnVerifyFailure: cfg.OnVerifyFailure,
+						Fault:           cfg.Fault,
+						Profile:         cfg.Profile,
+						ColdOnly:        cfg.OutlineColdOnly,
+						ColdThreshold:   cfg.OutlineColdThreshold,
+					})
+					if cerr != nil {
+						return nil, nil, fmt.Errorf("pipeline: module %s: %w", lm.Name, cerr)
+					}
 				}
+				if cfg.Verify {
+					// Cross-module references are external at this point,
+					// exactly as the system linker would see them.
+					if err := runVerify(p, extern, tr, "module "+lm.Name+" after codegen"); err != nil {
+						return nil, nil, err
+					}
+				}
+				return p, st, nil
 			}
-			if bc.enabled() {
-				bc.putMachine(mkey, p, st, tr)
-			}
-			return p, nil
+			return bc.machineMiss(mkey, tr, compute)
 		}
 		var parts []*mir.Program
 		if cfg.KeepGoing {

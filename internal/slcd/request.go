@@ -1,0 +1,138 @@
+package slcd
+
+import (
+	"errors"
+	"fmt"
+
+	"outliner/internal/fault"
+	"outliner/internal/outline"
+	"outliner/internal/par"
+	"outliner/internal/pipeline"
+	"outliner/internal/verify"
+)
+
+// ModuleSource is one module in a build request: named SwiftLite files,
+// mirroring pipeline.Source.
+type ModuleSource struct {
+	Name  string            `json:"name"`
+	Files map[string]string `json:"files"`
+}
+
+// BuildConfig mirrors the pipeline.Config knobs a remote client may set.
+// Everything absent defaults to the driver's defaults (slc's flag defaults),
+// so a minimal request — just modules — gets the paper's standard build.
+// Accelerator state (cache directory, remote shards, the single-flight layer,
+// parallelism) is the daemon's, not the request's: clients describe what to
+// build, the farm decides how.
+type BuildConfig struct {
+	WholeProgram    bool   `json:"whole_program"`
+	OutlineRounds   int    `json:"outline_rounds"`
+	MergeFunctions  bool   `json:"merge_functions"`
+	FMSA            bool   `json:"fmsa"`
+	FlatOutlineCost bool   `json:"flat_outline_cost"`
+	Verify          bool   `json:"verify"`
+	KeepGoing       bool   `json:"keep_going"`
+	OnVerifyFailure string `json:"on_verify_failure,omitempty"`
+	// FaultSeed/FaultRate arm deterministic fault injection for this request
+	// only (chaos drills against a live daemon). A fault-armed request builds
+	// on a private cache handle with no flight or remote tier — injected
+	// damage must never leak into concurrent clean builds.
+	FaultSeed uint64  `json:"fault_seed,omitempty"`
+	FaultRate float64 `json:"fault_rate,omitempty"`
+}
+
+// DefaultConfig is the request config slcd assumes for absent fields — the
+// same shape slc's flag defaults produce.
+func DefaultConfig() BuildConfig {
+	return BuildConfig{
+		OutlineRounds:  5,
+		MergeFunctions: true,
+		Verify:         true,
+	}
+}
+
+// BuildRequest is the POST /build payload.
+type BuildRequest struct {
+	Modules []ModuleSource `json:"modules"`
+	Config  BuildConfig    `json:"config"`
+}
+
+// BuildResponse is the POST /build reply. A failed build still carries its
+// counters: the resilience counters matter most exactly when a build fails.
+type BuildResponse struct {
+	OK bool `json:"ok"`
+	// Error and ErrorClass are set when OK is false. ErrorClass buckets the
+	// failure the way the fault-tolerance tests do: "panic" (recovered worker
+	// panic), "verify" (machine verifier rejection), "injected" (surfaced
+	// injected fault), or "build" (everything else — front-end errors,
+	// keep-going aggregates of unstructured failures).
+	Error      string `json:"error,omitempty"`
+	ErrorClass string `json:"error_class,omitempty"`
+	// Listing is the deterministic image listing — the byte-comparison
+	// artifact. Two responses describe the same binary iff their listings are
+	// byte-identical.
+	Listing   string           `json:"listing,omitempty"`
+	CodeSize  int              `json:"code_size,omitempty"`
+	TotalSize int              `json:"total_size,omitempty"`
+	Counters  map[string]int64 `json:"counters,omitempty"`
+}
+
+// pipelineConfig lowers the request config onto a pipeline.Config, leaving
+// the daemon-owned fields (Tracer, CacheDir, Flight, Remote, Parallelism) for
+// the server to fill in.
+func (c BuildConfig) pipelineConfig() (pipeline.Config, error) {
+	onvf := c.OnVerifyFailure
+	if onvf == "" {
+		onvf = outline.VerifyAbort
+	}
+	switch onvf {
+	case outline.VerifyAbort, outline.VerifyRollbackRound, outline.VerifyDisableOutlining:
+	default:
+		return pipeline.Config{}, fmt.Errorf("slcd: unknown on_verify_failure mode %q", onvf)
+	}
+	cfg := pipeline.Config{
+		WholeProgram:       c.WholeProgram,
+		OutlineRounds:      c.OutlineRounds,
+		SILOutline:         true,
+		SpecializeClosures: true,
+		MergeFunctions:     c.MergeFunctions,
+		FMSA:               c.FMSA,
+		PreserveDataLayout: true,
+		SplitGCMetadata:    true,
+		FlatOutlineCost:    c.FlatOutlineCost,
+		Verify:             c.Verify,
+		KeepGoing:          c.KeepGoing,
+		OnVerifyFailure:    onvf,
+	}
+	if c.FaultRate > 0 {
+		cfg.Fault = fault.New(c.FaultSeed, c.FaultRate)
+	}
+	return cfg, nil
+}
+
+// sources converts the request's modules to pipeline sources.
+func (r *BuildRequest) sources() []pipeline.Source {
+	out := make([]pipeline.Source, len(r.Modules))
+	for i, m := range r.Modules {
+		out[i] = pipeline.Source{Name: m.Name, Files: m.Files}
+	}
+	return out
+}
+
+// classifyError buckets a build failure for BuildResponse.ErrorClass. It
+// mirrors the fault-tolerance contract's structuredFailure predicate:
+// anything outside these classes in a fault-armed build is a bug.
+func classifyError(err error) string {
+	var pe *par.PanicError
+	if errors.As(err, &pe) {
+		return "panic"
+	}
+	var ve *verify.Error
+	if errors.As(err, &ve) {
+		return "verify"
+	}
+	if fault.IsInjected(err) {
+		return "injected"
+	}
+	return "build"
+}

@@ -1,0 +1,224 @@
+// Package slcd is the compile daemon behind cmd/slcd: a long-running build
+// service that accepts concurrent build requests over HTTP and answers each
+// with the deterministic image listing plus the build's counters.
+//
+// What makes it a build-farm service rather than a loop around pipeline.Build:
+//
+//   - Single-flight dedupe. All requests share one cache.Flight, so identical
+//     in-flight stage keys — the common case when a fleet of CI jobs submits
+//     the same commit — are compiled once and the encoded artifact is shared;
+//     every waiter decodes a private copy.
+//   - A shared warm path. All requests share the daemon's cache directory
+//     (the process-shared cache.Shared handle) and, when configured, a
+//     sharded remote tier, so one request's publications are the next
+//     request's hits.
+//   - Degraded modes, not failures. A dead or corrupt remote shard degrades
+//     to a miss under the cache's fault classes; a build request never fails
+//     because the farm's accelerators are unhealthy.
+//
+// Fault-armed requests (chaos drills) opt out of all sharing: they build on
+// private cache handles with no flight or remote tier, so injected damage
+// cannot leak into concurrent clean builds.
+package slcd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"outliner/internal/cache"
+	"outliner/internal/obs"
+	"outliner/internal/pipeline"
+)
+
+// maxRequestBody bounds a build request (sources are text; 64 MiB is an
+// enormous app at this scale).
+const maxRequestBody = 64 << 20
+
+// Options configures a daemon.
+type Options struct {
+	// CacheDir is the daemon's build cache directory. Empty disables caching
+	// (and with it the single-flight layer's warm path, though dedupe of
+	// in-flight work still applies when a cache exists; with no cache at all
+	// the daemon still builds, just without reuse).
+	CacheDir string
+	// ShardURLs are the remote cache shard base URLs (cache.NewRemote).
+	// Empty means no remote tier.
+	ShardURLs []string
+	// Parallelism is the per-build worker count (pipeline.Config.Parallelism;
+	// 0 = one per CPU).
+	Parallelism int
+	// MaxBuilds bounds concurrently executing build requests; further
+	// requests queue. 0 means 4.
+	MaxBuilds int
+}
+
+// Server is the daemon state shared across requests.
+type Server struct {
+	opts   Options
+	flight *cache.Flight
+	remote *cache.Remote
+	sem    chan struct{}
+
+	mu       sync.Mutex
+	builds   int64 // completed build requests
+	failures int64 // completed with a build error
+	counters map[string]int64
+}
+
+// NewServer returns a daemon over the given options.
+func NewServer(opts Options) *Server {
+	if opts.MaxBuilds <= 0 {
+		opts.MaxBuilds = 4
+	}
+	return &Server{
+		opts:     opts,
+		flight:   cache.NewFlight(),
+		remote:   cache.NewRemote(opts.ShardURLs),
+		sem:      make(chan struct{}, opts.MaxBuilds),
+		counters: map[string]int64{},
+	}
+}
+
+// Handler returns the daemon's HTTP handler:
+//
+//	POST /build   — run one build (BuildRequest → BuildResponse)
+//	GET  /stats   — daemon counters aggregated across completed requests
+//	GET  /healthz — liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/build", s.handleBuild)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
+	if err != nil || len(body) > maxRequestBody {
+		http.Error(w, "unreadable or oversized request body", http.StatusBadRequest)
+		return
+	}
+	req := BuildRequest{Config: DefaultConfig()}
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, "bad request JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Modules) == 0 {
+		http.Error(w, "request has no modules", http.StatusBadRequest)
+		return
+	}
+	resp := s.Build(&req)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// Build runs one build request against the daemon's shared state. It is the
+// HTTP handler's core, exported so in-process tests (and embedders) can drive
+// the daemon without a listener.
+func (s *Server) Build(req *BuildRequest) *BuildResponse {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	cfg, err := req.Config.pipelineConfig()
+	if err != nil {
+		return &BuildResponse{OK: false, Error: err.Error(), ErrorClass: "build"}
+	}
+	tr := obs.New()
+	cfg.Tracer = tr
+	cfg.Parallelism = s.opts.Parallelism
+	cfg.CacheDir = s.opts.CacheDir
+	// The shared accelerators. OpenBuildCache ignores both on fault-armed
+	// requests, which also get a private cache handle.
+	cfg.Flight = s.flight
+	cfg.Remote = s.remote
+
+	res, berr := pipeline.Build(req.sources(), cfg)
+	resp := &BuildResponse{Counters: tr.Counters()}
+	if berr != nil {
+		resp.Error = berr.Error()
+		resp.ErrorClass = classifyError(berr)
+	} else {
+		var buf bytes.Buffer
+		if lerr := res.WriteImageListing(&buf); lerr != nil {
+			resp.Error = fmt.Sprintf("slcd: rendering listing: %v", lerr)
+			resp.ErrorClass = "build"
+		} else {
+			resp.OK = true
+			resp.Listing = buf.String()
+			resp.CodeSize = res.CodeSize()
+			resp.TotalSize = res.BinarySize()
+		}
+	}
+	s.finish(resp)
+	return resp
+}
+
+// finish folds one completed request into the daemon aggregates.
+func (s *Server) finish(resp *BuildResponse) {
+	remote := s.remote.DrainCounters()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.builds++
+	if !resp.OK {
+		s.failures++
+	}
+	for name, v := range resp.Counters {
+		s.counters[name] += v
+	}
+	for name, v := range remote {
+		if strings.HasSuffix(name, "/inflight") {
+			s.counters[name] = v // gauge, not a sum
+			continue
+		}
+		s.counters[name] += v
+	}
+}
+
+// Stats is the GET /stats payload.
+type Stats struct {
+	Builds   int64 `json:"builds"`
+	Failures int64 `json:"failures"`
+	// FlightExecs/FlightWaits are the single-flight layer's lifetime totals:
+	// closures executed vs. callers that shared a leader's result.
+	FlightExecs int64 `json:"flight_execs"`
+	FlightWaits int64 `json:"flight_waits"`
+	// Counters aggregates every completed request's counters plus the remote
+	// tier's per-shard client counters.
+	Counters map[string]int64 `json:"counters"`
+}
+
+// Snapshot returns the daemon aggregates.
+func (s *Server) Snapshot() Stats {
+	execs, waits := s.flight.Stats()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Builds:      s.builds,
+		Failures:    s.failures,
+		FlightExecs: execs,
+		FlightWaits: waits,
+		Counters:    make(map[string]int64, len(s.counters)),
+	}
+	for k, v := range s.counters {
+		st.Counters[k] = v
+	}
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Snapshot())
+}
