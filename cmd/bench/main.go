@@ -12,11 +12,18 @@
 //	               mergeable execution profile to -profile-out (-entries
 //	               picks a subset for sharded collection; -merge combines
 //	               shards instead of collecting)
+//	-suite layout  profile-guided layout comparison: collect a profile from
+//	               a -modules corpus, then build it uncached at -layout
+//	               none, hot-cold, and c3, reporting image bytes, touched
+//	               pages, and the cross-page-call ratio (BENCH_layout.json
+//	               is the committed baseline; -guard enforces c3's
+//	               cross-ratio ≤ none's)
 //
 // Regenerate a baseline with:
 //
 //	go run ./cmd/bench -out BENCH_pr4.json
 //	go run ./cmd/bench -suite scale -modules 476 -out BENCH_scale.json
+//	go run ./cmd/bench -suite layout -modules 96 -out BENCH_layout.json
 //
 // The bodies are shared with bench_test.go via internal/benchkit, so
 // `go test -bench ColdVsWarm` and `go test -bench PaperScale` measure
@@ -35,6 +42,7 @@ import (
 
 	"outliner/internal/appgen"
 	"outliner/internal/benchkit"
+	"outliner/internal/layout"
 	"outliner/internal/perf"
 	"outliner/internal/pipeline"
 	"outliner/internal/profile"
@@ -63,7 +71,7 @@ func main() { os.Exit(run()) }
 // and suite-cleanup defers fire on the failure path too.
 func run() int {
 	var (
-		suite     = flag.String("suite", "pr4", "benchmark suite: pr4 (small-scale cache + outliner) | scale (paper-scale cold/warm/edit builds)")
+		suite     = flag.String("suite", "pr4", "benchmark suite: pr4 (small-scale cache + outliner) | scale (paper-scale cold/warm/edit builds) | profile (instrumented-run collection) | layout (none/hot-cold/c3 comparison)")
 		scale     = flag.Float64("scale", 0.35, "pr4 suite: synthetic app scale (matches bench_test.go's benchScale)")
 		modules   = flag.Int("modules", 476, "scale suite: corpus module count (476 = the paper's flagship app)")
 		out       = flag.String("out", "", "output file (default stdout)")
@@ -136,8 +144,17 @@ func run() int {
 			{"ScaleBuild/edit", s.Edit()},
 		}
 		report = Report{Modules: s.Modules()}
+	case "layout":
+		fmt.Fprintf(os.Stderr, "bench: generating %d-module corpus...\n", *modules)
+		s := benchkit.NewLayoutSuite(pipeline.Default, *modules)
+		benches = []bench{
+			{"LayoutBuild/none", s.Build(layout.None)},
+			{"LayoutBuild/hot-cold", s.Build(layout.HotCold)},
+			{"LayoutBuild/c3", s.Build(layout.C3)},
+		}
+		report = Report{Modules: s.Modules()}
 	default:
-		fatal(fmt.Errorf("unknown -suite %q (want pr4, scale, or profile)", *suite))
+		fatal(fmt.Errorf("unknown -suite %q (want pr4, scale, profile, or layout)", *suite))
 	}
 	for _, bm := range benches {
 		fmt.Fprintf(os.Stderr, "bench: %s...\n", bm.name)
@@ -215,7 +232,9 @@ func runProfileSuite(modules int, entries, out, merge string) int {
 	}
 	fmt.Fprintf(os.Stderr, "bench: wrote %s (digest %s)\n", out, p.Digest())
 	profile.WriteHotReport(os.Stderr, p, 10, 0)
-	fmt.Fprint(os.Stderr, perf.FormatPageTouch(perf.PageTouch(res.Image, p, perf.Devices[0])))
+	for _, pt := range perf.PageTouchSizes(res.Image, p) {
+		fmt.Fprint(os.Stderr, perf.FormatPageTouch(pt))
+	}
 	return 0
 }
 
@@ -246,15 +265,24 @@ func checkWarmSpeedup(report Report, min float64) bool {
 
 // guardReport compares the fresh report against a committed baseline:
 // every benchmark present in both must stay within tolerance of the
-// baseline's ns/op, and the cache's structural invariants must still hold —
-// in the pr4 suite the warm cached build beats the uncached build, in the
-// scale suite (BENCH_scale.json) the warm rebuild beats the cold build (a
+// baseline's ns/op, and the structural invariants must still hold — in the
+// pr4 suite the warm cached build beats the uncached build, in the scale
+// suite (BENCH_scale.json) the warm rebuild beats the cold build (a
 // fault-tolerance regression that turned every warm probe into a degraded
-// miss would fail here even if absolute times drifted). Missing or extra
-// benchmarks are reported but not fatal, so the guard survives benchmark
-// additions. Failures return false rather than exiting, so run()'s profile
+// miss would fail here even if absolute times drifted), and in the layout
+// suite (BENCH_layout.json) the c3 cross-page-call ratio stays at or below
+// none's. Missing or extra benchmarks are reported but not fatal, so the
+// guard survives benchmark additions. Every violated invariant is reported
+// before the guard fails — a scale mismatch disables the time comparisons
+// but the structural checks still run — so one run surfaces every
+// regression. Failures return false rather than exiting, so run()'s profile
 // and cleanup defers fire on the failure path.
 func guardReport(report Report, path string, tolerance float64) bool {
+	var violations []string
+	violate := func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	}
+
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -265,21 +293,21 @@ func guardReport(report Report, path string, tolerance float64) bool {
 		fmt.Fprintf(os.Stderr, "bench: %s: %v\n", path, err)
 		return false
 	}
+	timesComparable := true
 	if base.Scale != report.Scale {
-		fmt.Fprintf(os.Stderr, "guard: baseline %s was recorded at -scale %g, this run used %g; times are not comparable\n",
+		violate("baseline %s was recorded at -scale %g, this run used %g; times are not comparable",
 			path, base.Scale, report.Scale)
-		return false
+		timesComparable = false
 	}
 	if base.Modules != report.Modules {
-		fmt.Fprintf(os.Stderr, "guard: baseline %s was recorded at -modules %d, this run used %d; times are not comparable\n",
+		violate("baseline %s was recorded at -modules %d, this run used %d; times are not comparable",
 			path, base.Modules, report.Modules)
-		return false
+		timesComparable = false
 	}
 	baseline := make(map[string]Record, len(base.Results))
 	for _, r := range base.Results {
 		baseline[r.Name] = r
 	}
-	ok := true
 	current := make(map[string]Record, len(report.Results))
 	for _, r := range report.Results {
 		current[r.Name] = r
@@ -288,34 +316,50 @@ func guardReport(report Report, path string, tolerance float64) bool {
 			fmt.Fprintf(os.Stderr, "guard: %s: not in baseline, skipped\n", r.Name)
 			continue
 		}
-		if r.NsPerOp > b.NsPerOp*(1+tolerance) {
-			fmt.Fprintf(os.Stderr, "guard: REGRESSION %s: %.0f ns/op vs baseline %.0f (+%.0f%%, tolerance %.0f%%)\n",
+		if timesComparable && r.NsPerOp > b.NsPerOp*(1+tolerance) {
+			violate("REGRESSION %s: %.0f ns/op vs baseline %.0f (+%.0f%%, tolerance %.0f%%)",
 				r.Name, r.NsPerOp, b.NsPerOp, 100*(r.NsPerOp/b.NsPerOp-1), 100*tolerance)
-			ok = false
 		}
 	}
+	// Structural invariants compare results within this run, so they hold
+	// regardless of baseline scale.
 	for _, pipe := range []string{"default", "wholeprog"} {
 		warm, w := current["ColdVsWarmBuild/"+pipe+"/warm"]
 		uncached, u := current["ColdVsWarmBuild/"+pipe+"/uncached"]
 		if w && u && warm.NsPerOp >= uncached.NsPerOp {
-			fmt.Fprintf(os.Stderr, "guard: REGRESSION %s: warm build (%.0f ns/op) no faster than uncached (%.0f ns/op)\n",
+			violate("REGRESSION %s: warm build (%.0f ns/op) no faster than uncached (%.0f ns/op)",
 				pipe, warm.NsPerOp, uncached.NsPerOp)
-			ok = false
 		}
 	}
 	// The scale suite's analog: a fully warm rebuild of the paper-scale
 	// corpus must beat the cold build outright.
 	if warm, w := current["ScaleBuild/warm"]; w {
 		if cold, c := current["ScaleBuild/cold"]; c && warm.NsPerOp >= cold.NsPerOp {
-			fmt.Fprintf(os.Stderr, "guard: REGRESSION ScaleBuild: warm rebuild (%.0f ns/op) no faster than cold (%.0f ns/op)\n",
+			violate("REGRESSION ScaleBuild: warm rebuild (%.0f ns/op) no faster than cold (%.0f ns/op)",
 				warm.NsPerOp, cold.NsPerOp)
-			ok = false
 		}
 	}
-	if ok {
-		fmt.Fprintf(os.Stderr, "guard: all benchmarks within %.0f%% of %s\n", 100*tolerance, path)
+	// The layout suite's quality invariant: call-chain clustering must not
+	// produce a worse execution-weighted cross-page-call ratio than the
+	// original order (ns/op tolerance never excuses a layout quality loss).
+	if c3, hasC3 := current["LayoutBuild/c3"]; hasC3 {
+		if none, hasNone := current["LayoutBuild/none"]; hasNone {
+			c3Ratio, noneRatio := c3.Metrics["cross-page-%"], none.Metrics["cross-page-%"]
+			if c3Ratio > noneRatio {
+				violate("REGRESSION LayoutBuild: c3 cross-page ratio %.2f%% above none's %.2f%%",
+					c3Ratio, noneRatio)
+			}
+		}
 	}
-	return ok
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "guard:", v)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "guard: %d invariant(s) violated against %s\n", len(violations), path)
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "guard: all benchmarks within %.0f%% of %s\n", 100*tolerance, path)
+	return true
 }
 
 func fatal(err error) {

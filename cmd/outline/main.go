@@ -19,10 +19,12 @@ import (
 	"outliner/internal/artifact"
 	"outliner/internal/cache"
 	"outliner/internal/fault"
+	"outliner/internal/layout"
 	"outliner/internal/llir"
 	"outliner/internal/mir"
 	"outliner/internal/obs"
 	"outliner/internal/outline"
+	"outliner/internal/profile"
 	verifypkg "outliner/internal/verify"
 )
 
@@ -41,12 +43,25 @@ func main() {
 		onvf    = flag.String("on-verify-failure", "abort", "verifier-failure policy: abort | rollback-round | disable-outlining")
 		fSeed   = flag.Uint64("fault-seed", 0, "deterministic fault-injection schedule seed (used with -fault-rate)")
 		fRate   = flag.Float64("fault-rate", 0, "fault-injection probability per outlining round (0 disables)")
+		layoutP = flag.String("layout", "", "profile-guided function layout policy applied after outlining: none | hot-cold | c3 (needs -profile-in)")
+		profIn  = flag.String("profile-in", "", "execution profile feeding remark verdicts and the -layout pass")
 	)
 	flag.Parse()
 	switch *onvf {
 	case outline.VerifyAbort, outline.VerifyRollbackRound, outline.VerifyDisableOutlining:
 	default:
 		fatal(fmt.Errorf("unknown -on-verify-failure mode %q", *onvf))
+	}
+	if !layout.Valid(*layoutP) {
+		fatal(fmt.Errorf("unknown -layout policy %q", *layoutP))
+	}
+	var prof *profile.Profile
+	if *profIn != "" {
+		p, perr := profile.ReadFile(*profIn)
+		if perr != nil {
+			fatal(perr)
+		}
+		prof = p
 	}
 	var inj *fault.Injector
 	if *fRate > 0 {
@@ -107,6 +122,11 @@ func main() {
 			// it out of the clean key space.
 			fp += " fault=" + inj.String()
 		}
+		if *layoutP != "" && *layoutP != layout.None {
+			// The cached program's function order depends on the policy and
+			// the profile content, so both join the key.
+			fp += fmt.Sprintf(" layout=%s prof=%s", *layoutP, prof.Digest())
+		}
 		key = cache.Key{
 			Stage:  "outline-cli",
 			Input:  cache.HashBytes(text),
@@ -129,6 +149,8 @@ func main() {
 		Tracer:          tracer,
 		OnVerifyFailure: *onvf,
 		Fault:           inj,
+		Profile:         prof,
+		Layout:          *layoutP,
 	})
 	if err != nil {
 		fatal(err)

@@ -15,6 +15,7 @@
 //	slc -run prog.sl                      # compile + execute
 //	slc -rounds 5 -emit mir prog.sl       # outlined machine code to stdout
 //	slc -rounds 0 -size prog.sl           # size report without outlining
+//	slc -profile-in app.prof -layout c3 prog.sl  # profile-guided function layout
 package main
 
 import (
@@ -30,6 +31,7 @@ import (
 	"outliner/internal/exec"
 	"outliner/internal/fault"
 	"outliner/internal/frontend"
+	"outliner/internal/layout"
 	"outliner/internal/llir"
 	"outliner/internal/obs"
 	"outliner/internal/outline"
@@ -66,6 +68,7 @@ func main() {
 		profIn   = flag.String("profile-in", "", "execution profile (from -profile-out or cmd/bench -suite profile) feeding the build: annotates outliner remarks with hot/cold verdicts and enables -outline-cold-only")
 		coldOnly = flag.Bool("outline-cold-only", false, "outline only cold functions: with -profile-in, never extract from a function whose entry count reaches -outline-cold-threshold")
 		coldThr  = flag.Int64("outline-cold-threshold", 1, "entry count at which a profiled function counts as hot (0 disables cold-only gating)")
+		layoutP  = flag.String("layout", "", "profile-guided function layout policy: none | hot-cold | c3 (needs -profile-in to take effect)")
 	)
 	flag.Parse()
 	if *cpuProf != "" {
@@ -149,6 +152,10 @@ func main() {
 	}
 	cfg.OutlineColdOnly = *coldOnly
 	cfg.OutlineColdThreshold = *coldThr
+	if !layout.Valid(*layoutP) {
+		fatal(fmt.Errorf("unknown -layout policy %q (want %s)", *layoutP, strings.Join(layout.Policies(), ", ")))
+	}
+	cfg.Layout = *layoutP
 	res, err := pipeline.Build(sources, cfg)
 	if err != nil {
 		// A failed build still reports its telemetry: the resilience
@@ -181,7 +188,20 @@ func main() {
 			if err := profile.WriteHotReport(os.Stderr, prof, 10, *coldThr); err != nil {
 				fatal(err)
 			}
-			fmt.Fprint(os.Stderr, perf.FormatPageTouch(perf.PageTouch(res.Image, prof, perf.Devices[0])))
+			// Report the layout metric at every device page size (4 KiB and
+			// 16 KiB in the current grid), with a before/after pair when the
+			// layout pass reordered the program.
+			if res.PreLayoutImage != nil {
+				fmt.Fprintf(os.Stderr, "before %s layout:\n", res.Layout.Policy)
+				for _, pt := range perf.PageTouchSizes(res.PreLayoutImage, prof) {
+					fmt.Fprint(os.Stderr, perf.FormatPageTouch(pt))
+				}
+				fmt.Fprintf(os.Stderr, "after %s layout (%d functions moved, %d clusters):\n",
+					res.Layout.Policy, res.Layout.Moved, res.Layout.Clusters)
+			}
+			for _, pt := range perf.PageTouchSizes(res.Image, prof) {
+				fmt.Fprint(os.Stderr, perf.FormatPageTouch(pt))
+			}
 		}
 	}
 	if *counters != "" {

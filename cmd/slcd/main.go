@@ -30,6 +30,7 @@ import (
 
 	"outliner/internal/appgen"
 	"outliner/internal/cache"
+	"outliner/internal/profile"
 	"outliner/internal/slcd"
 )
 
@@ -56,6 +57,8 @@ func main() {
 		verify   = flag.Bool("verify", true, "client request knob: run the machine-code verifier")
 		outFile  = flag.String("o", "", "client: write the agreed image listing to this file")
 		counters = flag.String("counters", "", "client: write the first response's counters as JSON to this file")
+		layoutP  = flag.String("layout", "", "client request knob: profile-guided function layout policy (none | hot-cold | c3)")
+		profIn   = flag.String("profile-in", "", "client request knob: execution profile file shipped with the request")
 	)
 	flag.Parse()
 
@@ -68,7 +71,7 @@ func main() {
 	case "client":
 		err = runClient(clientOpts{
 			server: *server, requests: *requests, genModules: *genMods,
-			rounds: *rounds, verify: *verify,
+			rounds: *rounds, verify: *verify, layout: *layoutP, profileIn: *profIn,
 			outFile: *outFile, countersFile: *counters, files: flag.Args(),
 		})
 	default:
@@ -114,6 +117,8 @@ type clientOpts struct {
 	genModules   int
 	rounds       int
 	verify       bool
+	layout       string
+	profileIn    string
 	outFile      string
 	countersFile string
 	files        []string
@@ -182,12 +187,22 @@ func buildRequest(opts clientOpts) (*slcd.BuildRequest, error) {
 	cfg := slcd.DefaultConfig()
 	cfg.OutlineRounds = opts.rounds
 	cfg.Verify = opts.verify
+	cfg.Layout = opts.layout
+	if opts.profileIn != "" {
+		// The profile ships inside the request in its canonical encoding —
+		// the daemon has no view of the client's filesystem.
+		p, err := profile.ReadFile(opts.profileIn)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Profile = p.Encode()
+	}
 	req := &slcd.BuildRequest{Config: cfg}
 	switch {
 	case opts.genModules > 0:
-		profile := appgen.UberRider
-		scale := appgen.ScaleForModules(profile, opts.genModules)
-		for _, m := range appgen.Generate(profile, scale) {
+		corpus := appgen.UberRider
+		scale := appgen.ScaleForModules(corpus, opts.genModules)
+		for _, m := range appgen.Generate(corpus, scale) {
 			req.Modules = append(req.Modules, slcd.ModuleSource{Name: m.Name, Files: m.Files})
 		}
 	case len(opts.files) > 0:

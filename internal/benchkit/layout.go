@@ -1,0 +1,86 @@
+package benchkit
+
+import (
+	"sync"
+	"testing"
+
+	"outliner/internal/appgen"
+	"outliner/internal/perf"
+	"outliner/internal/pipeline"
+	"outliner/internal/profile"
+)
+
+// LayoutSuite holds one generated corpus plus a profile collected from it,
+// and measures an uncached build per layout policy. The point of the suite is
+// less the build time than the layout quality metrics each build reports —
+// image bytes, touched pages, and the execution-weighted cross-page-call
+// ratio at 4 KiB pages — which the -guard invariant (c3 cross-ratio ≤ none
+// cross-ratio) watches. The corpus is generated once and the profile
+// collected once (from a no-layout build; call-edge keys are
+// layout-independent), both outside every timed region.
+type LayoutSuite struct {
+	cfg   pipeline.Config
+	mods  []appgen.Module
+	spans int
+
+	profOnce sync.Once
+	prof     *profile.Profile
+	profErr  error
+}
+
+// NewLayoutSuite generates an UberRider corpus with at least `modules`
+// modules for the layout comparison.
+func NewLayoutSuite(cfg pipeline.Config, modules int) *LayoutSuite {
+	scale := appgen.ScaleForModules(appgen.UberRider, modules)
+	return &LayoutSuite{
+		cfg:   cfg,
+		mods:  appgen.Generate(appgen.UberRider, scale),
+		spans: appgen.UberRider.Spans,
+	}
+}
+
+// Modules returns the corpus's module count.
+func (s *LayoutSuite) Modules() int { return len(s.mods) }
+
+// profile builds the corpus once without layout and executes every span plus
+// main under instrumentation, exactly the collect step of the README's
+// collect→build-with-layout workflow.
+func (s *LayoutSuite) profile() (*profile.Profile, error) {
+	s.profOnce.Do(func() {
+		res, err := appgen.BuildGenerated(s.mods, s.cfg)
+		if err != nil {
+			s.profErr = err
+			return
+		}
+		s.prof, s.profErr = ProfileEntries(res, DefaultEntries(s.spans), 0, s.cfg)
+	})
+	return s.prof, s.profErr
+}
+
+// Build measures an uncached profiled build at the given layout policy and
+// reports the layout quality metrics of the resulting image.
+func (s *LayoutSuite) Build(policy string) func(*testing.B) {
+	return func(b *testing.B) {
+		prof, err := s.profile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := s.cfg
+		c.CacheDir = ""
+		c.Layout = policy
+		c.Profile = prof
+		for i := 0; i < b.N; i++ {
+			res, err := appgen.BuildGenerated(s.mods, c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pt := perf.PageTouch(res.Image, prof, perf.PageSizeDevices()[0])
+			b.ReportMetric(float64(res.CodeSize()), "code-bytes")
+			b.ReportMetric(float64(pt.TouchedPages), "touched-pages")
+			b.ReportMetric(float64(pt.CrossPageCalls), "cross-page-calls")
+			b.ReportMetric(float64(pt.TotalCalls), "total-calls")
+			b.ReportMetric(100*pt.CrossRatio(), "cross-page-%")
+		}
+		b.ReportMetric(float64(len(s.mods)), "modules")
+	}
+}

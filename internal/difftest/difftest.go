@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"outliner/internal/fault"
+	"outliner/internal/layout"
 	"outliner/internal/par"
 	"outliner/internal/pipeline"
 	"outliner/internal/verify"
@@ -61,6 +62,8 @@ func Lattice() []Point {
 			SplitGCMetadata: true}},
 		{Name: "osize", Config: pipeline.OSize},
 		{Name: "osize-cold-only", Config: coldOnly(pipeline.OSize)},
+		{Name: "osize-layout-hotcold", Config: withLayout(pipeline.OSize, layout.HotCold)},
+		{Name: "osize-layout-c3", Config: withLayout(pipeline.OSize, layout.C3)},
 		{Name: "wp-extensions", Config: pipeline.Config{
 			WholeProgram: true, OutlineRounds: 5, CanonicalizeSequences: true,
 			LayoutOutlined: true, SILOutline: true, SpecializeClosures: true,
@@ -88,6 +91,15 @@ func SmokeLattice() []Point {
 func coldOnly(cfg pipeline.Config) pipeline.Config {
 	cfg.OutlineColdOnly = true
 	cfg.OutlineColdThreshold = 1
+	return cfg
+}
+
+// withLayout arms a profile-guided function-layout policy on a copy of cfg —
+// the lattice's layout axis. Like coldOnly, the profile is left nil for the
+// Oracle to inject from its instrumented reference run, so the reordering
+// under test is driven by the program's real dynamic call edges.
+func withLayout(cfg pipeline.Config, policy string) pipeline.Config {
+	cfg.Layout = policy
 	return cfg
 }
 
@@ -153,6 +165,12 @@ func PointFromBits(bits uint64) Point {
 	cfg.SplitGCMetadata = cfg.WholeProgram
 	if bits&(1<<11) != 0 {
 		cfg = coldOnly(cfg)
+	}
+	switch (bits >> 12) & 3 {
+	case 1:
+		cfg = withLayout(cfg, layout.HotCold)
+	case 2:
+		cfg = withLayout(cfg, layout.C3)
 	}
 	return Point{Name: fmt.Sprintf("bits-%#x", bits), Rank: 1, Config: cfg}
 }

@@ -6,6 +6,7 @@ import (
 
 	"outliner/internal/appgen"
 	"outliner/internal/exec"
+	"outliner/internal/layout"
 	"outliner/internal/mir"
 	"outliner/internal/pipeline"
 	"outliner/internal/profile"
@@ -197,9 +198,10 @@ func clip(s string) string {
 // nil) when all points agree.
 //
 // The reference run is instrumented, and its execution profile is injected
-// into any cold-only point that does not already carry one — so the
-// profile-gated axis ("never outline from a hot function") is exercised
-// against the exact dynamic behaviour the oracle is about to compare.
+// into any profile-consuming point — cold-only outlining or an active
+// function-layout policy — that does not already carry one, so both
+// profile-gated axes are exercised against the exact dynamic behaviour the
+// oracle is about to compare.
 func (o *Oracle) Check(mods []appgen.Module, pts []Point) (*Divergence, error) {
 	if len(pts) < 2 {
 		return nil, fmt.Errorf("difftest: need at least 2 lattice points, have %d", len(pts))
@@ -211,7 +213,8 @@ func (o *Oracle) Check(mods []appgen.Module, pts []Point) (*Divergence, error) {
 	}
 	refProf := col.Profile()
 	for _, pt := range pts[1:] {
-		if pt.Config.OutlineColdOnly && pt.Config.Profile == nil {
+		layoutActive := pt.Config.Layout != "" && pt.Config.Layout != layout.None
+		if (pt.Config.OutlineColdOnly || layoutActive) && pt.Config.Profile == nil {
 			pt.Config.Profile = refProf
 		}
 		got := o.Run(mods, pt)

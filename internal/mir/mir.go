@@ -254,3 +254,27 @@ func (f *Function) String() string {
 
 // ReindexFuncs rebuilds the name index after external reordering of Funcs.
 func (p *Program) ReindexFuncs() { p.rebuildIndex() }
+
+// ReorderFuncs replaces the program's function order with funcs. It panics
+// unless funcs is a true permutation of the current function list — a layout
+// pass must move functions, never drop, duplicate, or invent them — so every
+// reordering caller gets the permutation invariant enforced at the IR layer.
+func (p *Program) ReorderFuncs(funcs []*Function) {
+	if len(funcs) != len(p.Funcs) {
+		panic(fmt.Sprintf("mir: reorder with %d functions, program has %d", len(funcs), len(p.Funcs)))
+	}
+	if p.funcIndex == nil {
+		p.rebuildIndex()
+	}
+	seen := make(map[string]bool, len(funcs))
+	for _, f := range funcs {
+		if p.funcIndex[f.Name] != f {
+			panic(fmt.Sprintf("mir: reorder introduces foreign function %q", f.Name))
+		}
+		if seen[f.Name] {
+			panic(fmt.Sprintf("mir: reorder duplicates function %q", f.Name))
+		}
+		seen[f.Name] = true
+	}
+	p.Funcs = funcs
+}

@@ -48,6 +48,19 @@ type Remark struct {
 	// Hotness is the profile verdict for the candidate: "hot" when ExecCount
 	// meets the cold threshold, "cold" otherwise. Empty without a profile.
 	Hotness string `json:"hotness,omitempty"`
+
+	// The fields below are emitted by the "function-layout" pass (one remark
+	// per cluster-merge decision); the outliner leaves them zero.
+	//
+	// Caller and Function name the call edge driving the decision (Function
+	// doubles as the callee slot). Cluster is the 0-based id of the cluster
+	// the merge extended, EdgeWeight the execution-weighted call-edge
+	// frequency that ranked the edge, and Page the 0-based code page the
+	// callee's entry landed on in the final layout (selected remarks only).
+	Caller     string `json:"caller,omitempty"`
+	Cluster    int    `json:"cluster,omitempty"`
+	EdgeWeight int64  `json:"edgeWeight,omitempty"`
+	Page       int    `json:"page,omitempty"`
 }
 
 // remarkBatch is the atomic emission unit: every remark of one

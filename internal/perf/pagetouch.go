@@ -152,6 +152,35 @@ func replayCount(n int64) int {
 	return reps
 }
 
+// PageSizeDevices returns one representative device per distinct page size in
+// the Devices grid, ascending — the sizes a layout report must cover (4 KiB
+// for the iPhone 6s–X rows, 16 KiB for iPhone XS and later). Reporting only
+// binimg.PageSize hides how a layout behaves on large-page devices, where
+// clusters that straddle a 4 KiB boundary may still share one 16 KiB page.
+func PageSizeDevices() []Device {
+	seen := make(map[int]bool)
+	var out []Device
+	for _, d := range Devices {
+		if !seen[d.PageSize] {
+			seen[d.PageSize] = true
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PageSize < out[j].PageSize })
+	return out
+}
+
+// PageTouchSizes evaluates img against p at every distinct device page size,
+// ascending — the full grid view every renderer of the metric should use.
+func PageTouchSizes(img *binimg.Image, p *profile.Profile) []PageTouchResult {
+	devs := PageSizeDevices()
+	out := make([]PageTouchResult, len(devs))
+	for i, d := range devs {
+		out[i] = PageTouch(img, p, d)
+	}
+	return out
+}
+
 // FormatPageTouch renders the metric for reports.
 func FormatPageTouch(r PageTouchResult) string {
 	var b strings.Builder

@@ -86,3 +86,32 @@ func TestPageTouchDeterministicAndInert(t *testing.T) {
 		t.Fatalf("CodePages = %d", empty.CodePages)
 	}
 }
+
+// TestPageTouchSizes pins the report grid: one result per distinct device
+// page size (the grid has 4KiB and 16KiB devices), ascending, so every
+// renderer shows both geometries instead of Devices[0] only.
+func TestPageTouchSizes(t *testing.T) {
+	devs := PageSizeDevices()
+	if len(devs) != 2 || devs[0].PageSize != 4096 || devs[1].PageSize != 16384 {
+		t.Fatalf("PageSizeDevices = %+v, want one 4096 and one 16384 device", devs)
+	}
+	p := profile.New()
+	f := p.Func("near_a")
+	f.Entries, f.Steps = 1, 10
+	f.Calls = map[string]int64{profile.EdgeKey("far_c", 8): 5}
+	p.Func("far_c").Entries = 5
+	p.Func("far_c").Steps = 25
+	rs := PageTouchSizes(syntheticImage(), p)
+	if len(rs) != 2 {
+		t.Fatalf("PageTouchSizes returned %d results, want 2", len(rs))
+	}
+	if rs[0].PageSize != 4096 || rs[1].PageSize != 16384 {
+		t.Fatalf("page sizes %d/%d, want 4096/16384", rs[0].PageSize, rs[1].PageSize)
+	}
+	// far_c at 8192 is two 4KiB pages away from near_a but on the same
+	// 16KiB page: the call crosses only in the small-page geometry.
+	if rs[0].CrossPageCalls != 5 || rs[1].CrossPageCalls != 0 {
+		t.Fatalf("cross-page calls %d/%d, want 5 at 4KiB and 0 at 16KiB",
+			rs[0].CrossPageCalls, rs[1].CrossPageCalls)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"outliner/internal/cache"
 	"outliner/internal/fault"
 	"outliner/internal/frontend"
+	"outliner/internal/layout"
 	"outliner/internal/llir"
 	"outliner/internal/mir"
 	"outliner/internal/obs"
@@ -148,7 +149,20 @@ func machineFingerprint(cfg Config) string {
 	}
 	return fmt.Sprintf("merge=%t fmsa=%t rounds=%d flat=%t verify=%t onvf=%s",
 		cfg.MergeFunctions, cfg.FMSA, cfg.OutlineRounds, cfg.FlatOutlineCost, cfg.Verify, onvf) +
-		faultFingerprint(cfg) + profileFingerprint(cfg)
+		faultFingerprint(cfg) + profileFingerprint(cfg) + layoutFingerprint(cfg)
+}
+
+// layoutFingerprint keys machine-stage entries by the layout policy. The
+// machine stage itself is per-module and pre-link — the layout pass runs
+// after it and cannot change its artifacts — but the policy joins the key
+// anyway, like prof=/coldonly= do, so a future per-module layout hook can
+// never silently share entries across policies. An unset (or explicit none)
+// policy contributes nothing, keeping earlier releases' keys intact.
+func layoutFingerprint(cfg Config) string {
+	if cfg.Layout == "" || cfg.Layout == layout.None {
+		return ""
+	}
+	return " layout=" + cfg.Layout
 }
 
 // profileFingerprint keys machine-stage entries by profile identity and

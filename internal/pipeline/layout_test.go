@@ -1,0 +1,175 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"outliner/internal/exec"
+	"outliner/internal/layout"
+	"outliner/internal/obs"
+	"outliner/internal/pipeline"
+)
+
+// The none policy is part of the determinism contract: an unset knob, an
+// explicit "none", and an active policy with no profile to act on must all
+// produce byte-identical images.
+func TestLayoutNoneByteIdentical(t *testing.T) {
+	srcs := cacheTestSources()
+	base := pipeline.OSize
+	base.Verify = true
+	want, _ := buildListing(t, base, "", srcs)
+
+	explicit := base
+	explicit.Layout = layout.None
+	if got, _ := buildListing(t, explicit, "", srcs); got != want {
+		t.Error("-layout none changed the image")
+	}
+
+	noProfile := base
+	noProfile.Layout = layout.C3
+	if got, _ := buildListing(t, noProfile, "", srcs); got != want {
+		t.Error("-layout c3 with no profile changed the image")
+	}
+}
+
+func TestLayoutUnknownPolicyFails(t *testing.T) {
+	cfg := pipeline.OSize
+	cfg.Layout = "pettis-hansen"
+	if _, err := pipeline.Build(cacheTestSources(), cfg); err == nil {
+		t.Fatal("unknown layout policy did not fail the build")
+	}
+}
+
+// A profiled layout build must stay byte-identical at any parallelism and
+// across restarts (simulated by fully independent builds) for a fixed
+// profile — the repo's standing determinism guarantee, now with the layout
+// pass in the loop.
+func TestLayoutByteIdenticalAcrossParallelismAndRestarts(t *testing.T) {
+	srcs := cacheTestSources()
+	base := pipeline.OSize
+	base.Verify = true
+	prof, _ := collectMainProfile(t, base, srcs)
+
+	for _, policy := range []string{layout.HotCold, layout.C3} {
+		var want string
+		for _, jobs := range []int{1, 4, 4} {
+			cfg := base
+			cfg.Parallelism = jobs
+			cfg.Profile = prof
+			cfg.Layout = policy
+			got, _ := buildListing(t, cfg, "", srcs)
+			if want == "" {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Errorf("%s: -j %d image differs from -j 1", policy, jobs)
+			}
+		}
+	}
+}
+
+// Reordering moves addresses, never behavior: every layout policy must run
+// main to the same output.
+func TestLayoutExecutionEquivalent(t *testing.T) {
+	srcs := cacheTestSources()
+	base := pipeline.OSize
+	base.Verify = true
+	prof, _ := collectMainProfile(t, base, srcs)
+
+	var want string
+	for _, policy := range []string{layout.None, layout.HotCold, layout.C3} {
+		cfg := base
+		cfg.Profile = prof
+		cfg.Layout = policy
+		res, err := pipeline.Build(srcs, cfg)
+		if err != nil {
+			t.Fatalf("%s: Build: %v", policy, err)
+		}
+		m, err := exec.New(res.Prog, exec.Options{MaxSteps: 10_000_000})
+		if err != nil {
+			t.Fatalf("%s: exec.New: %v", policy, err)
+		}
+		out, err := m.Run("main")
+		if err != nil {
+			t.Fatalf("%s: Run: %v", policy, err)
+		}
+		if want == "" {
+			want = out
+			continue
+		}
+		if out != want {
+			t.Errorf("%s: output %q differs from none's %q", policy, out, want)
+		}
+	}
+}
+
+// The layout policy joins the machine-stage cache fingerprint: a warm
+// profiled build without layout must not serve its machine artifacts to the
+// same profile built with -layout c3.
+func TestLayoutJoinsCacheKey(t *testing.T) {
+	srcs := cacheTestSources()
+	dir := t.TempDir()
+	base := pipeline.Config{OutlineRounds: 1, SILOutline: true, Verify: true}
+	prof, _ := collectMainProfile(t, base, srcs)
+	base.Profile = prof
+
+	buildListing(t, base, dir, srcs) // cold: populate
+	_, warm := buildListing(t, base, dir, srcs)
+	if warm["cache/misses"] != 0 || warm["cache/hits"] == 0 {
+		t.Fatalf("profiled warm build not fully cached: %v", warm)
+	}
+
+	laid := base
+	laid.Layout = layout.C3
+	_, c := buildListing(t, laid, dir, srcs)
+	if c["cache/machine/misses"] == 0 {
+		t.Errorf("-layout c3 build reused no-layout machine artifacts: %v", c)
+	}
+}
+
+// An active profiled layout emits its decision telemetry: layout/* counters,
+// function-layout remarks with the driving call edge, and the before/after
+// cross-page counters with after no worse than before.
+func TestLayoutTelemetryAndPageCounters(t *testing.T) {
+	srcs := cacheTestSources()
+	base := pipeline.OSize
+	base.Verify = true
+	prof, _ := collectMainProfile(t, base, srcs)
+
+	tr := obs.New()
+	cfg := base
+	cfg.Tracer = tr
+	cfg.Profile = prof
+	cfg.Layout = layout.C3
+	res, err := pipeline.Build(srcs, cfg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if res.Layout == nil || res.Layout.Policy != layout.C3 {
+		t.Fatalf("Result.Layout = %+v, want c3 stats", res.Layout)
+	}
+	if res.PreLayoutImage == nil {
+		t.Fatal("Result.PreLayoutImage is nil for an active profiled layout")
+	}
+	counters := tr.Counters()
+	if counters["layout/clusters"] == 0 {
+		t.Errorf("no layout/clusters counter: %v", counters)
+	}
+	if counters["layout/cross_page_calls_after"] > counters["layout/cross_page_calls_before"] {
+		t.Errorf("c3 made cross-page calls worse: before=%d after=%d",
+			counters["layout/cross_page_calls_before"], counters["layout/cross_page_calls_after"])
+	}
+	sawLayoutRemark := false
+	for _, r := range tr.Remarks() {
+		if r.Pass != "function-layout" {
+			continue
+		}
+		sawLayoutRemark = true
+		if r.Caller == "" || r.Function == "" {
+			t.Errorf("layout remark missing call edge: %+v", r)
+		}
+	}
+	if res.Layout.Merges > 0 && !sawLayoutRemark {
+		t.Error("c3 merged clusters but emitted no function-layout remarks")
+	}
+}

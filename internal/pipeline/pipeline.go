@@ -23,11 +23,13 @@ import (
 	"outliner/internal/fault"
 	"outliner/internal/frontend"
 	"outliner/internal/irlink"
+	"outliner/internal/layout"
 	"outliner/internal/llir"
 	"outliner/internal/mir"
 	"outliner/internal/obs"
 	"outliner/internal/outline"
 	"outliner/internal/par"
+	"outliner/internal/perf"
 	"outliner/internal/profile"
 	"outliner/internal/sir"
 	"outliner/internal/verify"
@@ -146,6 +148,12 @@ type Config struct {
 	// OutlineColdThreshold is the entry count at which a function counts as
 	// hot (-outline-cold-threshold).
 	OutlineColdThreshold int64
+	// Layout selects the profile-guided function-ordering policy applied to
+	// the final program before image build (-layout): layout.None (or ""),
+	// layout.HotCold, or layout.C3. Active policies need a Profile to act on
+	// and are inert without one. The policy joins the machine-stage cache
+	// fingerprint alongside the profile digest.
+	Layout string
 }
 
 // BuildErrors is a keep-going build's aggregated failure: one error per
@@ -197,6 +205,12 @@ type Result struct {
 	Prog    *mir.Program
 	Image   *binimg.Image
 	Outline *outline.Stats
+	// Layout reports what the function-layout pass did (nil when Config.Layout
+	// was unset). PreLayoutImage is the image the program would have produced
+	// without the reorder — the "before" of a before/after PageTouch report —
+	// built only when the pass actually reordered (active policy + profile).
+	Layout         *layout.Stats
+	PreLayoutImage *binimg.Image
 	// Timings maps stage name to total time, derived from the tracer's
 	// stage spans: a stage that runs more than once — per outlining round,
 	// or per module in the default pipeline — reports the sum of its runs,
@@ -641,6 +655,26 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (res *Result, err error) {
 	if cfg.LayoutOutlined {
 		outline.LayoutOutlined(prog)
 	}
+	if cfg.Layout != "" {
+		// Profile-guided function layout (internal/layout) runs last over the
+		// final program, so it sees every outlined function and its order is
+		// exactly the image's. When the pass will actually reorder, the
+		// pre-reorder image is kept as the before/after baseline.
+		sp := tr.StartStage("layout", 0)
+		if cfg.Layout != layout.None && cfg.Profile != nil {
+			res.PreLayoutImage = binimg.Build(prog)
+		}
+		st, lerr := layout.Apply(prog, layout.Options{
+			Policy:  cfg.Layout,
+			Profile: cfg.Profile,
+			Tracer:  tr,
+		})
+		sp.End()
+		if lerr != nil {
+			return nil, fmt.Errorf("pipeline: %w", lerr)
+		}
+		res.Layout = st
+	}
 
 	if cfg.Verify {
 		if err := runVerify(prog, llir.RuntimeSyms, tr, "final machine program"); err != nil {
@@ -654,6 +688,17 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (res *Result, err error) {
 		if err := rep.Err(); err != nil {
 			return nil, fmt.Errorf("pipeline: image layout: %w", err)
 		}
+	}
+	if res.PreLayoutImage != nil {
+		// Score the reorder at binimg's native page size so the improvement is
+		// visible in counters (and hence -summary) without rerunning PageTouch.
+		dev := perf.Device{PageSize: binimg.PageSize}
+		before := perf.PageTouch(res.PreLayoutImage, cfg.Profile, dev)
+		after := perf.PageTouch(res.Image, cfg.Profile, dev)
+		tr.Set("layout/cross_page_calls_before", before.CrossPageCalls)
+		tr.Set("layout/cross_page_calls_after", after.CrossPageCalls)
+		tr.Set("layout/touched_pages_before", int64(before.TouchedPages))
+		tr.Set("layout/touched_pages_after", int64(after.TouchedPages))
 	}
 	res.Timings = tr.StageTotalsSince(mark)
 	return res, nil

@@ -5,9 +5,11 @@ import (
 	"fmt"
 
 	"outliner/internal/fault"
+	"outliner/internal/layout"
 	"outliner/internal/outline"
 	"outliner/internal/par"
 	"outliner/internal/pipeline"
+	"outliner/internal/profile"
 	"outliner/internal/verify"
 )
 
@@ -39,6 +41,13 @@ type BuildConfig struct {
 	// damage must never leak into concurrent clean builds.
 	FaultSeed uint64  `json:"fault_seed,omitempty"`
 	FaultRate float64 `json:"fault_rate,omitempty"`
+	// Layout selects the profile-guided function-layout policy ("none",
+	// "hot-cold", "c3"); Profile carries the execution profile feeding it (and
+	// cold-only outlining), in the canonical encoding profile.Encode emits.
+	// The profile travels in the request — the farm has no filesystem view of
+	// the client's instrumented runs.
+	Layout  string `json:"layout,omitempty"`
+	Profile []byte `json:"profile,omitempty"`
 }
 
 // DefaultConfig is the request config slcd assumes for absent fields — the
@@ -106,6 +115,17 @@ func (c BuildConfig) pipelineConfig() (pipeline.Config, error) {
 	}
 	if c.FaultRate > 0 {
 		cfg.Fault = fault.New(c.FaultSeed, c.FaultRate)
+	}
+	if !layout.Valid(c.Layout) {
+		return pipeline.Config{}, fmt.Errorf("slcd: unknown layout policy %q", c.Layout)
+	}
+	cfg.Layout = c.Layout
+	if len(c.Profile) > 0 {
+		p, err := profile.Decode(c.Profile)
+		if err != nil {
+			return pipeline.Config{}, fmt.Errorf("slcd: request profile: %w", err)
+		}
+		cfg.Profile = p
 	}
 	return cfg, nil
 }
