@@ -18,12 +18,19 @@
 //	               pages, and the cross-page-call ratio (BENCH_layout.json
 //	               is the committed baseline; -guard enforces c3's
 //	               cross-ratio ≤ none's)
+//	-suite service daemon request latency under remote-tier failure: p50/p95
+//	               per-request latency against a healthy shard, and against
+//	               a hung shard with the circuit breaker on vs. off
+//	               (BENCH_service.json is the committed baseline; -guard
+//	               enforces breaker-on beating breaker-off under the dead
+//	               shard)
 //
 // Regenerate a baseline with:
 //
 //	go run ./cmd/bench -out BENCH_pr4.json
 //	go run ./cmd/bench -suite scale -modules 476 -out BENCH_scale.json
 //	go run ./cmd/bench -suite layout -modules 96 -out BENCH_layout.json
+//	go run ./cmd/bench -suite service -modules 12 -out BENCH_service.json
 //
 // The bodies are shared with bench_test.go via internal/benchkit, so
 // `go test -bench ColdVsWarm` and `go test -bench PaperScale` measure
@@ -71,7 +78,7 @@ func main() { os.Exit(run()) }
 // and suite-cleanup defers fire on the failure path too.
 func run() int {
 	var (
-		suite     = flag.String("suite", "pr4", "benchmark suite: pr4 (small-scale cache + outliner) | scale (paper-scale cold/warm/edit builds) | profile (instrumented-run collection) | layout (none/hot-cold/c3 comparison)")
+		suite     = flag.String("suite", "pr4", "benchmark suite: pr4 (small-scale cache + outliner) | scale (paper-scale cold/warm/edit builds) | profile (instrumented-run collection) | layout (none/hot-cold/c3 comparison) | service (daemon latency under shard failure, breaker on/off)")
 		scale     = flag.Float64("scale", 0.35, "pr4 suite: synthetic app scale (matches bench_test.go's benchScale)")
 		modules   = flag.Int("modules", 476, "scale suite: corpus module count (476 = the paper's flagship app)")
 		out       = flag.String("out", "", "output file (default stdout)")
@@ -153,8 +160,19 @@ func run() int {
 			{"LayoutBuild/c3", s.Build(layout.C3)},
 		}
 		report = Report{Modules: s.Modules()}
+	case "service":
+		// The dead-shard/breaker-off scenario pays the full remote timeout
+		// bill per operation by design; keep the corpus small (-modules 12).
+		fmt.Fprintf(os.Stderr, "bench: generating %d-module corpus...\n", *modules)
+		s := benchkit.NewServiceSuite(*modules)
+		benches = []bench{
+			{"ServiceBuild/healthy", s.Healthy()},
+			{"ServiceBuild/dead-shard/breaker-on", s.DeadShard(true)},
+			{"ServiceBuild/dead-shard/breaker-off", s.DeadShard(false)},
+		}
+		report = Report{Modules: s.Modules()}
 	default:
-		fatal(fmt.Errorf("unknown -suite %q (want pr4, scale, profile, or layout)", *suite))
+		fatal(fmt.Errorf("unknown -suite %q (want pr4, scale, profile, layout, or service)", *suite))
 	}
 	for _, bm := range benches {
 		fmt.Fprintf(os.Stderr, "bench: %s...\n", bm.name)
@@ -337,6 +355,16 @@ func guardReport(report Report, path string, tolerance float64) bool {
 		if cold, c := current["ScaleBuild/cold"]; c && warm.NsPerOp >= cold.NsPerOp {
 			violate("REGRESSION ScaleBuild: warm rebuild (%.0f ns/op) no faster than cold (%.0f ns/op)",
 				warm.NsPerOp, cold.NsPerOp)
+		}
+	}
+	// The service suite's resilience invariant: against a hung shard, the
+	// circuit breaker must make requests cheaper than paying the remote
+	// timeout bill on every request. A breaker regression (never opens, or
+	// sheds nothing) fails here regardless of absolute times.
+	if on, hasOn := current["ServiceBuild/dead-shard/breaker-on"]; hasOn {
+		if off, hasOff := current["ServiceBuild/dead-shard/breaker-off"]; hasOff && on.NsPerOp >= off.NsPerOp {
+			violate("REGRESSION ServiceBuild: breaker-on dead-shard latency (%.0f ns/op) not below breaker-off (%.0f ns/op)",
+				on.NsPerOp, off.NsPerOp)
 		}
 	}
 	// The layout suite's quality invariant: call-chain clustering must not

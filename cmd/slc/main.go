@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -69,6 +70,7 @@ func main() {
 		coldOnly = flag.Bool("outline-cold-only", false, "outline only cold functions: with -profile-in, never extract from a function whose entry count reaches -outline-cold-threshold")
 		coldThr  = flag.Int64("outline-cold-threshold", 1, "entry count at which a profiled function counts as hot (0 disables cold-only gating)")
 		layoutP  = flag.String("layout", "", "profile-guided function layout policy: none | hot-cold | c3 (needs -profile-in to take effect)")
+		deadline = flag.Duration("deadline", 0, "cancel the build after this wall-clock duration (0 = no deadline); a cancelled build publishes nothing to the cache")
 	)
 	flag.Parse()
 	if *cpuProf != "" {
@@ -140,6 +142,11 @@ func main() {
 	}
 	if *fRate > 0 {
 		cfg.Fault = fault.New(*fSeed, *fRate)
+	}
+	if *deadline > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *deadline)
+		defer cancel()
+		cfg.Ctx = ctx
 	}
 	var prof *profile.Profile
 	if *profIn != "" {

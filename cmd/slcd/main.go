@@ -19,14 +19,19 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
+	"time"
 
 	"outliner/internal/appgen"
 	"outliner/internal/cache"
@@ -44,35 +49,46 @@ func main() {
 		shards    = flag.String("shards", "", "comma-separated remote cache shard base URLs, e.g. http://127.0.0.1:9471,http://127.0.0.1:9472")
 		jobs      = flag.Int("j", 0, "per-build parallel workers (0 = one per CPU)")
 		maxBuilds = flag.Int("max-builds", 4, "concurrently executing build requests; further requests queue")
+		maxQueue  = flag.Int("max-queue", 32, "requests waiting for a build slot before the daemon sheds load with 503 (negative = unbounded)")
+		deadline  = flag.Duration("deadline", 0, "daemon-side cap on each build's wall-clock time (0 = none); the smaller of this and the request's timeout_ms wins")
+		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM/SIGINT: how long in-flight builds may finish before stragglers are cancelled")
+		remoteTO  = flag.Duration("remote-timeout", 0, "per-operation remote shard timeout (0 = cache package default)")
+		breakThr  = flag.Int("breaker-threshold", 0, "consecutive shard failures that open its circuit breaker (0 = default, negative = breakers off)")
 
 		// shard
 		shardDir = flag.String("shard-dir", "", "shard entry directory (shard mode; required)")
 		shardMax = flag.Int64("shard-max-bytes", 256<<20, "shard size cap in bytes; least-recently-used entries are evicted")
 
 		// client
-		server   = flag.String("server", "http://127.0.0.1:9470", "daemon base URL (client mode)")
-		requests = flag.Int("requests", 1, "concurrent identical build requests to post; responses must agree byte-for-byte")
-		genMods  = flag.Int("gen-modules", 0, "generate a deterministic app with this many modules instead of reading source files")
-		rounds   = flag.Int("rounds", 5, "client request knob: outlining rounds")
-		verify   = flag.Bool("verify", true, "client request knob: run the machine-code verifier")
-		outFile  = flag.String("o", "", "client: write the agreed image listing to this file")
-		counters = flag.String("counters", "", "client: write the first response's counters as JSON to this file")
-		layoutP  = flag.String("layout", "", "client request knob: profile-guided function layout policy (none | hot-cold | c3)")
-		profIn   = flag.String("profile-in", "", "client request knob: execution profile file shipped with the request")
+		server    = flag.String("server", "http://127.0.0.1:9470", "daemon base URL (client mode)")
+		requests  = flag.Int("requests", 1, "concurrent identical build requests to post; responses must agree byte-for-byte")
+		genMods   = flag.Int("gen-modules", 0, "generate a deterministic app with this many modules instead of reading source files")
+		rounds    = flag.Int("rounds", 5, "client request knob: outlining rounds")
+		verify    = flag.Bool("verify", true, "client request knob: run the machine-code verifier")
+		outFile   = flag.String("o", "", "client: write the agreed image listing to this file")
+		counters  = flag.String("counters", "", "client: write the first response's counters as JSON to this file")
+		layoutP   = flag.String("layout", "", "client request knob: profile-guided function layout policy (none | hot-cold | c3)")
+		profIn    = flag.String("profile-in", "", "client request knob: execution profile file shipped with the request")
+		timeoutMS = flag.Int64("timeout-ms", 0, "client request knob: per-request build deadline in milliseconds (0 = none)")
 	)
 	flag.Parse()
 
 	var err error
 	switch *mode {
 	case "serve":
-		err = runServe(*addr, *cacheDir, *shards, *jobs, *maxBuilds)
+		err = runServe(serveOpts{
+			addr: *addr, cacheDir: *cacheDir, shards: *shards, jobs: *jobs,
+			maxBuilds: *maxBuilds, maxQueue: *maxQueue, deadline: *deadline,
+			drainTimeout: *drainTO, remoteTimeout: *remoteTO, breakerThreshold: *breakThr,
+		})
 	case "shard":
 		err = runShard(*addr, *shardDir, *shardMax)
 	case "client":
 		err = runClient(clientOpts{
 			server: *server, requests: *requests, genModules: *genMods,
 			rounds: *rounds, verify: *verify, layout: *layoutP, profileIn: *profIn,
-			outFile: *outFile, countersFile: *counters, files: flag.Args(),
+			timeoutMS: *timeoutMS,
+			outFile:   *outFile, countersFile: *counters, files: flag.Args(),
 		})
 	default:
 		err = fmt.Errorf("unknown -mode %q (serve | shard | client)", *mode)
@@ -83,19 +99,62 @@ func main() {
 	}
 }
 
-func runServe(addr, cacheDir, shards string, jobs, maxBuilds int) error {
+type serveOpts struct {
+	addr, cacheDir, shards string
+	jobs, maxBuilds        int
+	maxQueue               int
+	deadline               time.Duration
+	drainTimeout           time.Duration
+	remoteTimeout          time.Duration
+	breakerThreshold       int
+}
+
+// runServe runs the compile daemon until SIGTERM/SIGINT, then executes the
+// graceful-drain protocol: flip /healthz to draining, refuse new builds with
+// 503 + Retry-After, let in-flight builds finish up to -drain-timeout, cancel
+// stragglers, and only then close the listener.
+func runServe(o serveOpts) error {
 	opts := slcd.Options{
-		CacheDir:    cacheDir,
-		Parallelism: jobs,
-		MaxBuilds:   maxBuilds,
+		CacheDir:         o.cacheDir,
+		Parallelism:      o.jobs,
+		MaxBuilds:        o.maxBuilds,
+		MaxQueue:         o.maxQueue,
+		Deadline:         o.deadline,
+		RemoteTimeout:    o.remoteTimeout,
+		BreakerThreshold: o.breakerThreshold,
 	}
-	if shards != "" {
-		opts.ShardURLs = strings.Split(shards, ",")
+	if o.shards != "" {
+		opts.ShardURLs = strings.Split(o.shards, ",")
 	}
 	srv := slcd.NewServer(opts)
-	fmt.Fprintf(os.Stderr, "slcd: compile daemon on %s (cache=%q, shards=%d, max-builds=%d)\n",
-		addr, cacheDir, len(opts.ShardURLs), opts.MaxBuilds)
-	return http.ListenAndServe(addr, srv.Handler())
+	defer srv.Close()
+	httpSrv := &http.Server{Addr: o.addr, Handler: srv.Handler()}
+	fmt.Fprintf(os.Stderr, "slcd: compile daemon on %s (cache=%q, shards=%d, max-builds=%d, max-queue=%d, deadline=%s)\n",
+		o.addr, o.cacheDir, len(opts.ShardURLs), opts.MaxBuilds, opts.MaxQueue, o.deadline)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr, "slcd: %v received, draining (timeout %s)\n", sig, o.drainTimeout)
+		if graceful := srv.Drain(o.drainTimeout); graceful {
+			fmt.Fprintln(os.Stderr, "slcd: drain complete, all builds finished")
+		} else {
+			fmt.Fprintln(os.Stderr, "slcd: drain deadline hit, straggler builds cancelled")
+		}
+		// Give in-flight response writes a beat to flush, then close.
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutCtx)
+	}()
+	err := httpSrv.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		<-drained
+		return nil
+	}
+	return err
 }
 
 func runShard(addr, dir string, maxBytes int64) error {
@@ -119,6 +178,7 @@ type clientOpts struct {
 	verify       bool
 	layout       string
 	profileIn    string
+	timeoutMS    int64
 	outFile      string
 	countersFile string
 	files        []string
@@ -188,6 +248,7 @@ func buildRequest(opts clientOpts) (*slcd.BuildRequest, error) {
 	cfg.OutlineRounds = opts.rounds
 	cfg.Verify = opts.verify
 	cfg.Layout = opts.layout
+	cfg.TimeoutMS = opts.timeoutMS
 	if opts.profileIn != "" {
 		// The profile ships inside the request in its canonical encoding —
 		// the daemon has no view of the client's filesystem.
@@ -229,13 +290,19 @@ func post(server string, payload []byte) (*slcd.BuildResponse, error) {
 		return nil, err
 	}
 	defer resp.Body.Close()
+	var msg bytes.Buffer
+	msg.ReadFrom(resp.Body)
 	if resp.StatusCode != http.StatusOK {
-		var msg bytes.Buffer
-		msg.ReadFrom(resp.Body)
+		// A draining or overloaded daemon answers 503 with a structured
+		// BuildResponse; surface its error class so retry scripts can branch.
+		var out slcd.BuildResponse
+		if jerr := json.Unmarshal(msg.Bytes(), &out); jerr == nil && out.ErrorClass != "" {
+			return &out, nil
+		}
 		return nil, fmt.Errorf("daemon returned %d: %s", resp.StatusCode, strings.TrimSpace(msg.String()))
 	}
 	var out slcd.BuildResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := json.Unmarshal(msg.Bytes(), &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

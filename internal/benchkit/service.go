@@ -1,0 +1,177 @@
+package benchkit
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"outliner/internal/appgen"
+	"outliner/internal/cache"
+	"outliner/internal/slcd"
+)
+
+// serviceRemoteTimeout is the per-operation remote shard timeout the service
+// suite runs under. It is deliberately small: the suite's dead shard hangs
+// (never refuses), so every un-shed remote operation pays this timeout times
+// the retry budget, which is exactly the failure mode the circuit breaker
+// exists to bound.
+const serviceRemoteTimeout = 25 * time.Millisecond
+
+// ServiceSuite measures end-to-end build-request latency against a live
+// daemon under remote-tier failure: a healthy shard, and a hung shard with
+// the circuit breaker on vs. off. Every timed request edits one module body
+// (a comment append — new llir key, identical image), so remote traffic flows
+// on every request; without that, a warm local cache would hide the shard
+// entirely. The headline numbers are the p50/p95 request latencies: with the
+// breaker off, every request pays the hung shard's timeout-and-retry bill
+// forever; with it on, only the requests before the breaker opens do.
+type ServiceSuite struct {
+	mods []appgen.Module
+	app  []slcd.ModuleSource
+	seq  atomic.Int64 // distinct edit tags across all iterations and reruns
+}
+
+// NewServiceSuite generates an UberRider corpus with at least `modules`
+// modules. Keep the count modest (≈12): the breaker-off scenario deliberately
+// pays the full timeout bill per remote operation.
+func NewServiceSuite(modules int) *ServiceSuite {
+	scale := appgen.ScaleForModules(appgen.UberRider, modules)
+	mods := appgen.Generate(appgen.UberRider, scale)
+	app := make([]slcd.ModuleSource, len(mods))
+	for i, m := range mods {
+		app[i] = slcd.ModuleSource{Name: m.Name, Files: m.Files}
+	}
+	return &ServiceSuite{mods: mods, app: app}
+}
+
+// Modules reports the generated corpus size.
+func (s *ServiceSuite) Modules() int { return len(s.app) }
+
+func (s *ServiceSuite) config() slcd.BuildConfig {
+	cfg := slcd.DefaultConfig()
+	cfg.OutlineRounds = 2
+	return cfg
+}
+
+// request returns the next timed request: the base app with a fresh comment
+// appended to one module, rotating through the corpus.
+func (s *ServiceSuite) request() *slcd.BuildRequest {
+	n := s.seq.Add(1)
+	idx := int(n) % len(s.app)
+	m := s.app[idx]
+	files := make(map[string]string, len(m.Files))
+	for name, text := range m.Files {
+		files[name] = text + fmt.Sprintf("\n// bench edit %d\n", n)
+	}
+	modules := make([]slcd.ModuleSource, len(s.app))
+	copy(modules, s.app)
+	modules[idx] = slcd.ModuleSource{Name: m.Name, Files: files}
+	return &slcd.BuildRequest{Modules: modules, Config: s.config()}
+}
+
+// healthyShard serves a real shard store over HTTP.
+func healthyShard(b *testing.B) (*httptest.Server, func()) {
+	dir, err := os.MkdirTemp("", "bench-shard-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := cache.OpenShard(dir, 64<<20)
+	if err != nil {
+		os.RemoveAll(dir)
+		b.Fatal(err)
+	}
+	hs := httptest.NewServer(cache.NewShardServer(store))
+	return hs, func() {
+		hs.Close()
+		os.RemoveAll(dir)
+	}
+}
+
+// hungShard is the worst remote failure mode: connections are accepted and
+// then nothing happens until the client gives up. A refused connection fails
+// fast; a hang costs the full per-operation timeout every time. The hang is
+// bounded server-side at several client timeouts — indistinguishable from an
+// infinite hang to the client (which gave up long before), but it lets the
+// server drain its handlers at Close (a handler parked on an unread PUT body
+// never observes the client's disconnect, so an unbounded hang would wedge
+// Close forever).
+func hungShard() *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(4 * serviceRemoteTimeout):
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+}
+
+// run is the shared bench body: stand up a daemon over the given shard,
+// prime the local cache with one full build, then time per-request latency
+// and report p50/p95 alongside ns/op.
+func (s *ServiceSuite) run(b *testing.B, shardURL string, breakerThreshold int) {
+	dir, err := os.MkdirTemp("", "bench-service-cache-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		os.RemoveAll(dir)
+		cache.Forget(dir)
+	}()
+	srv := slcd.NewServer(slcd.Options{
+		CacheDir:         dir,
+		ShardURLs:        []string{shardURL},
+		Parallelism:      2,
+		RemoteTimeout:    serviceRemoteTimeout,
+		BreakerThreshold: breakerThreshold,
+	})
+	defer srv.Close()
+	if resp := srv.Build(&slcd.BuildRequest{Modules: s.app, Config: s.config()}); !resp.OK {
+		b.Fatalf("priming build failed (%s): %s", resp.ErrorClass, resp.Error)
+	}
+
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		resp := srv.Build(s.request())
+		elapsed := time.Since(start)
+		if !resp.OK {
+			b.Fatalf("request failed (%s): %s — a sick shard must degrade, not fail", resp.ErrorClass, resp.Error)
+		}
+		lat = append(lat, elapsed)
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	b.ReportMetric(float64(lat[len(lat)/2].Microseconds())/1000, "p50-ms")
+	b.ReportMetric(float64(lat[len(lat)*95/100].Microseconds())/1000, "p95-ms")
+}
+
+// Healthy measures request latency with a live shard (breaker at its
+// default threshold, which healthy traffic never reaches).
+func (s *ServiceSuite) Healthy() func(*testing.B) {
+	return func(b *testing.B) {
+		shard, cleanup := healthyShard(b)
+		defer cleanup()
+		s.run(b, shard.URL, 0)
+	}
+}
+
+// DeadShard measures request latency with a hung shard. breakerOn selects
+// the default breaker threshold; off disables the breaker entirely, the
+// pre-resilience behavior where every request pays the timeout bill.
+func (s *ServiceSuite) DeadShard(breakerOn bool) func(*testing.B) {
+	return func(b *testing.B) {
+		shard := hungShard()
+		defer shard.Close()
+		threshold := 0
+		if !breakerOn {
+			threshold = -1
+		}
+		s.run(b, shard.URL, threshold)
+	}
+}

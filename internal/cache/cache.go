@@ -29,6 +29,7 @@
 package cache
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -214,6 +215,14 @@ func (c *Cache) Get(k Key) ([]byte, bool) {
 // not control flow. Tiers are consulted hottest-first (memory, disk, remote
 // shard) and the probe's Tier names the one that served a hit.
 func (c *Cache) GetProbe(k Key) ([]byte, bool, Probe) {
+	return c.GetProbeCtx(context.Background(), k)
+}
+
+// GetProbeCtx is GetProbe under a context: a done context aborts disk retry
+// loops between attempts and cancels in-flight remote shard requests, so a
+// cancelled build stops paying cache latency promptly. Cancellation is just
+// one more degraded mode — the lookup reports a miss, never an error.
+func (c *Cache) GetProbeCtx(ctx context.Context, k Key) ([]byte, bool, Probe) {
 	var pr Probe
 	if c == nil {
 		return nil, false, pr
@@ -227,14 +236,14 @@ func (c *Cache) GetProbe(k Key) ([]byte, bool, Probe) {
 		return data, true, pr
 	}
 	if c.dir != "" {
-		if payload, ok := c.getDisk(id, &pr); ok {
+		if payload, ok := c.getDisk(ctx, id, &pr); ok {
 			pr.Tier = "disk"
 			c.remember(id, payload)
 			return payload, true, pr
 		}
 	}
 	if remote := c.getRemote(); remote != nil {
-		raw, shard, ok, rpr := remote.get(id)
+		raw, shard, ok, rpr := remote.get(ctx, id)
 		pr.Merge(rpr)
 		if ok {
 			payload, err := decodeEntry(raw)
@@ -243,13 +252,13 @@ func (c *Cache) GetProbe(k Key) ([]byte, bool, Probe) {
 				// flight): delete the entry so the rebuild republishes a good
 				// one end-to-end, the disk tier's exact contract.
 				pr.Corrupt = true
-				remote.drop(shard, id)
+				remote.drop(ctx, shard, id)
 			} else {
 				// Promote into the local tiers so the next probe is local;
 				// a failed disk promotion only costs the promotion.
 				if c.dir != "" {
 					var ppr Probe
-					if err := c.writeEntry(id, raw, &ppr); err == nil {
+					if err := c.writeEntry(ctx, id, raw, &ppr); err == nil {
 						pr.Retries += ppr.Retries
 					}
 				}
@@ -264,9 +273,9 @@ func (c *Cache) GetProbe(k Key) ([]byte, bool, Probe) {
 
 // getDisk is the disk-tier half of GetProbe: read, validate, and on damage
 // delete-and-miss.
-func (c *Cache) getDisk(id string, pr *Probe) ([]byte, bool) {
+func (c *Cache) getDisk(ctx context.Context, id string, pr *Probe) ([]byte, bool) {
 	path := c.entryPath(id)
-	raw, err := c.readEntry(id, path, pr)
+	raw, err := c.readEntry(ctx, id, path, pr)
 	if err != nil {
 		// Absence is the ordinary miss; anything else is a degraded miss
 		// worth reporting.
@@ -302,8 +311,22 @@ func (c *Cache) Put(k Key, data []byte) {
 // published to every configured tier: memory, disk, and the owning remote
 // shard — any tier can fail independently without failing the others.
 func (c *Cache) PutProbe(k Key, data []byte) Probe {
+	return c.PutProbeCtx(context.Background(), k, data)
+}
+
+// PutProbeCtx is PutProbe under a context. A context that is already done
+// refuses the publication entirely — no tier, not even memory, sees the
+// entry — which is the cache-side half of the "a cancelled build never
+// publishes" contract (the pipeline also gates its publications). A context
+// that fires mid-publication aborts the remaining retries and tiers; the
+// atomic rename protocol means a torn publication is impossible either way.
+func (c *Cache) PutProbeCtx(ctx context.Context, k Key, data []byte) Probe {
 	var pr Probe
 	if c == nil {
+		return pr
+	}
+	if err := ctx.Err(); err != nil {
+		pr.IOErr = err
 		return pr
 	}
 	id := k.id()
@@ -314,12 +337,12 @@ func (c *Cache) PutProbe(k Key, data []byte) Probe {
 		enc = encodeEntry(data)
 	}
 	if c.dir != "" {
-		if err := c.writeEntry(id, enc, &pr); err != nil {
+		if err := c.writeEntry(ctx, id, enc, &pr); err != nil {
 			pr.IOErr = err
 		}
 	}
 	if remote != nil {
-		pr.Merge(remote.put(id, enc))
+		pr.Merge(remote.put(ctx, id, enc))
 	}
 	return pr
 }

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"errors"
 	"sync"
 )
@@ -34,9 +35,13 @@ type flightCall struct {
 	err  error
 }
 
-// ErrFlightAborted is what waiters receive when the leader's fn panicked:
-// the leader re-panics (so the pipeline's panic isolation still sees it) and
-// every waiter degrades to this structured error instead of hanging.
+// ErrFlightAborted is what waiters receive when the leader's fn did not
+// produce a shareable result for reasons private to the leader: it panicked
+// (the leader re-panics so the pipeline's panic isolation still sees it), or
+// its build was cancelled or timed out (the leader keeps its own context
+// error). Every waiter degrades to this structured error instead of hanging
+// or inheriting a cancellation that was never theirs; since completed calls
+// are forgotten immediately, a re-request simply recomputes.
 var ErrFlightAborted = errors.New("cache: single-flight leader aborted")
 
 // NewFlight returns an empty single-flight group.
@@ -81,9 +86,16 @@ func (f *Flight) Do(k Key, fn func() ([]byte, error)) (data []byte, shared bool,
 		f.mu.Unlock()
 		close(c.done)
 	}()
-	c.data, c.err = fn()
+	data, err = fn()
 	completed = true
-	return c.data, false, c.err
+	c.data, c.err = data, err
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		// The leader's build was cancelled or ran out of deadline — an event
+		// private to that request. The leader reports its own context error;
+		// waiters get the abort sentinel and fall back to computing privately.
+		c.data, c.err = nil, ErrFlightAborted
+	}
+	return data, false, err
 }
 
 // Stats returns the group's lifetime totals: leader executions and deduped

@@ -2,9 +2,11 @@ package cache
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,19 +22,28 @@ import (
 // The remote tier obeys the same degraded-mode contract as the disk tier: a
 // dead shard, a slow shard, a corrupt response — every failure mode is a
 // miss (Get) or an unpublished entry (Put), never a build failure. Transient
-// errors retry with the disk tier's capped backoff; a shard that stays dead
-// just stops contributing hits until it comes back.
+// errors retry with the disk tier's capped backoff; a shard that keeps
+// failing trips its circuit breaker (see RemoteOptions.BreakerThreshold), so
+// operations skip it instantly instead of paying the operation timeout and
+// retries on every probe, and a background health probe re-admits it once it
+// answers again.
 type Remote struct {
 	shards []string // base URLs, e.g. "http://10.0.0.7:9471"
 	client *http.Client
+	opts   RemoteOptions
 
 	// Injectable seams, mirroring Cache: sleep replaces the backoff clock and
-	// fault arms the RemoteGet/RemotePut injection sites (the shard-kill
-	// chaos hook). Arm only private instances.
+	// fault arms the RemoteGet/RemotePut/RemoteSlow injection sites (the
+	// shard-kill chaos hook). Arm only private instances.
 	sleep func(time.Duration)
 	fault *fault.Injector
 
 	inflight []atomic.Int64 // per-shard in-flight HTTP operations
+	breakers []breaker      // per-shard circuit breakers
+
+	proberOnce sync.Once     // starts the health-probe goroutine lazily
+	closeOnce  sync.Once     // Close is idempotent
+	proberStop chan struct{} // closed by Close
 
 	mu      sync.Mutex
 	stats   []remoteShardStats
@@ -44,23 +55,126 @@ type remoteShardStats struct {
 	hits, misses, puts, errors, deletes int64
 }
 
-// remoteTimeout bounds one shard HTTP operation; a hung shard must cost a
-// bounded slice of a build, not a build.
-const remoteTimeout = 5 * time.Second
+// Remote option defaults. defaultRemoteTimeout bounds one shard HTTP
+// operation — a hung shard must cost a bounded slice of a build, not a
+// build; the breaker exists so it does not even cost that slice per
+// operation once the shard is known-bad.
+const (
+	defaultRemoteTimeout    = 5 * time.Second
+	defaultBreakerThreshold = 5
+	defaultProbeInterval    = 250 * time.Millisecond
+)
 
-// NewRemote returns a client over the given shard base URLs. An empty list
-// returns nil — a valid "no remote tier" value everywhere a *Remote is
-// accepted.
+// RemoteOptions tunes the remote tier client. The zero value selects the
+// defaults; NewRemote is NewRemoteWith(urls, RemoteOptions{}).
+type RemoteOptions struct {
+	// Timeout bounds one shard HTTP operation (0 = 5s).
+	Timeout time.Duration
+	// BreakerThreshold is the consecutive failed-operation count that opens a
+	// shard's circuit breaker (0 = 5; negative disables the breakers — every
+	// operation then pays the full timeout-and-retry cost of a dead shard).
+	BreakerThreshold int
+	// ProbeInterval is the background health-probe cadence for open breakers
+	// (0 = 250ms).
+	ProbeInterval time.Duration
+}
+
+// withDefaults normalizes zero fields to the documented defaults.
+func (o RemoteOptions) withDefaults() RemoteOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = defaultRemoteTimeout
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = defaultBreakerThreshold
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = defaultProbeInterval
+	}
+	return o
+}
+
+// BreakerState is one shard breaker's position: requests flow when Closed,
+// are shed instantly when Open, and stay shed while a HalfOpen health probe
+// decides whether to re-admit the shard.
+type BreakerState int32
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int32(s))
+}
+
+// ErrShardOpen is the RemoteErr recorded on operations shed by an open
+// circuit breaker: the shard was skipped, not contacted.
+var ErrShardOpen = fmt.Errorf("cache: shard circuit breaker open")
+
+// breaker is one shard's circuit breaker. state is read lock-free on the
+// operation hot path; transitions and counters move under mu.
+type breaker struct {
+	state atomic.Int32 // BreakerState
+
+	mu          sync.Mutex
+	consecutive int // consecutive failed operations while closed
+	opens       int64
+	halfOpens   int64
+	closes      int64
+	probes      int64
+	shed        int64
+}
+
+// NewRemote returns a client over the given shard base URLs with default
+// options. An empty list returns nil — a valid "no remote tier" value
+// everywhere a *Remote is accepted.
 func NewRemote(shardURLs []string) *Remote {
+	return NewRemoteWith(shardURLs, RemoteOptions{})
+}
+
+// NewRemoteWith is NewRemote with explicit options (zero fields default).
+func NewRemoteWith(shardURLs []string, opts RemoteOptions) *Remote {
 	if len(shardURLs) == 0 {
 		return nil
 	}
+	opts = opts.withDefaults()
 	return &Remote{
-		shards:   append([]string(nil), shardURLs...),
-		client:   &http.Client{Timeout: remoteTimeout},
-		inflight: make([]atomic.Int64, len(shardURLs)),
-		stats:    make([]remoteShardStats, len(shardURLs)),
+		shards:     append([]string(nil), shardURLs...),
+		client:     &http.Client{Timeout: opts.Timeout},
+		opts:       opts,
+		inflight:   make([]atomic.Int64, len(shardURLs)),
+		breakers:   make([]breaker, len(shardURLs)),
+		proberStop: make(chan struct{}),
+		stats:      make([]remoteShardStats, len(shardURLs)),
 	}
+}
+
+// Timeout returns the effective per-operation timeout (0 on a nil Remote) —
+// surfaced by the compile daemon's /stats so operators can see what a hung
+// shard costs an unbroken operation.
+func (r *Remote) Timeout() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.opts.Timeout
+}
+
+// Close stops the background health prober (idempotent; safe on nil).
+// Breakers stop recovering after Close — call it only on shutdown.
+func (r *Remote) Close() {
+	if r == nil {
+		return
+	}
+	r.closeOnce.Do(func() { close(r.proberStop) })
 }
 
 // SetFault arms deterministic fault injection on the remote paths. Arm only
@@ -102,6 +216,11 @@ func (r *Remote) backoff(attempt int) {
 	if d > retryCap {
 		d = retryCap
 	}
+	r.sleepFor(d)
+}
+
+// sleepFor sleeps through the injectable clock so tests run at full speed.
+func (r *Remote) sleepFor(d time.Duration) {
 	if r.sleep != nil {
 		r.sleep(d)
 		return
@@ -109,36 +228,184 @@ func (r *Remote) backoff(attempt int) {
 	time.Sleep(d)
 }
 
+// breakerAllows reports whether shard's breaker admits an operation,
+// counting a shed when it does not. Only a Closed breaker admits traffic;
+// HalfOpen admits the health probe alone.
+func (r *Remote) breakerAllows(shard int) bool {
+	if r.opts.BreakerThreshold < 0 {
+		return true
+	}
+	b := &r.breakers[shard]
+	if BreakerState(b.state.Load()) == BreakerClosed {
+		return true
+	}
+	b.mu.Lock()
+	b.shed++
+	b.mu.Unlock()
+	return false
+}
+
+// breakerOK records a successful operation: any failure streak ends.
+func (r *Remote) breakerOK(shard int) {
+	if r.opts.BreakerThreshold < 0 {
+		return
+	}
+	b := &r.breakers[shard]
+	b.mu.Lock()
+	b.consecutive = 0
+	b.mu.Unlock()
+}
+
+// breakerFail records a failed operation; crossing the consecutive-failure
+// threshold opens the breaker and starts the background health prober.
+func (r *Remote) breakerFail(shard int) {
+	if r.opts.BreakerThreshold < 0 {
+		return
+	}
+	b := &r.breakers[shard]
+	b.mu.Lock()
+	b.consecutive++
+	opened := b.consecutive >= r.opts.BreakerThreshold &&
+		BreakerState(b.state.Load()) == BreakerClosed
+	if opened {
+		b.state.Store(int32(BreakerOpen))
+		b.opens++
+	}
+	b.mu.Unlock()
+	if opened {
+		r.proberOnce.Do(func() { go r.proberLoop() })
+	}
+}
+
+// proberLoop drives ProbeNow at the configured cadence until Close.
+func (r *Remote) proberLoop() {
+	t := time.NewTicker(r.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.proberStop:
+			return
+		case <-t.C:
+			r.ProbeNow()
+		}
+	}
+}
+
+// ProbeNow health-probes every shard whose breaker is open, transitioning it
+// to half-open for the probe's duration and closing it on success. The
+// background prober calls it on a ticker; tests call it directly for a
+// deterministic recovery step.
+func (r *Remote) ProbeNow() {
+	if r == nil || r.opts.BreakerThreshold < 0 {
+		return
+	}
+	for shard := range r.shards {
+		b := &r.breakers[shard]
+		if BreakerState(b.state.Load()) != BreakerOpen {
+			continue
+		}
+		b.mu.Lock()
+		b.state.Store(int32(BreakerHalfOpen))
+		b.halfOpens++
+		b.probes++
+		b.mu.Unlock()
+		err := r.probeShard(shard)
+		b.mu.Lock()
+		if err == nil {
+			b.state.Store(int32(BreakerClosed))
+			b.consecutive = 0
+			b.closes++
+		} else {
+			b.state.Store(int32(BreakerOpen))
+		}
+		b.mu.Unlock()
+	}
+}
+
+// probeShard asks one shard's /statz whether it is serving again.
+func (r *Remote) probeShard(shard int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), r.opts.Timeout)
+	defer cancel()
+	status, _, err := r.do(ctx, http.MethodGet, r.shards[shard]+"/statz", nil)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("cache: shard %d health probe: status %d", shard, status)
+	}
+	return nil
+}
+
+// BreakerSnapshot reports one shard's breaker position and lifetime
+// transition counters, for tests and diagnostics.
+type BreakerSnapshot struct {
+	State                            BreakerState
+	Opens, HalfOpens, Closes, Probes int64
+	Shed                             int64
+}
+
+// Breaker returns shard's breaker snapshot (zero value on a nil Remote).
+func (r *Remote) Breaker(shard int) BreakerSnapshot {
+	if r == nil {
+		return BreakerSnapshot{}
+	}
+	b := &r.breakers[shard]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerSnapshot{
+		State:     BreakerState(b.state.Load()),
+		Opens:     b.opens,
+		HalfOpens: b.halfOpens,
+		Closes:    b.closes,
+		Probes:    b.probes,
+		Shed:      b.shed,
+	}
+}
+
 // get fetches the raw encoded entry for id from its shard, with
 // transient-error retry. Every failure shape — refused connection, timeout,
-// 5xx, short body — degrades to a miss; only a 200 with a body is a hit.
-func (r *Remote) get(id string) (raw []byte, shard int, ok bool, pr Probe) {
+// 5xx, short body, an open breaker, a cancelled context — degrades to a
+// miss; only a 200 with a body is a hit. ctx aborts the retry loop between
+// attempts; a context-cancelled operation never counts against the shard's
+// breaker (the shard did nothing wrong).
+func (r *Remote) get(ctx context.Context, id string) (raw []byte, shard int, ok bool, pr Probe) {
 	if r == nil {
 		return nil, 0, false, pr
 	}
 	shard = r.ShardFor(id)
+	if !r.breakerAllows(shard) {
+		pr.RemoteErr = ErrShardOpen
+		r.note(shard, func(s *remoteShardStats) { s.misses++ })
+		return nil, shard, false, pr
+	}
 	r.inflight[shard].Add(1)
 	defer r.inflight[shard].Add(-1)
 	var err error
 	for attempt := 0; attempt < retryAttempts; attempt++ {
 		if attempt > 0 {
+			if ctx.Err() != nil {
+				err = ctx.Err()
+				break
+			}
 			pr.Retries++
 			r.backoff(attempt)
 		}
 		var body []byte
 		var status int
-		ierr := r.fault.MaybeError(fault.RemoteGet, fmt.Sprintf("%s#%d", id, attempt))
+		ierr := r.slowOrError(fault.RemoteGet, id, attempt)
 		if ierr == nil {
-			status, body, ierr = r.do(http.MethodGet, r.entryURL(shard, id), nil)
+			status, body, ierr = r.do(ctx, http.MethodGet, r.entryURL(shard, id), nil)
 		}
 		if ierr == nil {
 			switch {
 			case status == http.StatusOK:
 				body = r.fault.MaybeCorrupt(fault.RemoteGet, id, body)
 				r.note(shard, func(s *remoteShardStats) { s.hits++ })
+				r.breakerOK(shard)
 				return body, shard, true, pr
 			case status == http.StatusNotFound:
 				r.note(shard, func(s *remoteShardStats) { s.misses++ })
+				r.breakerOK(shard)
 				return nil, shard, false, pr
 			default:
 				ierr = fmt.Errorf("cache: shard %d: unexpected status %d", shard, status)
@@ -151,39 +418,54 @@ func (r *Remote) get(id string) (raw []byte, shard int, ok bool, pr Probe) {
 	}
 	pr.RemoteErr = err
 	r.note(shard, func(s *remoteShardStats) { s.errors++; s.misses++ })
+	if ctx.Err() == nil {
+		r.breakerFail(shard)
+	}
 	return nil, shard, false, pr
 }
 
 // put publishes the encoded entry to its shard with retry; failures degrade
-// to an unpublished entry, recorded on the probe.
-func (r *Remote) put(id string, enc []byte) (pr Probe) {
+// to an unpublished entry, recorded on the probe. Breaker and context rules
+// match get.
+func (r *Remote) put(ctx context.Context, id string, enc []byte) (pr Probe) {
 	if r == nil {
 		return pr
 	}
 	shard := r.ShardFor(id)
+	if !r.breakerAllows(shard) {
+		pr.RemoteErr = ErrShardOpen
+		return pr
+	}
 	r.inflight[shard].Add(1)
 	defer r.inflight[shard].Add(-1)
 	var err error
 	for attempt := 0; attempt < retryAttempts; attempt++ {
 		if attempt > 0 {
+			if ctx.Err() != nil {
+				err = ctx.Err()
+				break
+			}
 			pr.Retries++
 			r.backoff(attempt)
 		}
 		var status int
-		ierr := r.fault.MaybeError(fault.RemotePut, fmt.Sprintf("%s#%d", id, attempt))
+		ierr := r.slowOrError(fault.RemotePut, id, attempt)
 		if ierr == nil {
-			status, _, ierr = r.do(http.MethodPut, r.entryURL(shard, id), enc)
+			status, _, ierr = r.do(ctx, http.MethodPut, r.entryURL(shard, id), enc)
 		}
 		if ierr == nil {
 			switch status {
 			case http.StatusNoContent, http.StatusOK:
 				r.note(shard, func(s *remoteShardStats) { s.puts++ })
+				r.breakerOK(shard)
 				return pr
 			case http.StatusBadRequest:
 				// The shard rejected the entry (over its cap): retrying sends
-				// the same bytes, so degrade immediately.
+				// the same bytes, so degrade immediately. The shard answered,
+				// so the breaker sees a healthy operation.
 				pr.RemoteErr = fmt.Errorf("cache: shard %d rejected entry", shard)
 				r.note(shard, func(s *remoteShardStats) { s.errors++ })
+				r.breakerOK(shard)
 				return pr
 			default:
 				ierr = fmt.Errorf("cache: shard %d: unexpected status %d", shard, status)
@@ -196,30 +478,50 @@ func (r *Remote) put(id string, enc []byte) (pr Probe) {
 	}
 	pr.RemoteErr = err
 	r.note(shard, func(s *remoteShardStats) { s.errors++ })
+	if ctx.Err() == nil {
+		r.breakerFail(shard)
+	}
 	return pr
+}
+
+// slowOrError consults the remote fault sites for one attempt: a SlowKind
+// decision stalls for the full operation timeout (through the injectable
+// clock) and then fails like a timed-out request — the hung-shard shape the
+// breaker exists for — and an ErrorKind decision fails immediately.
+func (r *Remote) slowOrError(site fault.Site, id string, attempt int) error {
+	key := fmt.Sprintf("%s#%d", id, attempt)
+	slowSite := fault.RemoteSlow
+	if r.fault.MaybeSlowPoint(slowSite, key) {
+		r.sleepFor(r.opts.Timeout)
+		return &fault.Error{Site: slowSite, Key: key, Transient: true}
+	}
+	return r.fault.MaybeError(site, key)
 }
 
 // drop deletes a corrupt entry from its shard (fire-and-forget): the next
 // publication replaces it, the same crash-safe rebuild-and-republish protocol
 // the disk tier follows.
-func (r *Remote) drop(shard int, id string) {
-	if r == nil {
+func (r *Remote) drop(ctx context.Context, shard int, id string) {
+	if r == nil || !r.breakerAllows(shard) {
 		return
 	}
 	r.inflight[shard].Add(1)
 	defer r.inflight[shard].Add(-1)
-	if _, _, err := r.do(http.MethodDelete, r.entryURL(shard, id), nil); err == nil {
+	if _, _, err := r.do(ctx, http.MethodDelete, r.entryURL(shard, id), nil); err == nil {
 		r.note(shard, func(s *remoteShardStats) { s.deletes++ })
 	}
 }
 
 // do runs one HTTP operation and returns status plus (for GET) the body.
-func (r *Remote) do(method, url string, body []byte) (int, []byte, error) {
+func (r *Remote) do(ctx context.Context, method, url string, body []byte) (int, []byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequest(method, url, rd)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -247,14 +549,16 @@ func (r *Remote) note(shard int, f func(*remoteShardStats)) {
 }
 
 // Counters returns a snapshot of per-shard client counters in obs namespace
-// style: cache/remote/shard<N>/{hits,misses,puts,errors,deletes,inflight}.
+// style: cache/remote/shard<N>/{hits,misses,puts,errors,deletes,inflight}
+// plus the breaker's state gauge and transition counters
+// (breaker_state, breaker_opens, breaker_half_opens, breaker_closes,
+// breaker_probes, breaker_shed).
 func (r *Remote) Counters() map[string]int64 {
 	out := map[string]int64{}
 	if r == nil {
 		return out
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	for i := range r.stats {
 		p := fmt.Sprintf("cache/remote/shard%d/", i)
 		out[p+"hits"] = r.stats[i].hits
@@ -264,13 +568,30 @@ func (r *Remote) Counters() map[string]int64 {
 		out[p+"deletes"] = r.stats[i].deletes
 		out[p+"inflight"] = r.inflight[i].Load()
 	}
+	r.mu.Unlock()
+	for i := range r.breakers {
+		p := fmt.Sprintf("cache/remote/shard%d/", i)
+		b := r.Breaker(i)
+		out[p+"breaker_state"] = int64(b.State)
+		out[p+"breaker_opens"] = b.Opens
+		out[p+"breaker_half_opens"] = b.HalfOpens
+		out[p+"breaker_closes"] = b.Closes
+		out[p+"breaker_probes"] = b.Probes
+		out[p+"breaker_shed"] = b.Shed
+	}
 	return out
 }
 
+// remoteGauge reports whether a counter name is a point-in-time gauge
+// (re-reported whole each drain) rather than a monotonic sum.
+func remoteGauge(name string) bool {
+	return strings.HasSuffix(name, "/inflight") || strings.HasSuffix(name, "/breaker_state")
+}
+
 // DrainCounters returns per-shard counter deltas since the previous drain
-// (inflight, a gauge, is reported as its current value each time), so a
-// daemon can mirror remote activity into its obs tracer without double
-// counting across requests.
+// (gauges — inflight and breaker_state — are reported as their current value
+// each time), so a daemon can mirror remote activity into its obs tracer
+// without double counting across requests.
 func (r *Remote) DrainCounters() map[string]int64 {
 	out := map[string]int64{}
 	if r == nil {
@@ -283,7 +604,7 @@ func (r *Remote) DrainCounters() map[string]int64 {
 		r.drained = map[string]int64{}
 	}
 	for name, v := range snap {
-		if len(name) > 9 && name[len(name)-9:] == "/inflight" {
+		if remoteGauge(name) {
 			out[name] = v
 			continue
 		}

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -164,11 +165,15 @@ func (c *Cache) removeEntry(path string) error {
 // errors end the loop; everything else retries with backoff. Each attempt
 // re-rolls the fault schedule under its own key, so an injected transient
 // blip on attempt 0 can heal on attempt 1 — the shape a retry loop exists
-// for.
-func (c *Cache) readEntry(id, path string, pr *Probe) ([]byte, error) {
+// for. A done ctx aborts the loop between attempts — a cancelled build
+// stops retrying and degrades to a miss.
+func (c *Cache) readEntry(ctx context.Context, id, path string, pr *Probe) ([]byte, error) {
 	var err error
 	for attempt := 0; attempt < retryAttempts; attempt++ {
 		if attempt > 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
 			pr.Retries++
 			c.backoff(attempt)
 		}
@@ -189,11 +194,16 @@ func (c *Cache) readEntry(id, path string, pr *Probe) ([]byte, error) {
 }
 
 // writeEntry publishes an encoded entry with transient-error retry, using
-// the temp-file + atomic-rename protocol from the Put documentation.
-func (c *Cache) writeEntry(id string, enc []byte, pr *Probe) error {
+// the temp-file + atomic-rename protocol from the Put documentation. A done
+// ctx aborts the loop between attempts; the rename protocol guarantees no
+// torn entry regardless of where the abort lands.
+func (c *Cache) writeEntry(ctx context.Context, id string, enc []byte, pr *Probe) error {
 	var err error
 	for attempt := 0; attempt < retryAttempts; attempt++ {
 		if attempt > 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
 			pr.Retries++
 			c.backoff(attempt)
 		}

@@ -59,6 +59,20 @@ const (
 	RemoteGet Site = "remote/get"
 	// RemotePut covers the remote tier's publish path, keyed like RemoteGet.
 	RemotePut Site = "remote/put"
+	// WorkerHang fires at parallel worker task start like WorkerTask, but a
+	// HangKind decision blocks the task until the build's context is
+	// cancelled — the hung-compiler failure mode deadline propagation exists
+	// to bound. Keyed by module name.
+	WorkerHang Site = "worker/hang"
+	// RemoteSlow models a shard that accepts the connection and then stalls:
+	// a SlowKind decision makes the remote operation consume its full
+	// per-operation timeout before failing, the shape that makes circuit
+	// breakers worth their complexity. Keyed "<entry-id>#<attempt>".
+	RemoteSlow Site = "remote/slow"
+	// CancelStep fires at pipeline stage boundaries; a CancelKind decision
+	// cancels the build's context right there (cancel-at-step-N), exercising
+	// mid-build cancellation without a remote client. Keyed "step:<stage>".
+	CancelStep Site = "cancel/step"
 )
 
 // Kind is what an armed fault point injects.
@@ -74,6 +88,15 @@ const (
 	// CorruptKind: the point flips bytes (or, at OutlineRound, mutates the
 	// program).
 	CorruptKind
+	// HangKind: the point blocks until the build's context is cancelled
+	// (WorkerHang). Disruptive — see EnableDisruptive.
+	HangKind
+	// SlowKind: the point stalls for the caller's full operation timeout
+	// before failing (RemoteSlow). Disruptive — see EnableDisruptive.
+	SlowKind
+	// CancelKind: the point cancels the build's context (CancelStep).
+	// Disruptive — see EnableDisruptive.
+	CancelKind
 )
 
 func (k Kind) String() string {
@@ -86,8 +109,22 @@ func (k Kind) String() string {
 		return "error"
 	case CorruptKind:
 		return "corrupt"
+	case HangKind:
+		return "hang"
+	case SlowKind:
+		return "slow"
+	case CancelKind:
+		return "cancel"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// disruptive reports whether k stalls or cancels a build rather than
+// failing a single operation. Disruptive kinds are opt-in for chaos
+// injectors: a schedule that can hang requires the harness to hold a
+// deadline, so New-style injectors skip them until EnableDisruptive.
+func (k Kind) disruptive() bool {
+	return k == HangKind || k == SlowKind || k == CancelKind
 }
 
 // Error is an injected I/O error. It unwraps to nothing — it is the leaf
@@ -137,6 +174,11 @@ type Injector struct {
 
 	script map[[2]string]At // non-nil: scripted mode, hash ignored
 
+	// disruptive admits HangKind/SlowKind/CancelKind decisions on chaos
+	// (hash-scheduled) injectors. Scripted injectors ignore it: an explicit
+	// At point is its own opt-in.
+	disruptive bool
+
 	mu       sync.Mutex
 	injected map[string]int64 // per-site injection counts
 	drained  map[string]int64 // counts already handed out by DrainCounters
@@ -153,6 +195,19 @@ func Exact(points ...At) *Injector {
 	inj := &Injector{script: make(map[[2]string]At, len(points)), injected: map[string]int64{}}
 	for _, p := range points {
 		inj.script[[2]string{string(p.Site), p.Key}] = p
+	}
+	return inj
+}
+
+// EnableDisruptive admits the disruptive kinds (hang, slow, cancel) on a
+// chaos injector's schedule. They are off by default because a hash schedule
+// that can hang a worker forever is only safe under a harness that holds a
+// deadline — the resilience soaks do, the classic chaos soaks do not.
+// Enabling changes which points fire, so it participates in String (and
+// therefore in cache fingerprints). Returns the injector for chaining.
+func (inj *Injector) EnableDisruptive() *Injector {
+	if inj != nil {
+		inj.disruptive = true
 	}
 	return inj
 }
@@ -222,6 +277,23 @@ func (inj *Injector) Scheduled(site Site, key string, kinds ...Kind) Kind {
 			}
 		}
 		return None
+	}
+	// Chaos schedules skip disruptive kinds unless opted in. The filter runs
+	// before the kind pick, but sites never mix disruptive and ordinary kinds
+	// in one call, so enabling disruption cannot shift the decisions of
+	// pre-existing sites.
+	if !inj.disruptive {
+		n := 0
+		for _, k := range kinds {
+			if !k.disruptive() {
+				kinds[n] = k
+				n++
+			}
+		}
+		kinds = kinds[:n]
+		if len(kinds) == 0 {
+			return None
+		}
 	}
 	if !inj.fires(site, key) {
 		return None
@@ -312,6 +384,9 @@ func (inj *Injector) String() string {
 		sort.Strings(keys)
 		return fmt.Sprintf("fault: scripted %v", keys)
 	}
+	if inj.disruptive {
+		return fmt.Sprintf("fault: seed=%d rate=%g disruptive", inj.seed, inj.rate)
+	}
 	return fmt.Sprintf("fault: seed=%d rate=%g", inj.seed, inj.rate)
 }
 
@@ -357,6 +432,38 @@ func (inj *Injector) MaybeCorrupt(site Site, key string, data []byte) []byte {
 // a program rather than a byte slice).
 func (inj *Injector) MaybeCorruptPoint(site Site, key string) bool {
 	if inj.Scheduled(site, key, CorruptKind) != CorruptKind {
+		return false
+	}
+	inj.count(site)
+	return true
+}
+
+// MaybeHangPoint reports (and counts) whether a HangKind fault fires at the
+// point. The caller implements the hang — typically by blocking on its
+// build context until cancellation, which is the behaviour under test.
+func (inj *Injector) MaybeHangPoint(site Site, key string) bool {
+	if inj.Scheduled(site, key, HangKind) != HangKind {
+		return false
+	}
+	inj.count(site)
+	return true
+}
+
+// MaybeSlowPoint reports (and counts) whether a SlowKind fault fires at the
+// point. The caller implements the stall — typically by sleeping its full
+// per-operation timeout before failing the operation.
+func (inj *Injector) MaybeSlowPoint(site Site, key string) bool {
+	if inj.Scheduled(site, key, SlowKind) != SlowKind {
+		return false
+	}
+	inj.count(site)
+	return true
+}
+
+// MaybeCancelPoint reports (and counts) whether a CancelKind fault fires at
+// the point. The caller cancels the build's context — cancel-at-step-N.
+func (inj *Injector) MaybeCancelPoint(site Site, key string) bool {
+	if inj.Scheduled(site, key, CancelKind) != CancelKind {
 		return false
 	}
 	inj.count(site)

@@ -24,6 +24,7 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -98,7 +99,17 @@ func Workers(p, n int) int {
 // a task i is only skipped when some j < i has already failed, and since
 // f is deterministic per index, the smallest failing index always executes
 // and always records its error. With keepGoing true nothing is skipped.
-func runLanes(stage string, p, n int, keepGoing bool, f func(lane, i int) error) []error {
+//
+// ctx may be nil ("never cancelled"). A done context stops workers from
+// claiming further tasks — even under keepGoing, where it overrides the
+// run-everything rule: a cancelled build must stop promptly, not finish the
+// wave. Exactly one cancellation error (wrapping ctx.Err, naming the stage)
+// is recorded at the first unclaimed index, so keep-going callers aggregate
+// it alongside the failures of every task that already ran. Cancellation is
+// inherently nondeterministic — the error set depends on when the context
+// fired — which is why only external events (client disconnects, deadlines,
+// drains) and scripted faults ever cancel a build's context.
+func runLanes(ctx context.Context, stage string, p, n int, keepGoing bool, f func(lane, i int) error) []error {
 	p = Workers(p, n)
 
 	var errs []error
@@ -123,6 +134,18 @@ func runLanes(stage string, p, n int, keepGoing bool, f func(lane, i int) error)
 			}
 		}
 	}
+	var cancelOnce sync.Once
+	// cancelled reports whether ctx is done before task i runs, recording the
+	// cancellation (once) at i — the lowest index no worker will claim.
+	cancelled := func(i int) bool {
+		if ctx == nil || ctx.Err() == nil {
+			return false
+		}
+		cancelOnce.Do(func() {
+			record(i, fmt.Errorf("stage %q cancelled before task %d: %w", stage, i, ctx.Err()))
+		})
+		return true
+	}
 	call := func(lane, i int) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -137,6 +160,9 @@ func runLanes(stage string, p, n int, keepGoing bool, f func(lane, i int) error)
 	if p == 1 {
 		for i := 0; i < n; i++ {
 			if !keepGoing && int64(i) > failedAt.Load() {
+				break
+			}
+			if cancelled(i) {
 				break
 			}
 			call(0, i)
@@ -159,6 +185,9 @@ func runLanes(stage string, p, n int, keepGoing bool, f func(lane, i int) error)
 				// A failure strictly below i has been recorded: every index
 				// this worker could still claim is above it too, so stop.
 				if !keepGoing && int64(i) > failedAt.Load() {
+					return
+				}
+				if cancelled(i) {
 					return
 				}
 				call(w, i)
@@ -208,7 +237,7 @@ func DoLanes(p, n int, f func(lane, i int)) {
 // DoLanesStage is DoLanes with the pipeline stage recorded in panic
 // diagnostics.
 func DoLanesStage(stage string, p, n int, f func(lane, i int)) {
-	errs := runLanes(stage, p, n, false, func(lane, i int) error {
+	errs := runLanes(nil, stage, p, n, false, func(lane, i int) error {
 		f(lane, i)
 		return nil
 	})
@@ -244,8 +273,17 @@ func MapLanes[T any](p, n int, f func(lane, i int) (T, error)) ([]T, error) {
 // MapLanesStage is MapLanes with the pipeline stage recorded in panic
 // diagnostics.
 func MapLanesStage[T any](stage string, p, n int, f func(lane, i int) (T, error)) ([]T, error) {
+	return MapLanesStageCtx(nil, stage, p, n, f)
+}
+
+// MapLanesStageCtx is MapLanesStage under a context: once ctx is done,
+// workers stop claiming tasks and the stage fails with an error wrapping
+// ctx.Err() (unless a lower-index task had already failed — the lowest-index
+// rule is unchanged). A nil ctx never cancels. In-flight tasks are not
+// interrupted; long tasks observe the same context themselves.
+func MapLanesStageCtx[T any](ctx context.Context, stage string, p, n int, f func(lane, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	errs := runLanes(stage, p, n, false, func(lane, i int) error {
+	errs := runLanes(ctx, stage, p, n, false, func(lane, i int) error {
 		v, err := f(lane, i)
 		if err != nil {
 			return err
@@ -266,8 +304,17 @@ func MapLanesStage[T any](stage string, p, n int, f func(lane, i int) (T, error)
 // any other failure. Callers aggregate the errors — pipeline keep-going mode
 // reports every broken module at once instead of only the first.
 func MapAllLanesStage[T any](stage string, p, n int, f func(lane, i int) (T, error)) ([]T, []error) {
+	return MapAllLanesStageCtx(nil, stage, p, n, f)
+}
+
+// MapAllLanesStageCtx is MapAllLanesStage under a context. Cancellation
+// overrides keep-going: once ctx is done workers stop claiming tasks, but
+// every error already recorded stays in the slice, joined by exactly one
+// cancellation error — so a keep-going caller still aggregates the failures
+// of everything that ran before the cut. A nil ctx never cancels.
+func MapAllLanesStageCtx[T any](ctx context.Context, stage string, p, n int, f func(lane, i int) (T, error)) ([]T, []error) {
 	out := make([]T, n)
-	errs := runLanes(stage, p, n, true, func(lane, i int) error {
+	errs := runLanes(ctx, stage, p, n, true, func(lane, i int) error {
 		v, err := f(lane, i)
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -321,13 +322,17 @@ func (bc *BuildCache) CompileToLLIRCached(src Source, cfg Config, imports *front
 	if !bc.enabled() {
 		return CompileToLLIR(src, cfg, imports)
 	}
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	tr := cfg.Tracer
 	keyStart := time.Now()
 	key := bc.llirKey(self, keys, cfg)
 	tr.Add("cache/key_hash_ns", time.Since(keyStart).Nanoseconds())
 	sp := tr.StartSpan("cache llir "+src.Name, lane)
 	cacheProbe(tr, "llir")
-	data, ok, pr := bc.c.GetProbe(key)
+	data, ok, pr := bc.c.GetProbeCtx(ctx, key)
 	probeCounters(tr, pr)
 	if ok {
 		derr := bc.decodeFault(key)
@@ -352,7 +357,7 @@ func (bc *BuildCache) CompileToLLIRCached(src Source, cfg Config, imports *front
 			return nil, err
 		}
 		enc := artifact.EncodeModule(m)
-		probeCounters(tr, bc.c.PutProbe(key, enc))
+		probeCounters(tr, bc.c.PutProbeCtx(ctx, key, enc))
 		cacheStore(tr, "llir", len(enc))
 		return m, nil
 	}
@@ -362,9 +367,15 @@ func (bc *BuildCache) CompileToLLIRCached(src Source, cfg Config, imports *front
 	// so no mutable structure is ever shared across builds.
 	var computed *llir.Module
 	enc, shared, err := bc.flight.Do(key, func() ([]byte, error) {
+		// A cancelled leader must not compute or publish: returning the
+		// context error here makes flight.Do hand waiters ErrFlightAborted
+		// while this build reports its own cancellation.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		// Re-probe under the flight: an earlier leader may have published and
 		// left the group between this build's probe and its turn here.
-		if data, ok, _ := bc.c.GetProbe(key); ok {
+		if data, ok, _ := bc.c.GetProbeCtx(ctx, key); ok {
 			return data, nil
 		}
 		flightCompute(tr, "llir")
@@ -372,8 +383,13 @@ func (bc *BuildCache) CompileToLLIRCached(src Source, cfg Config, imports *front
 		if cerr != nil {
 			return nil, cerr
 		}
+		if cerr := ctx.Err(); cerr != nil {
+			// Cancelled mid-compute: discard the result unpublished so a later
+			// clean build can never observe a cancelled build's artifact.
+			return nil, cerr
+		}
 		enc := artifact.EncodeModule(m)
-		probeCounters(tr, bc.c.PutProbe(key, enc))
+		probeCounters(tr, bc.c.PutProbeCtx(ctx, key, enc))
 		cacheStore(tr, "llir", len(enc))
 		computed = m
 		return enc, nil
@@ -401,9 +417,9 @@ func (bc *BuildCache) CompileToLLIRCached(src Source, cfg Config, imports *front
 // getMachine probes the per-module machine-stage entry. The bool reports a
 // usable hit and tier names the tier that served it; stats may be nil (a
 // build with OutlineRounds == 0).
-func (bc *BuildCache) getMachine(key cache.Key, tr *obs.Tracer) (*mir.Program, *outline.Stats, string, bool) {
+func (bc *BuildCache) getMachine(ctx context.Context, key cache.Key, tr *obs.Tracer) (*mir.Program, *outline.Stats, string, bool) {
 	cacheProbe(tr, "machine")
-	data, ok, pr := bc.c.GetProbe(key)
+	data, ok, pr := bc.c.GetProbeCtx(ctx, key)
 	probeCounters(tr, pr)
 	if !ok {
 		cacheMiss(tr, "machine", pr.Corrupt)
@@ -424,9 +440,9 @@ func (bc *BuildCache) getMachine(key cache.Key, tr *obs.Tracer) (*mir.Program, *
 	return p, st, pr.Tier, true
 }
 
-func (bc *BuildCache) putMachine(key cache.Key, p *mir.Program, st *outline.Stats, tr *obs.Tracer) {
+func (bc *BuildCache) putMachine(ctx context.Context, key cache.Key, p *mir.Program, st *outline.Stats, tr *obs.Tracer) {
 	enc := artifact.EncodeMachine(p, st)
-	probeCounters(tr, bc.c.PutProbe(key, enc))
+	probeCounters(tr, bc.c.PutProbeCtx(ctx, key, enc))
 	cacheStore(tr, "machine", len(enc))
 }
 
@@ -435,22 +451,28 @@ func (bc *BuildCache) putMachine(key cache.Key, p *mir.Program, st *outline.Stat
 // configured, so concurrent service-mode builds compute each key once.
 // compute must be single-shot: it mutates its module in place (the merge
 // passes), and machineMiss guarantees at most one invocation per call.
-func (bc *BuildCache) machineMiss(key cache.Key, tr *obs.Tracer, compute func() (*mir.Program, *outline.Stats, error)) (*mir.Program, error) {
+func (bc *BuildCache) machineMiss(ctx context.Context, key cache.Key, tr *obs.Tracer, compute func() (*mir.Program, *outline.Stats, error)) (*mir.Program, error) {
 	if !bc.enabled() || bc.flight == nil {
 		p, st, err := compute()
 		if err != nil {
 			return nil, err
 		}
 		if bc.enabled() {
-			bc.putMachine(key, p, st, tr)
+			bc.putMachine(ctx, key, p, st, tr)
 		}
 		return p, nil
 	}
 	var computed *mir.Program
 	enc, shared, err := bc.flight.Do(key, func() ([]byte, error) {
+		// A cancelled leader must not compute or publish: returning the
+		// context error here makes flight.Do hand waiters ErrFlightAborted
+		// while this build reports its own cancellation.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		// Re-probe under the flight: an earlier leader may have published and
 		// left the group between this build's probe and its turn here.
-		if data, ok, _ := bc.c.GetProbe(key); ok {
+		if data, ok, _ := bc.c.GetProbeCtx(ctx, key); ok {
 			return data, nil
 		}
 		flightCompute(tr, "machine")
@@ -458,8 +480,13 @@ func (bc *BuildCache) machineMiss(key cache.Key, tr *obs.Tracer, compute func() 
 		if cerr != nil {
 			return nil, cerr
 		}
+		if cerr := ctx.Err(); cerr != nil {
+			// Cancelled mid-compute: discard the result unpublished so a later
+			// clean build can never observe a cancelled build's artifact.
+			return nil, cerr
+		}
 		enc := artifact.EncodeMachine(p, st)
-		probeCounters(tr, bc.c.PutProbe(key, enc))
+		probeCounters(tr, bc.c.PutProbeCtx(ctx, key, enc))
 		cacheStore(tr, "machine", len(enc))
 		computed = p
 		return enc, nil

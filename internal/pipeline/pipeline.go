@@ -11,6 +11,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -37,6 +38,15 @@ import (
 
 // Config selects pipeline and optimization settings.
 type Config struct {
+	// Ctx bounds the build: when it is cancelled (a client disconnect, a
+	// request deadline, a daemon drain), the parallel stages stop claiming
+	// work, cache retry loops and remote requests abort, and the build fails
+	// promptly with an error wrapping the context's error. nil means
+	// context.Background() — never cancelled. Cancellation is the one
+	// non-deterministic input a build accepts; a cancelled build never
+	// publishes cache entries, so determinism of *artifacts* is preserved:
+	// every entry a later build can observe came from a run that finished.
+	Ctx context.Context
 	// WholeProgram switches to the new pipeline (IR-level link before
 	// code generation and outlining).
 	WholeProgram bool
@@ -314,10 +324,13 @@ func CompileToLLIR(src Source, cfg Config, imports *frontend.Imports) (*llir.Mod
 //
 // Build never lets a worker (or its own) panic escape as a process crash: a
 // panic anywhere in the build surfaces as an error carrying a structured
-// *par.PanicError (stage, task index, stack) in its chain.
+// *par.PanicError (stage, task index, stack) in its chain. A cancelled
+// cfg.Ctx surfaces the same way, as an error wrapping the context's error.
 func Build(sources []Source, cfg Config) (res *Result, err error) {
 	tr := obs.Ensure(cfg.Tracer)
 	cfg.Tracer = tr
+	ctx, cancel := buildContext(&cfg)
+	defer cancel()
 	defer mirrorFaults(tr, cfg.Fault)
 	defer func() {
 		if r := recover(); r != nil {
@@ -335,6 +348,7 @@ func Build(sources []Source, cfg Config) (res *Result, err error) {
 	// only read. Under KeepGoing every module is still parsed (and every
 	// parse error reported), but a parse failure remains fatal: the import
 	// index needs all modules' declarations.
+	stepCancel(cfg, cancel, "parse")
 	parseModule := func(lane, i int) ([]*frontend.File, error) {
 		cfg.Fault.MaybePanic(fault.WorkerTask, "parse "+sources[i].Name)
 		files, perr := ParseSource(sources[i])
@@ -346,13 +360,13 @@ func Build(sources []Source, cfg Config) (res *Result, err error) {
 	var parsed [][]*frontend.File
 	if cfg.KeepGoing {
 		var errs []error
-		parsed, errs = par.MapAllLanesStage("parse", cfg.Parallelism, len(sources), parseModule)
+		parsed, errs = par.MapAllLanesStageCtx(ctx, "parse", cfg.Parallelism, len(sources), parseModule)
 		if kerr := gatherKeepGoing(tr, errs); kerr != nil {
 			front.End()
 			return nil, kerr
 		}
 	} else {
-		parsed, err = par.MapLanesStage("parse", cfg.Parallelism, len(sources), parseModule)
+		parsed, err = par.MapLanesStageCtx(ctx, "parse", cfg.Parallelism, len(sources), parseModule)
 		if err != nil {
 			front.End()
 			notePanics(tr, err)
@@ -379,8 +393,12 @@ func Build(sources []Source, cfg Config) (res *Result, err error) {
 	// (CompileToLLIR re-parses the module's own files, so every worker
 	// type-checks private ASTs); results are collected in source order, so
 	// irlink.Link sees the same module sequence as the serial build.
+	stepCancel(cfg, cancel, "frontend")
 	lowerModule := func(lane, i int) (*llir.Module, error) {
 		cfg.Fault.MaybePanic(fault.WorkerTask, sources[i].Name)
+		if err := workerHang(ctx, cfg, sources[i].Name); err != nil {
+			return nil, fmt.Errorf("pipeline: module %s: %w", sources[i].Name, err)
+		}
 		sp := tr.StartSpan("frontend "+sources[i].Name, lane+1)
 		defer sp.End()
 		lm, lerr := bc.CompileToLLIRCached(sources[i], cfg, imports[i], i, keys, lane+1)
@@ -392,13 +410,13 @@ func Build(sources []Source, cfg Config) (res *Result, err error) {
 	var mods []*llir.Module
 	if cfg.KeepGoing {
 		var errs []error
-		mods, errs = par.MapAllLanesStage("frontend", cfg.Parallelism, len(sources), lowerModule)
+		mods, errs = par.MapAllLanesStageCtx(ctx, "frontend", cfg.Parallelism, len(sources), lowerModule)
 		front.End()
 		if kerr := gatherKeepGoing(tr, errs); kerr != nil {
 			return nil, kerr
 		}
 	} else {
-		mods, err = par.MapLanesStage("frontend", cfg.Parallelism, len(sources), lowerModule)
+		mods, err = par.MapLanesStageCtx(ctx, "frontend", cfg.Parallelism, len(sources), lowerModule)
 		front.End()
 		if err != nil {
 			notePanics(tr, err)
@@ -411,6 +429,56 @@ func Build(sources []Source, cfg Config) (res *Result, err error) {
 	}
 	res.Timings = tr.StageTotalsSince(mark)
 	return res, nil
+}
+
+// buildContext resolves cfg.Ctx (nil means Background) and, when fault
+// injection is armed, wraps it in a cancellable child so CancelStep
+// decisions can cancel the build at a stage boundary. cfg.Ctx is rewritten
+// in place so every downstream consumer — cache probes, worker pools,
+// BuildFromLLIR when called from Build — observes the same cancellation.
+func buildContext(cfg *Config) (context.Context, context.CancelFunc) {
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.Fault == nil {
+		cfg.Ctx = ctx
+		return ctx, func() {}
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	cfg.Ctx = ctx
+	return ctx, cancel
+}
+
+// stepCancel consults the CancelStep fault site at a stage boundary,
+// cancelling the build's context when the schedule says so — the
+// cancel-at-step-N chaos drill.
+func stepCancel(cfg Config, cancel context.CancelFunc, step string) {
+	if cfg.Fault.MaybeCancelPoint(fault.CancelStep, "step:"+step) {
+		cancel()
+	}
+}
+
+// workerHang consults the WorkerHang fault site at a worker task's start: a
+// scheduled hang blocks until the build's context is cancelled, then fails
+// with the context's error — the hung-compiler drill deadline propagation
+// exists to bound. Without a deadline or cancellation the hang is unbounded,
+// which is why chaos schedules only fire it under EnableDisruptive.
+func workerHang(ctx context.Context, cfg Config, key string) error {
+	if !cfg.Fault.MaybeHangPoint(fault.WorkerHang, key) {
+		return nil
+	}
+	<-ctx.Done()
+	return fmt.Errorf("hung worker cancelled: %w", ctx.Err())
+}
+
+// ctxErr converts a done build context into the error reported at a stage
+// boundary (nil while the build may continue).
+func ctxErr(ctx context.Context, where string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("pipeline: %s: build cancelled: %w", where, err)
+	}
+	return nil
 }
 
 // gatherKeepGoing folds a keep-going stage's error slice (one slot per task)
@@ -457,6 +525,8 @@ func mirrorFaults(tr *obs.Tracer, inj *fault.Injector) {
 func BuildFromLLIR(mods []*llir.Module, cfg Config) (res *Result, err error) {
 	tr := obs.Ensure(cfg.Tracer)
 	cfg.Tracer = tr
+	ctx, cancel := buildContext(&cfg)
+	defer cancel()
 	defer mirrorFaults(tr, cfg.Fault)
 	defer func() {
 		if r := recover(); r != nil {
@@ -468,6 +538,10 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (res *Result, err error) {
 	var prog *mir.Program
 
 	if cfg.WholeProgram {
+		stepCancel(cfg, cancel, "link")
+		if err := ctxErr(ctx, "before llvm-link"); err != nil {
+			return nil, err
+		}
 		sp := tr.StartStage("llvm-link", 0)
 		merged, err := irlink.Link(mods, irlink.Options{
 			SplitGCMetadata:     cfg.SplitGCMetadata,
@@ -498,6 +572,10 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (res *Result, err error) {
 		}
 		sp.End()
 
+		stepCancel(cfg, cancel, "llc")
+		if err := ctxErr(ctx, "before codegen"); err != nil {
+			return nil, err
+		}
 		sp = tr.StartStage("llc", 0)
 		p, err := codegen.CompileTraced(merged, cfg.Parallelism, tr, 1, cfg.Fault)
 		sp.End()
@@ -520,6 +598,7 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (res *Result, err error) {
 		// concatenate the parts in module order. Each worker's spans land
 		// on its own trace lane; the per-module "machine-outline" stage
 		// spans emitted inside workers sum into one total.
+		stepCancel(cfg, cancel, "llc")
 		sp := tr.StartStage("llc", 0)
 		bc, err := OpenBuildCache(cfg)
 		if err != nil {
@@ -538,6 +617,9 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (res *Result, err error) {
 		compileModule := func(lane, i int) (*mir.Program, error) {
 			lm := mods[i]
 			cfg.Fault.MaybePanic(fault.WorkerTask, lm.Name)
+			if err := workerHang(ctx, cfg, lm.Name); err != nil {
+				return nil, fmt.Errorf("pipeline: module %s: %w", lm.Name, err)
+			}
 			wsp := tr.StartSpan("module "+lm.Name, lane+1)
 			defer wsp.End()
 			// Probe the cache before touching lm: the key is derived from
@@ -549,7 +631,7 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (res *Result, err error) {
 			if bc.enabled() {
 				csp := tr.StartSpan("cache machine "+lm.Name, lane+1)
 				mkey = machineKey(artifact.EncodeModule(lm), crossRefs, lm, cfg)
-				p, st, tier, ok := bc.getMachine(mkey, tr)
+				p, st, tier, ok := bc.getMachine(ctx, mkey, tr)
 				csp.Arg("hit", ok).Arg("tier", tier).End()
 				if ok {
 					replayOutlineCounters(tr, st)
@@ -602,18 +684,18 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (res *Result, err error) {
 				}
 				return p, st, nil
 			}
-			return bc.machineMiss(mkey, tr, compute)
+			return bc.machineMiss(ctx, mkey, tr, compute)
 		}
 		var parts []*mir.Program
 		if cfg.KeepGoing {
 			var errs []error
-			parts, errs = par.MapAllLanesStage("llc", cfg.Parallelism, len(mods), compileModule)
+			parts, errs = par.MapAllLanesStageCtx(ctx, "llc", cfg.Parallelism, len(mods), compileModule)
 			sp.End()
 			if kerr := gatherKeepGoing(tr, errs); kerr != nil {
 				return nil, kerr
 			}
 		} else {
-			parts, err = par.MapLanesStage("llc", cfg.Parallelism, len(mods), compileModule)
+			parts, err = par.MapLanesStageCtx(ctx, "llc", cfg.Parallelism, len(mods), compileModule)
 			sp.End()
 			if err != nil {
 				notePanics(tr, err)
@@ -631,6 +713,10 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (res *Result, err error) {
 		outline.CanonicalizeCommutative(prog)
 	}
 	if cfg.WholeProgram && cfg.OutlineRounds > 0 {
+		stepCancel(cfg, cancel, "outline")
+		if err := ctxErr(ctx, "before outlining"); err != nil {
+			return nil, err
+		}
 		// No enclosing stage span here: the outliner emits one
 		// "machine-outline" stage span per round itself, and stage totals
 		// sum them into the Timings entry.
@@ -676,6 +762,9 @@ func BuildFromLLIR(mods []*llir.Module, cfg Config) (res *Result, err error) {
 		res.Layout = st
 	}
 
+	if err := ctxErr(ctx, "before image build"); err != nil {
+		return nil, err
+	}
 	if cfg.Verify {
 		if err := runVerify(prog, llir.RuntimeSyms, tr, "final machine program"); err != nil {
 			return nil, err

@@ -1,0 +1,189 @@
+package slcd
+
+// Internal admission and drain tests: these reach into the daemon's
+// semaphore and in-flight bookkeeping to stage queue-full and straggler
+// scenarios deterministically, without racing real builds. The end-to-end
+// behavior over real builds and HTTP lives in the external resilience soak.
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// tinyRequest is the smallest valid build request; the admission tests never
+// actually run it — they are refused or cancelled before a pipeline starts.
+func tinyRequest() *BuildRequest {
+	return &BuildRequest{
+		Modules: []ModuleSource{{Name: "m", Files: map[string]string{"m.sl": "func main() -> Int { return 0 }\n"}}},
+		Config:  DefaultConfig(),
+	}
+}
+
+// waitGauge polls an atomic gauge until it reaches want or the deadline hits.
+func waitGauge(t *testing.T, name string, load func() int64, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for load() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s gauge = %d, want %d", name, load(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmissionShedsWhenQueueFull: with the only build slot taken and one
+// request already queued, the next request is shed with the structured
+// "shed" class instead of queueing without bound — and the shed request's
+// departure does not disturb the queued one, which is still cancellable.
+func TestAdmissionShedsWhenQueueFull(t *testing.T) {
+	s := NewServer(Options{MaxBuilds: 1, MaxQueue: 1})
+	defer s.Close()
+	s.sem <- struct{}{} // occupy the only build slot
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	queued := make(chan *BuildResponse, 1)
+	go func() { queued <- s.BuildCtx(ctx, tinyRequest()) }()
+	waitGauge(t, "queued", s.queued.Load, 1)
+
+	shed := s.Build(tinyRequest())
+	if shed.OK || shed.ErrorClass != "shed" {
+		t.Fatalf("overflow request: ok=%t class=%q, want a shed refusal", shed.OK, shed.ErrorClass)
+	}
+	waitGauge(t, "queued", s.queued.Load, 1) // the shed request left no residue
+
+	cancel()
+	r := <-queued
+	if r.OK || r.ErrorClass != "canceled" {
+		t.Fatalf("cancelled queued request: ok=%t class=%q, want canceled", r.OK, r.ErrorClass)
+	}
+	st := s.Snapshot()
+	if st.Counters["slcd/refused/shed"] != 1 || st.Counters["slcd/refused/canceled"] != 1 {
+		t.Fatalf("refusal counters = shed:%d canceled:%d, want 1 and 1",
+			st.Counters["slcd/refused/shed"], st.Counters["slcd/refused/canceled"])
+	}
+	if st.Builds != 0 {
+		t.Fatalf("refusals counted as builds: %d", st.Builds)
+	}
+	<-s.sem
+}
+
+// TestUnboundedQueueNeverSheds: MaxQueue < 0 disables shedding; requests past
+// any depth queue and remain cancellable.
+func TestUnboundedQueueNeverSheds(t *testing.T) {
+	s := NewServer(Options{MaxBuilds: 1, MaxQueue: -1})
+	defer s.Close()
+	s.sem <- struct{}{}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan *BuildResponse, 8)
+	for i := 0; i < 8; i++ {
+		go func() { done <- s.BuildCtx(ctx, tinyRequest()) }()
+	}
+	waitGauge(t, "queued", s.queued.Load, 8)
+	cancel()
+	for i := 0; i < 8; i++ {
+		if r := <-done; r.ErrorClass != "canceled" {
+			t.Fatalf("request %d: class %q, want canceled (never shed)", i, r.ErrorClass)
+		}
+	}
+	<-s.sem
+}
+
+// TestDrainRefusesQueuedAndNewRequests: StartDrain flips the daemon to
+// draining — queued waiters are released with the "drain" class immediately
+// (they must not sit out the drain window waiting for a slot that will never
+// come), and new arrivals are refused at the door.
+func TestDrainRefusesQueuedAndNewRequests(t *testing.T) {
+	s := NewServer(Options{MaxBuilds: 1})
+	defer s.Close()
+	s.sem <- struct{}{}
+
+	queued := make(chan *BuildResponse, 1)
+	go func() { queued <- s.Build(tinyRequest()) }()
+	waitGauge(t, "queued", s.queued.Load, 1)
+
+	s.StartDrain()
+	s.StartDrain() // idempotent
+	if r := <-queued; r.ErrorClass != "drain" {
+		t.Fatalf("queued request after StartDrain: class %q, want drain", r.ErrorClass)
+	}
+	if r := s.Build(tinyRequest()); r.ErrorClass != "drain" {
+		t.Fatalf("new request on a draining daemon: class %q, want drain", r.ErrorClass)
+	}
+	st := s.Snapshot()
+	if st.State != "draining" {
+		t.Fatalf("state = %q, want draining", st.State)
+	}
+	if st.Counters["slcd/refused/drain"] != 2 {
+		t.Fatalf("slcd/refused/drain = %d, want 2", st.Counters["slcd/refused/drain"])
+	}
+	<-s.sem
+}
+
+// TestDrainWaitsForInFlightBuilds: a build that finishes within the drain
+// window makes Drain return true with no hard cancel.
+func TestDrainWaitsForInFlightBuilds(t *testing.T) {
+	s := NewServer(Options{})
+	defer s.Close()
+	s.inflight.Add(1)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		s.inflight.Done()
+	}()
+	if !s.Drain(10 * time.Second) {
+		t.Fatal("Drain hard-cancelled a build that finished inside the window")
+	}
+	if n := s.Snapshot().Counters["slcd/drain_hard_cancels"]; n != 0 {
+		t.Fatalf("drain_hard_cancels = %d, want 0", n)
+	}
+}
+
+// TestDrainHardCancelsStragglers: a build still running at the drain deadline
+// is cancelled through the daemon's hard context; Drain waits for it to
+// unwind and reports false.
+func TestDrainHardCancelsStragglers(t *testing.T) {
+	s := NewServer(Options{})
+	defer s.Close()
+	s.inflight.Add(1)
+	go func() {
+		<-s.hardCtx.Done() // a wedged build that only dies when hard-cancelled
+		s.inflight.Done()
+	}()
+	if s.Drain(20 * time.Millisecond) {
+		t.Fatal("Drain reported a clean finish for a wedged build")
+	}
+	if n := s.Snapshot().Counters["slcd/drain_hard_cancels"]; n != 1 {
+		t.Fatalf("drain_hard_cancels = %d, want 1", n)
+	}
+}
+
+// TestBuildContextCombinesDeadlines: the effective build deadline is the
+// smaller of the daemon's -deadline and the request's timeout_ms.
+func TestBuildContextCombinesDeadlines(t *testing.T) {
+	s := NewServer(Options{Deadline: time.Hour})
+	defer s.Close()
+	req := tinyRequest()
+	req.Config.TimeoutMS = 50
+	ctx, cancel := s.buildContext(context.Background(), req)
+	defer cancel()
+	dl, ok := ctx.Deadline()
+	if !ok {
+		t.Fatal("no deadline on the build context")
+	}
+	if until := time.Until(dl); until > 60*time.Millisecond {
+		t.Fatalf("deadline %v away — the request's smaller timeout_ms did not win", until)
+	}
+
+	req.Config.TimeoutMS = 0
+	ctx2, cancel2 := s.buildContext(context.Background(), req)
+	defer cancel2()
+	dl2, ok := ctx2.Deadline()
+	if !ok {
+		t.Fatal("daemon -deadline not applied")
+	}
+	if until := time.Until(dl2); until < 50*time.Minute {
+		t.Fatalf("deadline %v away, want the daemon's hour cap", until)
+	}
+}

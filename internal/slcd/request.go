@@ -1,9 +1,11 @@
 package slcd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"outliner/internal/cache"
 	"outliner/internal/fault"
 	"outliner/internal/layout"
 	"outliner/internal/outline"
@@ -41,6 +43,16 @@ type BuildConfig struct {
 	// damage must never leak into concurrent clean builds.
 	FaultSeed uint64  `json:"fault_seed,omitempty"`
 	FaultRate float64 `json:"fault_rate,omitempty"`
+	// FaultDisruptive additionally admits the disruptive fault kinds (hung
+	// workers, induced cancellation) into this request's chaos schedule.
+	// Disruptive drills only make sense with a deadline: set TimeoutMS so a
+	// hung worker is cancelled instead of wedging the request forever.
+	FaultDisruptive bool `json:"fault_disruptive,omitempty"`
+	// TimeoutMS caps this request's wall-clock build time. The daemon combines
+	// it with its own -deadline (the smaller wins); past the cap the build is
+	// cancelled mid-stage and the response reports error_class "deadline".
+	// 0 means no per-request cap.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// Layout selects the profile-guided function-layout policy ("none",
 	// "hot-cold", "c3"); Profile carries the execution profile feeding it (and
 	// cold-only outlining), in the canonical encoding profile.Encode emits.
@@ -73,8 +85,12 @@ type BuildResponse struct {
 	// Error and ErrorClass are set when OK is false. ErrorClass buckets the
 	// failure the way the fault-tolerance tests do: "panic" (recovered worker
 	// panic), "verify" (machine verifier rejection), "injected" (surfaced
-	// injected fault), or "build" (everything else — front-end errors,
-	// keep-going aggregates of unstructured failures).
+	// injected fault), "deadline" (the request's or daemon's time cap
+	// expired), "canceled" (client disconnect or drain hard-cancel),
+	// "aborted" (a single-flight leader's build was cancelled; re-request
+	// recomputes), "shed" (admission queue full), "drain" (daemon draining for
+	// shutdown), or "build" (everything else — front-end errors, keep-going
+	// aggregates of unstructured failures).
 	Error      string `json:"error,omitempty"`
 	ErrorClass string `json:"error_class,omitempty"`
 	// Listing is the deterministic image listing — the byte-comparison
@@ -114,7 +130,11 @@ func (c BuildConfig) pipelineConfig() (pipeline.Config, error) {
 		OnVerifyFailure:    onvf,
 	}
 	if c.FaultRate > 0 {
-		cfg.Fault = fault.New(c.FaultSeed, c.FaultRate)
+		inj := fault.New(c.FaultSeed, c.FaultRate)
+		if c.FaultDisruptive {
+			inj.EnableDisruptive()
+		}
+		cfg.Fault = inj
 	}
 	if !layout.Valid(c.Layout) {
 		return pipeline.Config{}, fmt.Errorf("slcd: unknown layout policy %q", c.Layout)
@@ -143,6 +163,18 @@ func (r *BuildRequest) sources() []pipeline.Source {
 // mirrors the fault-tolerance contract's structuredFailure predicate:
 // anything outside these classes in a fault-armed build is a bug.
 func classifyError(err error) string {
+	// Cancellation classes first: a deadline-exceeded build may wrap an
+	// injected fault (the hang that burned the clock), and the cancellation
+	// is the truth the client acts on.
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "deadline"
+	}
+	if errors.Is(err, context.Canceled) {
+		return "canceled"
+	}
+	if errors.Is(err, cache.ErrFlightAborted) {
+		return "aborted"
+	}
 	var pe *par.PanicError
 	if errors.As(err, &pe) {
 		return "panic"

@@ -13,8 +13,19 @@
 //     sharded remote tier, so one request's publications are the next
 //     request's hits.
 //   - Degraded modes, not failures. A dead or corrupt remote shard degrades
-//     to a miss under the cache's fault classes; a build request never fails
-//     because the farm's accelerators are unhealthy.
+//     to a miss under the cache's fault classes (and a persistently dead
+//     shard trips its circuit breaker, so the farm stops paying its timeout);
+//     a build request never fails because the farm's accelerators are
+//     unhealthy.
+//   - Bounded admission. A fixed number of builds run concurrently; a bounded
+//     queue absorbs bursts; past that the daemon sheds load with a structured
+//     503 instead of queueing without bound.
+//   - Deadlines and drain. Every build runs under a context assembled from
+//     the client connection, the request's timeout_ms, and the daemon's
+//     -deadline; SIGTERM drains gracefully — new requests get 503 +
+//     Retry-After while in-flight builds finish, then stragglers are
+//     cancelled at the drain deadline. A cancelled build never publishes a
+//     cache entry, so reissuing the request after a restart is byte-identical.
 //
 // Fault-armed requests (chaos drills) opt out of all sharing: they build on
 // private cache handles with no flight or remote tier, so injected damage
@@ -23,12 +34,15 @@ package slcd
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"outliner/internal/cache"
 	"outliner/internal/obs"
@@ -46,7 +60,7 @@ type Options struct {
 	// in-flight work still applies when a cache exists; with no cache at all
 	// the daemon still builds, just without reuse).
 	CacheDir string
-	// ShardURLs are the remote cache shard base URLs (cache.NewRemote).
+	// ShardURLs are the remote cache shard base URLs (cache.NewRemoteWith).
 	// Empty means no remote tier.
 	ShardURLs []string
 	// Parallelism is the per-build worker count (pipeline.Config.Parallelism;
@@ -55,6 +69,23 @@ type Options struct {
 	// MaxBuilds bounds concurrently executing build requests; further
 	// requests queue. 0 means 4.
 	MaxBuilds int
+	// MaxQueue bounds requests waiting for a build slot. A request arriving
+	// with the queue full is shed with a structured 503 (error_class "shed")
+	// instead of waiting without bound. 0 means 32; negative means unbounded.
+	MaxQueue int
+	// Deadline caps every build's wall-clock time, combined with the
+	// request's own timeout_ms (the smaller wins). 0 means no daemon cap.
+	Deadline time.Duration
+	// RemoteTimeout is the per-operation remote shard timeout
+	// (cache.RemoteOptions.Timeout). 0 means the cache package default.
+	RemoteTimeout time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a shard's
+	// circuit breaker (cache.RemoteOptions.BreakerThreshold). 0 means the
+	// default; negative disables the breakers.
+	BreakerThreshold int
+	// ProbeInterval is the open-shard health-probe cadence
+	// (cache.RemoteOptions.ProbeInterval). 0 means the default.
+	ProbeInterval time.Duration
 }
 
 // Server is the daemon state shared across requests.
@@ -63,6 +94,19 @@ type Server struct {
 	flight *cache.Flight
 	remote *cache.Remote
 	sem    chan struct{}
+
+	// Admission and drain state. queued/running are gauges read by Snapshot;
+	// inflight tracks running builds so Drain can wait for them. draining
+	// flips once; drainCh unblocks queued waiters when it does; hardCancel
+	// cancels straggler builds at the drain deadline.
+	queued     atomic.Int64
+	running    atomic.Int64
+	inflight   sync.WaitGroup
+	draining   atomic.Bool
+	drainOnce  sync.Once
+	drainCh    chan struct{}
+	hardCtx    context.Context
+	hardCancel context.CancelFunc
 
 	mu       sync.Mutex
 	builds   int64 // completed build requests
@@ -75,25 +119,49 @@ func NewServer(opts Options) *Server {
 	if opts.MaxBuilds <= 0 {
 		opts.MaxBuilds = 4
 	}
-	return &Server{
-		opts:     opts,
-		flight:   cache.NewFlight(),
-		remote:   cache.NewRemote(opts.ShardURLs),
-		sem:      make(chan struct{}, opts.MaxBuilds),
-		counters: map[string]int64{},
+	if opts.MaxQueue == 0 {
+		opts.MaxQueue = 32
 	}
+	hardCtx, hardCancel := context.WithCancel(context.Background())
+	return &Server{
+		opts:   opts,
+		flight: cache.NewFlight(),
+		remote: cache.NewRemoteWith(opts.ShardURLs, cache.RemoteOptions{
+			Timeout:          opts.RemoteTimeout,
+			BreakerThreshold: opts.BreakerThreshold,
+			ProbeInterval:    opts.ProbeInterval,
+		}),
+		sem:        make(chan struct{}, opts.MaxBuilds),
+		drainCh:    make(chan struct{}),
+		hardCtx:    hardCtx,
+		hardCancel: hardCancel,
+		counters:   map[string]int64{},
+	}
+}
+
+// Close releases daemon background state (the remote tier's breaker prober).
+// Safe to call more than once and on a nil-remote daemon.
+func (s *Server) Close() {
+	s.remote.Close()
+	s.hardCancel()
 }
 
 // Handler returns the daemon's HTTP handler:
 //
 //	POST /build   — run one build (BuildRequest → BuildResponse)
 //	GET  /stats   — daemon counters aggregated across completed requests
-//	GET  /healthz — liveness probe
+//	GET  /healthz — liveness probe ("ok"; 503 "draining" during shutdown)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/build", s.handleBuild)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "draining\n")
+			return
+		}
 		io.WriteString(w, "ok\n")
 	})
 	return mux
@@ -118,23 +186,70 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "request has no modules", http.StatusBadRequest)
 		return
 	}
-	resp := s.Build(&req)
+	// r.Context() makes a client disconnect cancel the build mid-stage
+	// instead of burning a build slot on an answer nobody will read.
+	resp := s.BuildCtx(r.Context(), &req)
 	w.Header().Set("Content-Type", "application/json")
+	if resp.ErrorClass == "shed" || resp.ErrorClass == "drain" {
+		// Structured overload/shutdown refusal: the client should retry —
+		// against this daemon after a beat, or its restarted successor.
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
 	json.NewEncoder(w).Encode(resp)
 }
 
-// Build runs one build request against the daemon's shared state. It is the
-// HTTP handler's core, exported so in-process tests (and embedders) can drive
-// the daemon without a listener.
+// Build runs one build request against the daemon's shared state with no
+// caller-supplied context. It is the pre-deadline entry point, kept for
+// embedders and tests that drive the daemon without a listener.
 func (s *Server) Build(req *BuildRequest) *BuildResponse {
-	s.sem <- struct{}{}
-	defer func() { <-s.sem }()
+	return s.BuildCtx(context.Background(), req)
+}
+
+// BuildCtx runs one build request under ctx. The build's effective context is
+// ctx (the client connection) bounded by the smaller of the request's
+// timeout_ms and the daemon's Deadline, and additionally cancelled by the
+// drain hard-cancel. Admission: a draining daemon refuses immediately; a full
+// queue sheds; otherwise the request waits for a build slot (cancellable).
+func (s *Server) BuildCtx(ctx context.Context, req *BuildRequest) *BuildResponse {
+	if s.draining.Load() {
+		return s.refuse("drain", "daemon is draining for shutdown")
+	}
+	if depth := s.queued.Add(1); s.opts.MaxQueue >= 0 && depth > int64(s.opts.MaxQueue) {
+		s.queued.Add(-1)
+		return s.refuse("shed", fmt.Sprintf("daemon overloaded: admission queue full (%d waiting, max %d)", depth-1, s.opts.MaxQueue))
+	}
+	queuedAt := time.Now()
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.queued.Add(-1)
+		return s.refuse("canceled", "request cancelled while queued: "+ctx.Err().Error())
+	case <-s.drainCh:
+		s.queued.Add(-1)
+		return s.refuse("drain", "daemon began draining while request was queued")
+	}
+	s.queued.Add(-1)
+	queueWait := time.Since(queuedAt)
+	s.running.Add(1)
+	s.inflight.Add(1)
+	defer func() {
+		s.running.Add(-1)
+		<-s.sem
+		s.inflight.Done()
+	}()
+
+	bctx, cancel := s.buildContext(ctx, req)
+	defer cancel()
 
 	cfg, err := req.Config.pipelineConfig()
 	if err != nil {
-		return &BuildResponse{OK: false, Error: err.Error(), ErrorClass: "build"}
+		resp := &BuildResponse{OK: false, Error: err.Error(), ErrorClass: "build"}
+		s.finish(resp, queueWait)
+		return resp
 	}
 	tr := obs.New()
+	cfg.Ctx = bctx
 	cfg.Tracer = tr
 	cfg.Parallelism = s.opts.Parallelism
 	cfg.CacheDir = s.opts.CacheDir
@@ -160,24 +275,90 @@ func (s *Server) Build(req *BuildRequest) *BuildResponse {
 			resp.TotalSize = res.BinarySize()
 		}
 	}
-	s.finish(resp)
+	s.finish(resp, queueWait)
 	return resp
 }
 
+// buildContext assembles the build's context: ctx bounded by the smaller of
+// the request's timeout_ms and the daemon Deadline, and tied to the drain
+// hard-cancel so stragglers die at the drain deadline.
+func (s *Server) buildContext(ctx context.Context, req *BuildRequest) (context.Context, context.CancelFunc) {
+	timeout := s.opts.Deadline
+	if reqTO := time.Duration(req.Config.TimeoutMS) * time.Millisecond; reqTO > 0 && (timeout == 0 || reqTO < timeout) {
+		timeout = reqTO
+	}
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	stop := context.AfterFunc(s.hardCtx, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// refuse builds the structured refusal response for shed/drain/queue-cancel
+// outcomes and folds it into the daemon aggregates (counter
+// "slcd/refused/<class>"; refusals don't count as builds — no pipeline ran).
+func (s *Server) refuse(class, msg string) *BuildResponse {
+	s.mu.Lock()
+	s.counters["slcd/refused/"+class]++
+	s.mu.Unlock()
+	return &BuildResponse{OK: false, Error: "slcd: " + msg, ErrorClass: class}
+}
+
+// StartDrain flips the daemon into draining mode: /healthz reports draining,
+// new and queued requests are refused with 503 + Retry-After, in-flight
+// builds keep running. Idempotent.
+func (s *Server) StartDrain() {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.drainCh)
+	})
+}
+
+// Drain performs the graceful-shutdown protocol: StartDrain, wait up to
+// timeout for in-flight builds to finish, then hard-cancel stragglers and
+// wait for them to unwind. Returns true if every build finished before the
+// deadline (no straggler was cancelled).
+func (s *Server) Drain(timeout time.Duration) bool {
+	s.StartDrain()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		s.hardCancel()
+		<-done
+		s.mu.Lock()
+		s.counters["slcd/drain_hard_cancels"]++
+		s.mu.Unlock()
+		return false
+	}
+}
+
 // finish folds one completed request into the daemon aggregates.
-func (s *Server) finish(resp *BuildResponse) {
+func (s *Server) finish(resp *BuildResponse, queueWait time.Duration) {
 	remote := s.remote.DrainCounters()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.builds++
 	if !resp.OK {
 		s.failures++
+		if resp.ErrorClass != "" {
+			s.counters["slcd/failed/"+resp.ErrorClass]++
+		}
 	}
+	s.counters["slcd/queue_wait_ns"] += queueWait.Nanoseconds()
 	for name, v := range resp.Counters {
 		s.counters[name] += v
 	}
 	for name, v := range remote {
-		if strings.HasSuffix(name, "/inflight") {
+		if strings.HasSuffix(name, "/inflight") || strings.HasSuffix(name, "/breaker_state") {
 			s.counters[name] = v // gauge, not a sum
 			continue
 		}
@@ -187,29 +368,52 @@ func (s *Server) finish(resp *BuildResponse) {
 
 // Stats is the GET /stats payload.
 type Stats struct {
-	Builds   int64 `json:"builds"`
-	Failures int64 `json:"failures"`
+	// State is "serving" or "draining".
+	State    string `json:"state"`
+	Builds   int64  `json:"builds"`
+	Failures int64  `json:"failures"`
+	// QueueDepth/Running are point-in-time gauges: requests waiting for a
+	// build slot and builds executing right now. MaxBuilds/MaxQueue are the
+	// configured bounds behind the admission policy.
+	QueueDepth int64 `json:"queue_depth"`
+	Running    int64 `json:"running"`
+	MaxBuilds  int   `json:"max_builds"`
+	MaxQueue   int   `json:"max_queue"`
+	// RemoteTimeoutMS is the effective per-operation remote shard timeout
+	// (0 when no remote tier is configured).
+	RemoteTimeoutMS int64 `json:"remote_timeout_ms"`
 	// FlightExecs/FlightWaits are the single-flight layer's lifetime totals:
 	// closures executed vs. callers that shared a leader's result.
 	FlightExecs int64 `json:"flight_execs"`
 	FlightWaits int64 `json:"flight_waits"`
 	// Counters aggregates every completed request's counters plus the remote
-	// tier's per-shard client counters.
+	// tier's per-shard client counters (including the breaker state gauges
+	// and transition totals) and the daemon's own slcd/* admission counters.
 	Counters map[string]int64 `json:"counters"`
 }
 
 // Snapshot returns the daemon aggregates.
 func (s *Server) Snapshot() Stats {
 	execs, waits := s.flight.Stats()
+	state := "serving"
+	if s.draining.Load() {
+		state = "draining"
+	}
+	st := Stats{
+		State:           state,
+		QueueDepth:      s.queued.Load(),
+		Running:         s.running.Load(),
+		MaxBuilds:       s.opts.MaxBuilds,
+		MaxQueue:        s.opts.MaxQueue,
+		RemoteTimeoutMS: s.remote.Timeout().Milliseconds(),
+		FlightExecs:     execs,
+		FlightWaits:     waits,
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := Stats{
-		Builds:      s.builds,
-		Failures:    s.failures,
-		FlightExecs: execs,
-		FlightWaits: waits,
-		Counters:    make(map[string]int64, len(s.counters)),
-	}
+	st.Builds = s.builds
+	st.Failures = s.failures
+	st.Counters = make(map[string]int64, len(s.counters))
 	for k, v := range s.counters {
 		st.Counters[k] = v
 	}
@@ -217,8 +421,15 @@ func (s *Server) Snapshot() Stats {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	// Snapshot copies under s.mu; the (potentially slow) encode to the client
+	// happens strictly outside the lock, so a stalled stats reader can never
+	// block request completion.
+	st := s.Snapshot()
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		http.Error(w, "encoding stats: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(s.Snapshot())
+	w.Write(append(data, '\n'))
 }
